@@ -1,0 +1,76 @@
+"""LEM5 — ``DFSampling``: time ``O(ell^2 log |P'|)`` from a single seed.
+
+Measures the distributed sampling from a lone source over dense swarms for
+growing ``ell``: the series should track ``ell^2 * log(sample)`` — the
+harmonic team-growth sum of Lemma 5 — rather than ``ell^3`` or worse.
+"""
+
+import math
+
+from repro.core import TeamKnowledge, dfsampling
+from repro.experiments import print_table
+from repro.geometry import Point, square_at_center
+from repro.instances import uniform_disk
+from repro.metrics import fit_linear_combination
+from repro.sim import Engine, SOURCE_ID
+
+
+def _run_sampling(instance, ell):
+    world = instance.world()
+    engine = Engine(world)
+    region = square_at_center(Point(0, 0), 4.0 * instance.rho_star + 8 * ell)
+    knowledge = TeamKnowledge(members={SOURCE_ID: Point(0, 0)})
+    box = [None]
+
+    def program(proc):
+        box[0] = yield from dfsampling(
+            proc,
+            region=region,
+            owns=lambda p: True,
+            seeds=[Point(0, 0)],
+            ell=ell,
+            recruit_cap=4 * ell,
+            knowledge=knowledge,
+            key_base=("bench",),
+        )
+
+    engine.spawn(program, [SOURCE_ID])
+    result = engine.run()
+    return box[0], result
+
+
+def test_bench_single_seed_sampling(once):
+    def sweep():
+        rows = []
+        for ell in (1, 2, 3, 4):
+            inst = uniform_disk(n=60 * ell * ell, rho=6.0 * ell, seed=ell)
+            outcome, result = _run_sampling(inst, ell)
+            k = max(len(outcome.recruited), 2)
+            feature = ell * ell * math.log(k)
+            rows.append(
+                {
+                    "ell": ell,
+                    "recruited": len(outcome.recruited),
+                    "hit_cap": outcome.hit_cap,
+                    "time": result.termination_time,
+                    "ell^2*log(k)": feature,
+                    "time/feature": result.termination_time / feature,
+                }
+            )
+        return rows
+
+    rows = once(sweep)
+    print_table(rows, "\nLEM5: DFSampling time vs ell^2 log |P'| (single seed)")
+    # Dense swarms: the cap 4*ell is reached.
+    assert all(r["hit_cap"] for r in rows)
+    assert all(r["recruited"] == 4 * r["ell"] for r in rows)
+    # Shape: time/feature stays within a constant band while ell grows 4x.
+    ratios = [r["time/feature"] for r in rows]
+    assert max(ratios) <= 4.0 * min(ratios)
+    fit = fit_linear_combination(
+        [(r["ell^2*log(k)"],) for r in rows],
+        [r["time"] for r in rows],
+        ("ell^2*log(k)",),
+    )
+    print("Lemma 5 fit:", fit.describe())
+    assert fit.r2 > 0.9

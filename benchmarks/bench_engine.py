@@ -1,0 +1,57 @@
+"""Substrate micro-benchmarks: engine event throughput.
+
+Not a paper artifact — a regression guard for the simulator's hot paths
+(move scheduling, snapshot queries against the sleeping/stationary/idle
+indices), which every experiment above depends on.
+"""
+
+import random
+
+from repro.geometry import Point
+from repro.sim import Engine, Look, Move, SOURCE_ID, Wake, World
+
+
+def test_bench_move_look_cycle(benchmark):
+    """Time 2000 move+look cycles through a 5000-sleeper world."""
+    rng = random.Random(0)
+    sleepers = [
+        Point(rng.uniform(-50, 50), rng.uniform(-50, 50)) for _ in range(5000)
+    ]
+
+    def run():
+        world = World(source=Point(0, 0), positions=sleepers)
+        engine = Engine(world)
+
+        def program(proc):
+            x = 0.0
+            for i in range(2000):
+                x += 0.04
+                yield Move(Point(x, 0.0))
+                snap = (yield Look()).value
+            return
+
+        engine.spawn(program, [SOURCE_ID])
+        return engine.run()
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    assert result.snapshots == 2000
+
+
+def test_bench_wake_heavy(benchmark):
+    """Time waking 1000 robots through a chain of join-team wakes."""
+    sleepers = [Point(0.5 * (i + 1), 0.0) for i in range(1000)]
+
+    def run():
+        world = World(source=Point(0, 0), positions=sleepers)
+        engine = Engine(world)
+
+        def program(proc):
+            for rid in range(1, 1001):
+                yield Move(Point(0.5 * rid, 0.0))
+                yield Wake(rid)
+
+        engine.spawn(program, [SOURCE_ID])
+        return engine.run()
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    assert result.woke_all

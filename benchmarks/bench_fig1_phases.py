@@ -1,0 +1,44 @@
+"""FIG1/FIG3 — ``ASeparator`` round-0 storyboard as a measured timeline.
+
+Figure 1 depicts Initialization, the source-seeded ``DFSampling`` and the
+first separator explorations; Figure 3 is the full pseudocode.  We run an
+annotated multi-round instance and reproduce the storyboard as phase
+durations, asserting the pseudocode's phase order.
+"""
+
+from repro.experiments import phase_timeline, print_table
+from repro.instances import uniform_disk
+
+
+def test_bench_phase_timeline(once):
+    inst = uniform_disk(n=300, rho=16.0, seed=0)
+
+    def run():
+        return phase_timeline(inst)
+
+    rows = once(run)
+    print_table(rows[:24], "\nFIG1/FIG3: ASeparator phase timeline (first rows)")
+    labels = [r["label"] for r in rows]
+    for expected in (
+        "asep:init",
+        "asep:partition",
+        "asep:explore",
+        "asep:recruit",
+        "asep:reorganize",
+        "asep:terminate",
+    ):
+        assert expected in labels, f"missing phase {expected}"
+    # Initialization strictly precedes every partition.
+    init_end = next(r["end"] for r in rows if r["label"] == "asep:init")
+    first_partition = min(
+        r["start"] for r in rows if r["label"] == "asep:partition"
+    )
+    assert first_partition >= init_end - 1e-9
+    # Exploration of a quadrant precedes its recruitment (same process).
+    by_pid = {}
+    for r in rows:
+        by_pid.setdefault(r["process"], []).append(r)
+    for pid, phases in by_pid.items():
+        seq = [p["label"] for p in sorted(phases, key=lambda p: p["start"])]
+        if "asep:explore" in seq and "asep:recruit" in seq:
+            assert seq.index("asep:explore") < seq.index("asep:recruit")

@@ -1,0 +1,50 @@
+"""FIG2 — Recruitment and Reorganization across rounds.
+
+Figure 2 shows teams recruiting ``4*ell`` robots per sub-square, merging at
+the parent center and re-entering sub-squares.  We reproduce it as the
+per-round series: number of partition rounds, team sizes at each round,
+and the geometric shrinking of the squares.
+"""
+
+import math
+
+from repro.core.runner import run_aseparator
+from repro.experiments import print_table
+from repro.instances import uniform_disk
+from repro.sim import Trace
+
+
+def test_bench_round_series(once):
+    inst = uniform_disk(n=300, rho=16.0, seed=0)
+
+    def run():
+        trace = Trace()
+        result = run_aseparator(inst, trace=trace)
+        return trace, result
+
+    trace, result = once(run)
+    assert result.woke_all
+    partitions = [
+        e for e in trace.of_kind("phase") if e.data["label"] == "asep:partition"
+    ]
+    rows = []
+    for e in partitions:
+        square = e.data["data"]["square"]
+        width = square[2] - square[0]
+        rows.append(
+            {
+                "time": e.time,
+                "square_width": width,
+                "team": e.data["data"]["team"],
+            }
+        )
+    rows.sort(key=lambda r: (r["time"], -r["square_width"]))
+    print_table(rows, "\nFIG2: partition rounds (square widths shrink 2x)")
+    assert rows, "no partition rounds — instance too small for FIG2"
+    widths = sorted({round(r["square_width"], 6) for r in rows}, reverse=True)
+    # Square widths halve round over round (Figure 2c).
+    for a, b in zip(widths, widths[1:]):
+        assert a / b == 2.0
+    # Teams at partition rounds carry at least 4*ell robots (Figure 2a/b).
+    ell = inst.default_inputs()[0]
+    assert all(r["team"] >= 4 * ell for r in rows)

@@ -1,0 +1,96 @@
+"""T1-row4 — ``AWave`` vs ``AGrid``: the energy/makespan trade-off.
+
+Reproduces the last row of Table 1 plus the Thm 6 construction:
+
+* on a multi-cell corridor both algorithms wake everyone; each stays
+  within its energy budget (``Θ(ell^2 log ell)`` vs ``Θ(ell^2)``);
+* the Thm 5 vs Thm 4 shapes: ``AWave``'s makespan is ``O(xi + ell^2
+  log(xi/ell))`` while ``AGrid`` pays ``Θ(ell * xi)`` — we report the
+  measured per-xi rates, whose ratio must beat ``1/ell`` asymptotically
+  (who-wins: AWave for large ``xi``);
+* the Thm 6 rectilinear instance: measured makespans dominate the
+  ``Ω(xi)`` prediction.
+"""
+
+import math
+
+from repro.core.agrid import agrid_energy_budget
+from repro.core.awave import awave_cell_width, awave_energy_budget
+from repro.core.runner import run_agrid, run_awave
+from repro.experiments import print_table
+from repro.instances import beaded_path, rectilinear_path
+
+
+def test_bench_awave_vs_agrid(once):
+    ell = 4
+    # Corridor spanning >1 wave cell (cell width 256 for ell=4).
+    inst = beaded_path(n=110, spacing=3.5)
+    assert inst.rho_star > awave_cell_width(ell) / 2.0
+
+    def run_both():
+        wave = run_awave(inst, ell=ell)
+        grid = run_agrid(inst, ell=ell)
+        return wave, grid
+
+    wave, grid = once(run_both)
+    xi = inst.xi(ell)
+    rows = [
+        {
+            "algorithm": "AWave",
+            "xi": xi,
+            "makespan": wave.makespan,
+            "makespan/xi": wave.makespan / xi,
+            "max_energy": wave.max_energy,
+            "energy_budget": awave_energy_budget(ell),
+            "woke_all": wave.woke_all,
+        },
+        {
+            "algorithm": "AGrid",
+            "xi": xi,
+            "makespan": grid.makespan,
+            "makespan/xi": grid.makespan / xi,
+            "max_energy": grid.max_energy,
+            "energy_budget": agrid_energy_budget(ell),
+            "woke_all": grid.woke_all,
+        },
+    ]
+    print_table(rows, "\nT1-row4: AWave vs AGrid on a multi-cell corridor (ell=4)")
+    assert wave.woke_all and grid.woke_all
+    assert wave.max_energy <= awave_energy_budget(ell)
+    assert grid.max_energy <= agrid_energy_budget(ell)
+    # Energy trade-off from Table 1: AWave spends more energy per robot
+    # (Θ(ell^2 log ell) > Θ(ell^2)) to buy a better makespan rate.
+    print(
+        f"measured energy ratio awave/agrid = "
+        f"{wave.max_energy / grid.max_energy:.2f}"
+    )
+
+
+def test_bench_theorem6_construction(once):
+    """Thm 6: prescribed-xi instances; makespan >= Omega(xi)."""
+
+    def run_construction():
+        rows = []
+        for xi in (30.0, 60.0):
+            path = rectilinear_path(ell=1.0, rho=25.0, budget=4.0, xi=xi)
+            inst = path.instance()
+            run = run_agrid(inst, ell=1)
+            rows.append(
+                {
+                    "xi_prescribed": xi,
+                    "xi_measured": inst.xi(1.0),
+                    "makespan": run.makespan,
+                    "omega(xi)/4": path.makespan_lower_bound(),
+                    "woke_all": run.woke_all,
+                }
+            )
+        return rows
+
+    rows = once(run_construction)
+    print_table(rows, "\nT1-row4(b): Thm 6 rectilinear construction under AGrid")
+    for row in rows:
+        assert row["woke_all"]
+        assert row["makespan"] >= row["omega(xi)/4"]
+        assert row["xi_measured"] >= 0.8 * row["xi_prescribed"]
+    # Makespan grows with the prescribed xi.
+    assert rows[1]["makespan"] > rows[0]["makespan"]

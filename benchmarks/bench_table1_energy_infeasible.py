@@ -1,0 +1,34 @@
+"""T1-row2 — Theorem 3: budgets below ``pi*(ell^2-1)/2`` cannot discover.
+
+Reproduces the "unfeasible" row of Table 1: a budgeted source sweeps the
+``ell``-ball; below the threshold the covered fraction is provably < 1, so
+the adversary always has a hiding spot and *no* robot is ever woken.
+The discrete-snapshot model covers ``sqrt(2)`` of area per unit of travel
+(vs the proof's idealized 2), so full coverage arrives at factor ~2 — the
+qualitative threshold behaviour is what the row asserts.
+"""
+
+from repro.experiments import energy_infeasibility_sweep, print_table
+
+
+def test_bench_energy_threshold(once):
+    def sweep():
+        return energy_infeasibility_sweep(
+            ell=4,
+            budget_factors=(0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0),
+            resolution=10,
+        )
+
+    rows = once(sweep)
+    print_table(rows, "\nT1-row2: discovery coverage of B(0, ell) vs budget (Thm 3)")
+    coverages = [r["coverage"] for r in rows]
+    # Coverage is monotone in the budget.
+    assert coverages == sorted(coverages)
+    # Below the theorem's threshold the ball is never fully covered.
+    for row in rows:
+        if row["budget_factor"] <= 1.0:
+            assert row["adversary_hides"], row
+            assert row["coverage"] < 1.0
+    # With ample budget the ball does get covered (the bound is about the
+    # threshold, not about impossibility at every budget).
+    assert coverages[-1] > 0.95

@@ -1,0 +1,44 @@
+"""repro — reproduction of "Distributed Freeze Tag" (PODC 2025).
+
+The package implements the paper's distributed Freeze Tag algorithms
+(``ASeparator``, ``AGrid``, ``AWave``) on top of an event-driven simulator
+of the Look-Compute-Move robot-swarm model, together with centralized
+baselines, lower-bound constructions, instance generators, metrics and an
+experiment harness reproducing every table and figure of the paper.
+
+Quickstart::
+
+    from repro import Instance, uniform_disk, run_aseparator
+
+    inst = uniform_disk(n=60, rho=12.0, seed=7)
+    result = run_aseparator(inst)
+    print(result.summary())
+"""
+
+__version__ = "1.0.0"
+
+from .core import AlgorithmRun, run_agrid, run_aseparator, run_awave
+from .geometry import Point
+from .instances import (
+    Instance,
+    beaded_path,
+    clusters,
+    grid_of_disks,
+    uniform_disk,
+)
+from .metrics import summarize
+
+__all__ = [
+    "__version__",
+    "Point",
+    "Instance",
+    "AlgorithmRun",
+    "run_agrid",
+    "run_aseparator",
+    "run_awave",
+    "beaded_path",
+    "clusters",
+    "grid_of_disks",
+    "uniform_disk",
+    "summarize",
+]

@@ -1,0 +1,61 @@
+"""Lower bounds for centralized Freeze Tag makespans.
+
+Used to normalize measured makespans in benchmarks:
+
+* every schedule needs at least ``rho_star`` time (some robot is that far);
+* doubling argument: with ``k`` robots awake the swarm discovers/wakes at
+  most geometrically growing sets, giving the classical ``log``-factor
+  floor on star-like instances — we expose only the radius and
+  farthest-pair floors, which hold unconditionally;
+* the plane's wake-up constant is known to be at least ``1 + 2*sqrt(2)``
+  [BCGH24]; reported for context next to measured ratios.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from ..geometry import Point, distance, max_distance_from
+
+__all__ = [
+    "radius_lower_bound",
+    "farthest_pair_lower_bound",
+    "makespan_lower_bound",
+    "PLANE_WAKEUP_CONSTANT_LOWER_BOUND",
+]
+
+#: Known lower bound on the wake-up constant of the Euclidean plane.
+PLANE_WAKEUP_CONSTANT_LOWER_BOUND = 1.0 + 2.0 * math.sqrt(2.0)
+
+
+def radius_lower_bound(root: Point, positions: Sequence[Point]) -> float:
+    """``rho_star``: someone is that far away, so makespan >= it."""
+    return max_distance_from(root, positions)
+
+
+def farthest_pair_lower_bound(root: Point, positions: Sequence[Point]) -> float:
+    """Reach-the-second-point bound.
+
+    The robot that wakes the last sleeper ``q`` was itself woken somewhere
+    (or is the root); in particular the makespan is at least
+    ``min over p of (|root p| + |p q|)`` maximized over ``q`` — a small
+    strengthening of the radius bound that is exact on two-point instances.
+    """
+    best = 0.0
+    for j, q in enumerate(positions):
+        direct = distance(root, q)
+        via = min(
+            (distance(root, p) + distance(p, q) for i, p in enumerate(positions) if i != j),
+            default=direct,
+        )
+        best = max(best, min(direct, via))
+    return best
+
+
+def makespan_lower_bound(root: Point, positions: Sequence[Point]) -> float:
+    """Best unconditional lower bound available here."""
+    return max(
+        radius_lower_bound(root, positions),
+        farthest_pair_lower_bound(root, positions),
+    )

@@ -1,0 +1,36 @@
+"""Single-robot chain baseline (no branching).
+
+The root robot alone visits every sleeper along a nearest-neighbor tour.
+This deliberately ignores the defining feature of Freeze Tag — woken robots
+helping — and therefore scales as ``Θ(n · rho)`` in the worst case, versus
+``O(rho)`` for branching strategies.  Benchmarks use it to demonstrate the
+benefit of wake-up trees (the "who wins" comparison in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..geometry import Point, distance
+from .schedule import ROOT, WakeupSchedule
+
+__all__ = ["chain_schedule"]
+
+
+def chain_schedule(
+    root: Point, positions: Sequence[Point], region=None
+) -> WakeupSchedule:
+    """Nearest-neighbor tour by the root robot only.
+
+    ``region`` is accepted (and ignored) so the function satisfies the
+    Lemma 2 solver signature used by ``ASeparator``'s ablation knob.
+    """
+    remaining = set(range(len(positions)))
+    order: list[int] = []
+    pos = root
+    while remaining:
+        target = min(remaining, key=lambda i: (distance(pos, positions[i]), i))
+        order.append(target)
+        pos = positions[target]
+        remaining.remove(target)
+    return WakeupSchedule.build(root, positions, {ROOT: order} if order else {})

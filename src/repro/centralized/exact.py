@@ -1,0 +1,104 @@
+"""Exact branch-and-bound solver for tiny centralized Freeze Tag instances.
+
+Freeze Tag is NP-hard even in the plane [AAJ17], so exhaustive search is
+only feasible for very small ``n`` (≤ ~8).  The solver enumerates wake
+forests through a canonical event order — always branching on the awake
+robot with the earliest free time, which may either wake any remaining
+sleeper or *retire* — and prunes with two bounds:
+
+* the best makespan found so far;
+* an admissible lower bound: every remaining sleeper must still be reached
+  from some awake robot, so ``max over remaining of min over awake of
+  (free_time + distance)`` is a valid completion bound.
+
+The exact optimum lets tests measure the approximation ratio of the
+quadtree and greedy strategies on random micro-instances.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from ..geometry import Point, distance
+from .schedule import ROOT, WakeupSchedule
+
+__all__ = ["exact_schedule", "exact_makespan"]
+
+_MAX_EXACT_N = 9
+
+
+def exact_schedule(root: Point, positions: Sequence[Point]) -> WakeupSchedule:
+    """Provably optimal schedule (raises ``ValueError`` for n > 9)."""
+    n = len(positions)
+    if n > _MAX_EXACT_N:
+        raise ValueError(
+            f"exact solver limited to n <= {_MAX_EXACT_N} (got {n}); "
+            "Freeze Tag is NP-hard"
+        )
+    if n == 0:
+        return WakeupSchedule.build(root, positions, {})
+
+    pts = list(positions)
+    best_makespan = math.inf
+    best_orders: dict[int, list[int]] | None = None
+
+    # State: awake = dict waker -> (pos, free_time, retired); orders built
+    # incrementally and copied only on improvement.
+    orders: dict[int, list[int]] = {}
+
+    def lower_bound(awake: dict, remaining: frozenset[int], current: float) -> float:
+        bound = current
+        for t in remaining:
+            reach = min(
+                free + distance(pos, pts[t])
+                for pos, free, retired in awake.values()
+                if not retired
+            )
+            bound = max(bound, reach)
+        return bound
+
+    def search(awake: dict, remaining: frozenset[int], current_makespan: float) -> None:
+        nonlocal best_makespan, best_orders
+        if not remaining:
+            if current_makespan < best_makespan - 1e-12:
+                best_makespan = current_makespan
+                best_orders = {k: list(v) for k, v in orders.items()}
+            return
+        active = {k: v for k, v in awake.items() if not v[2]}
+        if not active:
+            return
+        if lower_bound(active, remaining, current_makespan) >= best_makespan - 1e-12:
+            return
+        # Canonical branching: the active robot with the earliest free time
+        # acts next (ties by key).  Any schedule can be serialized this way,
+        # so canonicalization loses no solutions.
+        waker = min(active, key=lambda k: (active[k][1], k))
+        pos, free, _ = awake[waker]
+        # Option 1: wake each remaining target next.
+        for target in sorted(remaining):
+            arrival = free + distance(pos, pts[target])
+            if max(current_makespan, arrival) >= best_makespan - 1e-12:
+                continue
+            orders.setdefault(waker, []).append(target)
+            awake[waker] = (pts[target], arrival, False)
+            awake[target] = (pts[target], arrival, False)
+            search(awake, remaining - {target}, max(current_makespan, arrival))
+            del awake[target]
+            awake[waker] = (pos, free, False)
+            orders[waker].pop()
+            if not orders[waker]:
+                del orders[waker]
+        # Option 2: retire this robot (it wakes nobody else).
+        awake[waker] = (pos, free, True)
+        search(awake, remaining, current_makespan)
+        awake[waker] = (pos, free, False)
+
+    search({ROOT: (root, 0.0, False)}, frozenset(range(n)), 0.0)
+    assert best_orders is not None
+    return WakeupSchedule.build(root, positions, best_orders)
+
+
+def exact_makespan(root: Point, positions: Sequence[Point]) -> float:
+    """Optimal makespan (convenience wrapper)."""
+    return exact_schedule(root, positions).makespan()

@@ -1,0 +1,178 @@
+"""Wake-up schedules — the solution objects of centralized Freeze Tag.
+
+The paper describes solutions as *wake-up trees*: rooted trees over robot
+positions where the root (the initially-awake robot) has one child and
+every other node at most two, the makespan being the weighted depth
+(Section 1.1).  An equivalent — and operationally friendlier — encoding is
+the **ordered wake forest**: every waker carries an ordered list of robots
+it personally wakes, visiting them in sequence.  The two encodings are
+inter-convertible (first-child = head of the woken robot's list,
+second-child = tail of the waker's list, exactly the split Algorithm 1
+performs), and the ordered form is what the distributed propagation code
+executes directly.
+
+Robots are identified by their index in ``positions``; the virtual ``ROOT``
+(-1) stands for the initially-awake robot at ``root``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence
+
+from ..geometry import Point, distance
+
+__all__ = ["ROOT", "WakeupSchedule", "ScheduleEvaluation"]
+
+#: Virtual index of the initially-awake robot.
+ROOT = -1
+
+
+@dataclass(frozen=True)
+class ScheduleEvaluation:
+    """Computed timing of a schedule."""
+
+    wake_times: tuple[float, ...]      # per target index
+    makespan: float                    # max wake time (0 when no targets)
+    travel: dict[int, float]           # distance walked per waker (ROOT incl.)
+    depth: int                         # max number of wake hops root->leaf
+
+    @property
+    def total_travel(self) -> float:
+        return sum(self.travel.values())
+
+    @property
+    def max_travel(self) -> float:
+        return max(self.travel.values(), default=0.0)
+
+
+@dataclass(frozen=True)
+class WakeupSchedule:
+    """An ordered wake forest over ``positions`` rooted at ``root``.
+
+    ``orders[w]`` is the ordered tuple of target indices robot ``w`` wakes
+    (``w`` is ``ROOT`` or a target index).  A valid schedule wakes every
+    index exactly once, and every waker other than ``ROOT`` is itself woken
+    somewhere (the structure is a tree on ``{ROOT} ∪ indices``).
+    """
+
+    root: Point
+    positions: tuple[Point, ...]
+    orders: Mapping[int, tuple[int, ...]]
+
+    @staticmethod
+    def build(
+        root: Point,
+        positions: Sequence[Point],
+        orders: Mapping[int, Sequence[int]],
+    ) -> "WakeupSchedule":
+        frozen = {
+            waker: tuple(targets)
+            for waker, targets in orders.items()
+            if targets
+        }
+        return WakeupSchedule(root, tuple(positions), frozen)
+
+    # -- structure -----------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return len(self.positions)
+
+    def waker_of(self) -> dict[int, int]:
+        """Map target index -> waker index (``ROOT`` for the first)."""
+        parent: dict[int, int] = {}
+        for waker, targets in self.orders.items():
+            for t in targets:
+                parent[t] = waker
+        return parent
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` when the schedule is not a wake tree."""
+        seen: set[int] = set()
+        for waker, targets in self.orders.items():
+            if waker != ROOT and not (0 <= waker < self.n):
+                raise ValueError(f"unknown waker {waker}")
+            for t in targets:
+                if not (0 <= t < self.n):
+                    raise ValueError(f"unknown target {t}")
+                if t in seen:
+                    raise ValueError(f"target {t} woken twice")
+                seen.add(t)
+        if len(seen) != self.n:
+            missing = set(range(self.n)) - seen
+            raise ValueError(f"targets never woken: {sorted(missing)[:10]}")
+        # Reachability: walking wake order from ROOT must reach everyone
+        # (a waker must wake its targets only after being awake itself).
+        reached: set[int] = set()
+        frontier = list(self.orders.get(ROOT, ()))
+        while frontier:
+            t = frontier.pop()
+            if t in reached:
+                raise ValueError(f"cycle through target {t}")
+            reached.add(t)
+            frontier.extend(self.orders.get(t, ()))
+        if len(reached) != self.n:
+            raise ValueError(
+                f"only {len(reached)}/{self.n} targets reachable from ROOT"
+            )
+
+    # -- timing ----------------------------------------------------------
+    def evaluate(self) -> ScheduleEvaluation:
+        """Wake times under unit speed; assumes :meth:`validate` passes."""
+        wake_times = [0.0] * self.n
+        travel: Dict[int, float] = {}
+        depth = 0
+        stack: list[tuple[int, Point, float, int]] = [(ROOT, self.root, 0.0, 0)]
+        while stack:
+            waker, pos, time, hops = stack.pop()
+            walked = 0.0
+            for t in self.orders.get(waker, ()):
+                step = distance(pos, self.positions[t])
+                walked += step
+                time += step
+                pos = self.positions[t]
+                wake_times[t] = time
+                depth = max(depth, hops + 1)
+                stack.append((t, pos, time, hops + 1))
+            if walked or waker == ROOT:
+                travel[waker] = walked
+        return ScheduleEvaluation(
+            wake_times=tuple(wake_times),
+            makespan=max(wake_times, default=0.0),
+            travel=travel,
+            depth=depth,
+        )
+
+    def makespan(self) -> float:
+        return self.evaluate().makespan
+
+    # -- conversions ---------------------------------------------------------
+    def children_tree(self) -> dict[int, tuple[int, ...]]:
+        """Binary wake-up tree as ``node -> (first_child[, second_child])``.
+
+        First child of a waker's list-head is the head itself *seen from the
+        woken robot's side*; formally: in the binary tree, node ``w`` has as
+        children (a) the first target of its order list and (b) — for non
+        root nodes — nothing extra, because the rest of the list is encoded
+        as the first target's sibling chain.  The paper's "root has one
+        child, others at most two" shape is recovered by the standard
+        first-child / next-sibling transform.
+        """
+        tree: dict[int, list[int]] = {}
+        for waker, targets in self.orders.items():
+            if not targets:
+                continue
+            # w's binary children: its first target, and then each target's
+            # binary second child is the *next* target in w's list.
+            tree.setdefault(waker, []).append(targets[0])
+            # The continuation (rest of w's list) stays with the waker in
+            # Algorithm 1; in tree form it is the second child of the woken
+            # node: after waking `a`, the waker's next stop `b` hangs off `a`.
+            for a, b in zip(targets, targets[1:]):
+                tree.setdefault(a, []).append(b)
+        return {k: tuple(v) for k, v in tree.items()}
+
+    def max_children(self) -> int:
+        """Largest binary-tree out-degree (paper guarantees <= 2)."""
+        tree = self.children_tree()
+        return max((len(v) for v in tree.values()), default=0)

@@ -1,0 +1,210 @@
+"""Command-line interface: ``freezetag <command>``.
+
+Commands:
+
+* ``run``    — run one algorithm on a generated instance and print the
+  summary, the wake-time map and the wake histogram;
+* ``params`` — compute an instance's ``(rho*, ell*, xi_ell)``;
+* ``table1`` — regenerate the Table 1 experiment rows;
+* ``figures``— regenerate the figure experiments (phases, exploration,
+  lower bound).
+
+Examples::
+
+    freezetag run --algorithm aseparator --family uniform_disk --n 80 --rho 15
+    freezetag run --algorithm agrid --family beaded_path --n 40 --spacing 1.0
+    freezetag table1 --experiment rho --scale small
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, Callable
+
+from .core.runner import run_agrid, run_aseparator, run_awave
+from .experiments import (
+    agrid_xi_sweep,
+    aseparator_ell_sweep,
+    aseparator_rho_sweep,
+    awave_vs_agrid,
+    energy_infeasibility_sweep,
+    exploration_scaling,
+    fit_aseparator_shape,
+    lower_bound_experiment,
+    phase_timeline,
+    print_table,
+)
+from .instances import (
+    Instance,
+    annulus,
+    beaded_path,
+    clusters,
+    connected_walk,
+    grid_lattice,
+    spiral,
+    uniform_disk,
+    uniform_square,
+)
+from .metrics import summarize
+from .viz import render_wake_times, wake_histogram
+
+__all__ = ["main", "build_parser"]
+
+_ALGORITHMS: dict[str, Callable[..., Any]] = {
+    "aseparator": run_aseparator,
+    "agrid": run_agrid,
+    "awave": run_awave,
+}
+
+
+def _make_instance(args: argparse.Namespace) -> Instance:
+    family = args.family
+    if family == "uniform_disk":
+        return uniform_disk(n=args.n, rho=args.rho, seed=args.seed)
+    if family == "uniform_square":
+        return uniform_square(n=args.n, half_width=args.rho, seed=args.seed)
+    if family == "clusters":
+        return clusters(n=args.n, n_clusters=args.k, rho=args.rho, seed=args.seed)
+    if family == "annulus":
+        return annulus(n=args.n, r_inner=args.rho / 2, r_outer=args.rho, seed=args.seed)
+    if family == "beaded_path":
+        return beaded_path(n=args.n, spacing=args.spacing, seed=args.seed)
+    if family == "spiral":
+        return spiral(n=args.n, spacing=args.spacing)
+    if family == "grid_lattice":
+        return grid_lattice(side=max(2, int(args.n ** 0.5)), spacing=args.spacing)
+    if family == "connected_walk":
+        return connected_walk(n=args.n, step=args.spacing, seed=args.seed)
+    raise SystemExit(f"unknown family {family!r}")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    instance = _make_instance(args)
+    runner = _ALGORITHMS[args.algorithm]
+    kwargs: dict[str, Any] = {}
+    if args.ell is not None:
+        kwargs["ell"] = args.ell
+    run = runner(instance, **kwargs)
+    summary = summarize(run)
+    print(run.summary())
+    print(
+        f"rho*={summary.rho_star:.2f} ell*={summary.ell_star:.2f} "
+        f"xi_ell={summary.xi_ell:.2f} half-wake={summary.half_wake_time:.2f}"
+    )
+    if args.draw:
+        print(render_wake_times(instance, run.result.wake_times))
+        print()
+        print(wake_histogram(run.result.wake_times))
+    return 0 if run.woke_all else 1
+
+
+def _cmd_params(args: argparse.Namespace) -> int:
+    instance = _make_instance(args)
+    params = instance.parameters(args.ell)
+    print(instance)
+    print(params)
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    small = args.scale == "small"
+    if args.experiment in ("rho", "all"):
+        rows = aseparator_rho_sweep(
+            rhos=(6, 10, 14) if small else (8, 12, 16, 24, 32),
+            seeds=(0,) if small else (0, 1, 2),
+        )
+        print_table(rows, "T1-row1(a): ASeparator makespan vs rho")
+        print(fit_aseparator_shape([{**r} for r in rows]).describe())
+        print()
+    if args.experiment in ("ell", "all"):
+        rows = aseparator_ell_sweep(
+            ells=(1, 2, 3) if small else (1, 2, 3, 4, 6),
+        )
+        print_table(rows, "T1-row1(b): ASeparator makespan vs ell")
+        print()
+    if args.experiment in ("energy", "all"):
+        rows = energy_infeasibility_sweep(ell=args.ell or 4)
+        print_table(rows, "T1-row2: energy infeasibility (Thm 3)")
+        print()
+    if args.experiment in ("agrid", "all"):
+        rows = agrid_xi_sweep(lengths=(10, 20, 40) if small else (20, 40, 80, 160))
+        print_table(rows, "T1-row3: AGrid makespan vs xi")
+        print()
+    if args.experiment in ("awave", "all"):
+        rows = awave_vs_agrid(
+            lengths=(40,) if small else (60, 120), spacing=3.5, ell=4
+        )
+        print_table(rows, "T1-row4: AWave vs AGrid")
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    if args.figure in ("phases", "all"):
+        rows = phase_timeline(uniform_disk(n=120, rho=24.0, seed=0), ell=2)
+        print_table(rows, "FIG1/FIG2: ASeparator phase timeline")
+        print()
+    if args.figure in ("explore", "all"):
+        rows = exploration_scaling(
+            shapes=((8, 8), (16, 8), (16, 16)), team_sizes=(1, 2, 4)
+        )
+        print_table(rows, "FIG4: exploration scaling (Lemma 1)")
+        print()
+    if args.figure in ("lowerbound", "all"):
+        rows = lower_bound_experiment(ells=(2, 3))
+        print_table(rows, "FIG5: Thm 2 lower-bound construction")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="freezetag",
+        description="Distributed Freeze Tag (PODC 2025) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_instance_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--family", default="uniform_disk")
+        p.add_argument("--n", type=int, default=50)
+        p.add_argument("--rho", type=float, default=12.0)
+        p.add_argument("--spacing", type=float, default=1.0)
+        p.add_argument("--k", type=int, default=4, help="cluster count")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--ell", type=int, default=None)
+
+    p_run = sub.add_parser("run", help="run one algorithm on an instance")
+    add_instance_args(p_run)
+    p_run.add_argument("--algorithm", choices=sorted(_ALGORITHMS), default="aseparator")
+    p_run.add_argument("--draw", action="store_true", help="ASCII wake map")
+    p_run.set_defaults(handler=_cmd_run)
+
+    p_params = sub.add_parser("params", help="compute instance parameters")
+    add_instance_args(p_params)
+    p_params.set_defaults(handler=_cmd_params)
+
+    p_t1 = sub.add_parser("table1", help="reproduce Table 1 experiments")
+    p_t1.add_argument(
+        "--experiment", choices=("rho", "ell", "energy", "agrid", "awave", "all"),
+        default="all",
+    )
+    p_t1.add_argument("--scale", choices=("small", "full"), default="small")
+    p_t1.add_argument("--ell", type=int, default=None)
+    p_t1.set_defaults(handler=_cmd_table1)
+
+    p_fig = sub.add_parser("figures", help="reproduce figure experiments")
+    p_fig.add_argument(
+        "--figure", choices=("phases", "explore", "lowerbound", "all"),
+        default="all",
+    )
+    p_fig.set_defaults(handler=_cmd_figures)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

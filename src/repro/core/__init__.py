@@ -1,0 +1,53 @@
+"""The paper's algorithms and building blocks.
+
+* building blocks: :mod:`explore` (Lemma 1), :mod:`wakeup` (Algorithm 1),
+  :mod:`dfsampling` (Lemma 5), :mod:`knowledge`;
+* algorithms: :mod:`aseparator` (Thm 1), :mod:`agrid` (Thm 4),
+  :mod:`awave` (Thm 5), :mod:`radius_estimation` (Section 5);
+* entry points: :mod:`runner` (``run_aseparator`` / ``run_agrid`` /
+  ``run_awave``).
+"""
+
+from .dfsampling import SamplingOutcome, dfsampling
+from .explore import (
+    SQRT2,
+    ExplorationReport,
+    exploration_stops,
+    exploration_time_bound,
+    explore_rect,
+    explore_rect_team,
+)
+from .knowledge import TeamKnowledge
+from .runner import AlgorithmRun, run_agrid, run_aseparator, run_awave, run_program
+from .spiral import SpiralFind, spiral_search, spiral_stops, spiral_time_bound
+from .wakeup import (
+    WakePlan,
+    execute_wake_plan,
+    plan_from_schedule,
+    propagation_program,
+)
+
+__all__ = [
+    "SQRT2",
+    "ExplorationReport",
+    "exploration_stops",
+    "exploration_time_bound",
+    "explore_rect",
+    "explore_rect_team",
+    "TeamKnowledge",
+    "SamplingOutcome",
+    "dfsampling",
+    "WakePlan",
+    "execute_wake_plan",
+    "plan_from_schedule",
+    "propagation_program",
+    "AlgorithmRun",
+    "run_program",
+    "run_aseparator",
+    "run_agrid",
+    "run_awave",
+    "SpiralFind",
+    "spiral_search",
+    "spiral_stops",
+    "spiral_time_bound",
+]

@@ -1,0 +1,261 @@
+"""``AWave`` — dFTP with ``Θ(ell^2 log ell)`` energy budget (Theorem 5).
+
+``AWave`` upgrades ``AGrid``'s wave in two ways (Section 8.2): cells have
+width ``R = 8 * ell^2 * log2(ell)`` (with ``ell <- max(ell, 4)``), and each
+cell is woken by an embedded ``ASeparator`` run instead of a brute-force
+exploration — cutting the per-cell time from ``Θ(R^2)`` to
+``Θ(R + ell^2 log ell)`` and hence the makespan to
+``O(xi_ell + ell^2 log(xi_ell / ell))``.
+
+Choreography per wave round ``r`` (global window arithmetic, as in
+:mod:`repro.core.agrid`):
+
+1. Every robot woken in round ``r-1`` gathers at the lower-left corner of
+   *its own* cell at ``t_r`` and looks around: if fewer than ``4*ell``
+   participants gathered, everyone parks (the wave dies here, as in the
+   paper); otherwise the minimum id becomes leader and absorbs the team.
+2. The team visits the 8 adjacent cells in CCW order, one per window.  At
+   window ``i`` it runs an embedded ``ASeparator`` scoped to the target
+   cell.  The run *consumes* the team: imported robots are handed back
+   through ``on_release`` continuations that regroup them at the next
+   window's corner (the minimum import id re-absorbs the others), while
+   robots woken by the run get an ``after`` continuation enrolling them as
+   round ``r+1`` participants of the cell they were woken in.
+3. After window 8 the imports park in place.
+
+Because wakes are scoped to the target cell and windows serialize all
+activity per cell, the *first* run on a cell finds it fully asleep and —
+by the separator-seed coverage argument of Lemma 5 — wakes it completely;
+later runs on the same cell are cheap no-ops.  Round 0 is a full
+``ASeparator`` (with its source-seeded Round 0) scoped to the source cell;
+the source then joins round 1 as an ordinary participant (a deviation that
+closes the boundary edge case where the source cell is otherwise empty —
+see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Generator
+
+from ..geometry import close_to
+from ..sim import Absorb, Annotate, Look, Move, Result, Wait, WaitUntil
+from ..sim.actions import Action, Program
+from ..sim.engine import ProcessView
+from ..sim.errors import ProtocolError
+from .agrid import CellGrid, Cell
+from .aseparator import SeparatorContext, aseparator_program, embedded_entry
+from .explore import SQRT2
+
+__all__ = [
+    "awave_cell_width",
+    "awave_window",
+    "awave_round_start",
+    "awave_window_start",
+    "awave_energy_budget",
+    "awave_program",
+]
+
+#: Tolerance for "standing exactly at the gather corner".
+_CORNER_TOL = 1e-6
+
+
+def effective_ell(ell: int) -> int:
+    """The paper's Round 0 clamp: ``ell <- max(ell, 4)``."""
+    return max(int(ell), 4)
+
+
+def awave_cell_width(ell: int) -> float:
+    """Cell width ``R = 8 * ell^2 * log2(ell)`` (with the clamp)."""
+    e = effective_ell(ell)
+    return 8.0 * e * e * math.log2(e)
+
+
+def embedded_duration_bound(R: float, ell: int) -> float:
+    """Upper bound on one embedded ``ASeparator`` run in a width-``R`` cell.
+
+    Mirrors Lemma 8: a geometric sum of ``O(R)`` per-round travel plus
+    ``O(ell^2)`` sampling work over ``O(log(R/ell))`` rounds, with the
+    round-0 single-robot harmonic sampling charged ``O(ell^2 log ell)``.
+    Constants are calibrated for *this* implementation with ample margin;
+    the programs assert on every deadline, so miscalibration fails loudly.
+    ``Θ(R + ell^2 log ell)``.
+    """
+    e = effective_ell(ell)
+    rounds = math.log2(max(4.0, R / e)) + 2.0
+    return 16.0 * R + 48.0 * e * e * (rounds + math.log2(4.0 * e)) + 240.0
+
+
+def awave_window(ell: int) -> float:
+    """One wave window: embedded run + inter-corner travel + margins.
+
+    ``Θ(ell^2 log ell)`` — the quantity the makespan bound multiplies by
+    the number of wave rounds.
+    """
+    R = awave_cell_width(ell)
+    return embedded_duration_bound(R, ell) + 4.0 * SQRT2 * R + 16.0
+
+
+def awave_round_start(ell: int, r: int) -> float:
+    """Gather time of wave round ``r >= 1`` (round 0 fits in one window)."""
+    w = awave_window(ell)
+    return w + (r - 1) * 9.0 * w
+
+
+def awave_window_start(ell: int, r: int, i: int) -> float:
+    """Start of window ``i`` (1..8) of wave round ``r``."""
+    return awave_round_start(ell, r) + i * awave_window(ell)
+
+
+def awave_energy_budget(ell: int) -> float:
+    """Per-robot travel bound.
+
+    A robot is active for at most its waking round's tail, one full round
+    of participation, and the release move — under unit speed its travel
+    is at most its active time, i.e. ``<= 27` windows.  ``Θ(ell^2 log ell)``.
+    """
+    return 27.0 * awave_window(ell)
+
+
+# ---------------------------------------------------------------------------
+# programs
+# ---------------------------------------------------------------------------
+
+def awave_program(ell: int) -> Program:
+    """Source program for ``AWave`` (only ``ell`` is required)."""
+    if ell < 1:
+        raise ValueError("ell must be a positive integer")
+    e = effective_ell(ell)
+
+    def program(proc: ProcessView) -> Generator[Action, Result, None]:
+        R = awave_cell_width(ell)
+        grid = CellGrid(source=proc.position, width=R)
+        cell0: Cell = (0, 0)
+        yield Annotate("awave:round0", {"cell": cell0, "R": R})
+        inner = aseparator_program(
+            ell=e,
+            rho=R,  # unused when root_square is given
+            after=_participant_factory(grid, e, 1),
+            key_base=("awave", 0),
+            root_square=grid.rect(cell0),
+            owns=grid.owns(cell0),
+        )
+        # The run's dissolution routes every robot of the cell — including
+        # the source — through the participant continuation for round 1.
+        yield from inner(proc)
+
+    return program
+
+
+def _participant_factory(grid: CellGrid, e: int, r: int):
+    """``after`` continuation: a robot woken in round ``r-1`` becomes a
+    round-``r`` participant of the cell it stands in."""
+
+    def factory(rid: int) -> Program:
+        def program(proc: ProcessView) -> Generator[Action, Result, None]:
+            yield from _participate(proc, grid, e, rid, r)
+
+        return program
+
+    return factory
+
+
+def _participate(
+    proc: ProcessView,
+    grid: CellGrid,
+    e: int,
+    rid: int,
+    r: int,
+) -> Generator[Action, Result, None]:
+    """Gather, elect, and (as leader) drive the window chain."""
+    cell = grid.cell_of(proc.position)
+    corner = grid.rect(cell).lower_left
+    yield Move(corner)
+    gather = awave_round_start(e, r)
+    _assert_on_time(proc, gather, f"awave round {r} gather")
+    yield WaitUntil(gather)
+    snap = (yield Look()).value
+    team = sorted(
+        v.robot_id
+        for v in snap.robots
+        if v.awake and close_to(v.position, corner, _CORNER_TOL)
+    )
+    if len(team) < 4 * e:
+        yield Annotate("awave:wave-dies", {"cell": cell, "round": r, "team": len(team)})
+        return  # park in place: the wave does not proceed from this cell
+    if rid != team[0]:
+        return  # follower: park; the leader absorbs this robot next tick
+    yield Annotate("awave:team", {"cell": cell, "round": r, "team": len(team)})
+    yield Wait(0.0)
+    yield Absorb([x for x in team if x != rid])
+    yield from _window_step(proc, grid, e, r, cell, 1, tuple(team))
+
+
+def _window_step(
+    proc: ProcessView,
+    grid: CellGrid,
+    e: int,
+    r: int,
+    cell: Cell,
+    i: int,
+    imports: tuple[int, ...],
+) -> Generator[Action, Result, None]:
+    """Window ``i``: move the team to neighbor ``i`` and run ``ASeparator``
+    there.  The embedded run consumes the process; imports regroup through
+    their release continuations."""
+    target = grid.neighbor(cell, i)
+    yield Move(grid.rect(target).lower_left)
+    start = awave_window_start(e, r, i)
+    _assert_on_time(proc, start, f"awave round {r} window {i}")
+    yield WaitUntil(start)
+    yield Annotate("awave:window", {"round": r, "cell": target, "i": i})
+    ctx = SeparatorContext(
+        ell=e,
+        key_base=("awave", r, cell, i),
+        imports=frozenset(imports),
+        after=_participant_factory(grid, e, r + 1),
+        on_release=_regroup_factory(grid, e, r, cell, i, imports),
+    )
+    yield from embedded_entry(ctx, grid.rect(target), grid.owns(target))(proc)
+    # Whatever robots this process still owns were already routed through
+    # their continuations inline; nothing more to do.
+
+
+def _regroup_factory(
+    grid: CellGrid,
+    e: int,
+    r: int,
+    cell: Cell,
+    i: int,
+    imports: tuple[int, ...],
+):
+    """``on_release`` continuation for imports of window ``i``: walk to the
+    next window's corner; the minimum import id re-absorbs the team."""
+
+    def factory(rid: int) -> Program | None:
+        if i >= 8:
+            return None  # tour over: park in place
+
+        def program(proc: ProcessView) -> Generator[Action, Result, None]:
+            next_target = grid.neighbor(cell, i + 1)
+            yield Move(grid.rect(next_target).lower_left)
+            if rid != min(imports):
+                return  # idle at the corner until absorbed
+            start = awave_window_start(e, r, i + 1)
+            _assert_on_time(proc, start, f"awave regroup round {r} window {i + 1}")
+            yield WaitUntil(start)
+            yield Wait(0.0)
+            yield Absorb([x for x in imports if x != rid])
+            yield from _window_step(proc, grid, e, r, cell, i + 1, imports)
+
+        return program
+
+    return factory
+
+
+def _assert_on_time(proc: ProcessView, deadline: float, label: str) -> None:
+    if proc.time > deadline + 1e-6:
+        raise ProtocolError(
+            f"{label}: arrived at t={proc.time:.3f} after deadline "
+            f"{deadline:.3f} — window calibration violated"
+        )

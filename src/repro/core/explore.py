@@ -1,0 +1,184 @@
+"""The ``Explore`` procedure (Lemma 1, Section 6.1).
+
+A robot with distance-1 visibility explores a rectangle by zig-zagging rows
+spaced ``sqrt(2)`` apart, taking a snapshot every ``sqrt(2)`` of travel: a
+radius-1 disk contains the axis-parallel square of width ``sqrt(2)``
+centered at the snapshot point, so the snapshot lattice covers the strip.
+A team of ``k`` robots splits the rectangle into ``k`` horizontal strips
+(Figure 4b), explores them in parallel, and regroups at a meeting point to
+share findings — time ``O(w*h/k + w + h)``.
+
+Implemented as engine program fragments (``yield from``-able generators):
+
+* :func:`exploration_stops` — the snapshot lattice for one rectangle;
+* :func:`explore_rect` — single-robot (or whole-process) exploration;
+* :func:`explore_rect_team` — the fork / explore / barrier / absorb cycle.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator
+
+from ..geometry import Point, Rect, distance
+from ..sim import Absorb, Barrier, Fork, Look, Move, Result, Wait
+from ..sim.actions import Action
+from ..sim.engine import ProcessView
+
+__all__ = [
+    "SQRT2",
+    "ExplorationReport",
+    "exploration_stops",
+    "exploration_time_bound",
+    "explore_rect",
+    "explore_rect_team",
+]
+
+SQRT2 = math.sqrt(2.0)
+
+
+@dataclass
+class ExplorationReport:
+    """Robots observed while exploring: id -> observed position."""
+
+    sleeping: Dict[int, Point] = field(default_factory=dict)
+    awake: Dict[int, Point] = field(default_factory=dict)
+    travelled: float = 0.0
+    snapshots: int = 0
+
+    def merge(self, other: "ExplorationReport") -> None:
+        self.sleeping.update(other.sleeping)
+        # A robot seen awake anywhere overrides a sleeping sighting: wakes
+        # are irreversible, so the awake observation is the newer fact.
+        self.awake.update(other.awake)
+        for rid in other.awake:
+            self.sleeping.pop(rid, None)
+        self.travelled += other.travelled
+        self.snapshots += other.snapshots
+
+
+def _axis_stops(lo: float, hi: float) -> list[float]:
+    """Snapshot coordinates covering the closed interval ``[lo, hi]``.
+
+    Stops are spaced at most ``sqrt(2)`` apart with the first/last at most
+    ``sqrt(2)/2`` from the ends, so every coordinate of the interval is
+    within ``sqrt(2)/2`` of a stop.
+    """
+    span = hi - lo
+    if span <= SQRT2:
+        return [(lo + hi) / 2.0]
+    count = math.ceil(span / SQRT2)
+    # ``count`` intervals of width span/count <= sqrt(2); stops at interval
+    # midpoints.
+    step = span / count
+    return [lo + (i + 0.5) * step for i in range(count)]
+
+
+def exploration_stops(rect: Rect) -> list[Point]:
+    """Boustrophedon snapshot lattice covering ``rect``.
+
+    Every point of ``rect`` lies within Chebyshev distance ``sqrt(2)/2`` of
+    some stop, hence within Euclidean distance 1 — the Lemma 1 coverage
+    invariant.  Rows alternate direction so consecutive stops are adjacent.
+    """
+    ys = _axis_stops(rect.ymin, rect.ymax)
+    xs = _axis_stops(rect.xmin, rect.xmax)
+    stops: list[Point] = []
+    for j, y in enumerate(ys):
+        row = xs if j % 2 == 0 else list(reversed(xs))
+        stops.extend(Point(x, y) for x in row)
+    return stops
+
+
+def exploration_time_bound(width: float, height: float, k: int = 1) -> float:
+    """Safe upper bound on the travel of :func:`explore_rect` over a
+    ``width x height`` rectangle split across ``k`` robots.
+
+    Accounts for the strip path (``<= w*h/(k*sqrt(2)) + w + h`` per strip
+    plus slack), the entry move and the exit move.  Used by the fixed
+    window arithmetic of ``AGrid``/``AWave``; the engine asserts the bound
+    at runtime, so a violation fails loudly in tests.
+    """
+    w, h = width, height
+    strip_h = h / k
+    path = (w + SQRT2) * (strip_h / SQRT2 + 1.0) + strip_h
+    entry_exit = 2.0 * (w + h) + 2.0 * SQRT2
+    return path + entry_exit
+
+
+def explore_rect(
+    proc: ProcessView,
+    rect: Rect,
+    arrive_at: Point | None = None,
+) -> Generator[Action, Result, ExplorationReport]:
+    """Explore ``rect`` with the whole process moving as one unit.
+
+    Returns an :class:`ExplorationReport` of everything seen.  When
+    ``arrive_at`` is given, the process finishes there.
+    """
+    report = ExplorationReport()
+    start = proc.position
+    for stop in exploration_stops(rect):
+        yield Move(stop)
+        report.travelled += distance(start, stop)
+        start = stop
+        snap = (yield Look()).value
+        report.snapshots += 1
+        for view in snap.robots:
+            if view.awake:
+                report.awake[view.robot_id] = view.position
+                report.sleeping.pop(view.robot_id, None)
+            elif view.robot_id not in report.awake:
+                report.sleeping[view.robot_id] = view.position
+    if arrive_at is not None:
+        yield Move(arrive_at)
+        report.travelled += distance(start, arrive_at)
+    return report
+
+
+def explore_rect_team(
+    proc: ProcessView,
+    rect: Rect,
+    meet_at: Point,
+    barrier_key: Any,
+) -> Generator[Action, Result, ExplorationReport]:
+    """Team exploration: split rows, explore in parallel, regroup, merge.
+
+    The calling process keeps the bottom strip and forks one process per
+    additional robot; everyone regroups at ``meet_at`` through a barrier
+    keyed by ``barrier_key`` (which must be globally unique per call) and
+    the caller absorbs its teammates back.  Returns the merged report.
+    """
+    k = proc.team_size
+    if k == 1:
+        report = yield from explore_rect(proc, rect, arrive_at=meet_at)
+        return report
+
+    strips = rect.split_rows(k)
+    my_ids = list(proc.robot_ids)
+    parties = k
+
+    def strip_program(strip: Rect):
+        def program(child: ProcessView):
+            child_report = yield from explore_rect(child, strip, arrive_at=meet_at)
+            yield Barrier(barrier_key, parties, payload=child_report)
+            # Child ends here; its robot becomes idle at meet_at and is
+            # absorbed by the caller.
+
+        return program
+
+    assignments = [
+        ((my_ids[i],), strip_program(strips[i])) for i in range(1, k)
+    ]
+    yield Fork(assignments)
+    my_report = yield from explore_rect(proc, strips[0], arrive_at=meet_at)
+    payloads = (yield Barrier(barrier_key, parties, payload=my_report)).value
+    # Let the other parties' processes finish (they return right after the
+    # barrier); the Wait(0) resume is ordered after their release events.
+    yield Wait(0.0)
+    yield Absorb(my_ids[1:])
+    merged = ExplorationReport()
+    for child_report in payloads:
+        merged.merge(child_report)
+    return merged

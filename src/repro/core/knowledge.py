@@ -1,0 +1,88 @@
+"""Team knowledge — the variables robots carry and exchange.
+
+Awake robots store what they have seen (initial positions of sleeping
+robots) and what the algorithm has done (which robots were recruited and
+where their homes are).  Knowledge moves strictly along the model's
+channels: it is mutated by the owning process, copied into barrier payloads
+and wake continuations, and merged at rendezvous ("share their variables",
+Section 1.2).  Processes must never share a live ``TeamKnowledge`` object —
+:meth:`TeamKnowledge.copy` at every fork/wake keeps the information flow
+honest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..geometry import Point
+
+__all__ = ["TeamKnowledge"]
+
+
+@dataclass
+class TeamKnowledge:
+    """What one team currently knows.
+
+    ``sleeping``
+        robot id -> initial position, for robots seen asleep and not (yet)
+        known to be woken by *this* team's lineage.
+    ``members``
+        robot id -> home, for robots known to be awake: recruited by this
+        lineage or reported through merges.
+    """
+
+    sleeping: Dict[int, Point] = field(default_factory=dict)
+    members: Dict[int, Point] = field(default_factory=dict)
+
+    # -- updates ----------------------------------------------------------
+    def saw_sleeping(self, robot_id: int, position: Point) -> None:
+        """Record a robot observed asleep at ``position``."""
+        if robot_id not in self.members:
+            self.sleeping[robot_id] = position
+
+    def saw_awake_at_home(self, robot_id: int, position: Point) -> None:
+        """Record a robot observed awake.
+
+        The observed position of an awake robot is its *current* position;
+        it is only a disk-graph node when the robot is parked at its home.
+        Callers record it as a member home when the algorithm's parking
+        discipline guarantees that (AWave participants return home).
+        """
+        self.sleeping.pop(robot_id, None)
+        self.members[robot_id] = position
+
+    def recruited(self, robot_id: int, home: Point) -> None:
+        """Record that this team woke ``robot_id`` at its home."""
+        self.sleeping.pop(robot_id, None)
+        self.members[robot_id] = home
+
+    # -- composition -------------------------------------------------------
+    def copy(self) -> "TeamKnowledge":
+        return TeamKnowledge(sleeping=dict(self.sleeping), members=dict(self.members))
+
+    def merge(self, other: "TeamKnowledge") -> None:
+        """Union with another team's knowledge (membership wins)."""
+        self.members.update(other.members)
+        for rid, pos in other.sleeping.items():
+            if rid not in self.members:
+                self.sleeping.setdefault(rid, pos)
+        # A robot reported as a member anywhere is not sleeping.
+        for rid in list(self.sleeping):
+            if rid in self.members:
+                del self.sleeping[rid]
+
+    # -- queries ---------------------------------------------------------
+    def sleeping_in(self, owns) -> dict[int, Point]:
+        """Known-sleeping robots whose home satisfies the ``owns`` predicate."""
+        return {rid: p for rid, p in self.sleeping.items() if owns(p)}
+
+    def members_in(self, owns) -> dict[int, Point]:
+        """Known members whose home satisfies the ``owns`` predicate."""
+        return {rid: p for rid, p in self.members.items() if owns(p)}
+
+    def known_nodes(self) -> dict[int, Point]:
+        """All known initial positions (sleeping and member homes)."""
+        nodes = dict(self.sleeping)
+        nodes.update(self.members)
+        return nodes

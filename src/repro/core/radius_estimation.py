@@ -1,0 +1,110 @@
+"""Constant-approximation of ``rho_star`` from ``ell`` alone (Section 5).
+
+``ASeparator`` is the only algorithm needing an upper bound ``rho`` on
+``rho_star``; the paper sketches how to compute a 3-approximation knowing
+only ``ell``:
+
+1. recruit a team of up to ``4*ell`` robots with ``DFSampling`` — time
+   ``O(ell^2 log ell)``;
+2. explore the ``ell``-separators of squares of widths ``ell * 2^i`` for
+   ``i = 1, 2, ...`` until a separator comes up empty; return
+   ``rho_hat = ell * 2^k``.
+
+By Corollary 2 an empty separator at width ``W`` means every robot lies in
+the inner square (the source is inside, and the swarm is ``ell``-connected
+to it), so ``rho_star <= W/sqrt(2)``; the previous separator being
+non-empty lower-bounds ``rho_star`` — a constant-factor sandwich.  The
+doubling sweep costs ``O(ell^2 log ell + rho)``, the same order as
+``ASeparator`` itself.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Generator
+
+from ..geometry import separator_of, square_at_center
+from ..sim import Annotate, Move, Result
+from ..sim.actions import Action, Program
+from ..sim.engine import ProcessView
+from .dfsampling import dfsampling
+from .explore import ExplorationReport, explore_rect_team
+from .knowledge import TeamKnowledge
+
+__all__ = ["RadiusEstimate", "radius_estimation_program"]
+
+#: The sweep stops once no robot shows up in a separator; this caps the
+#: doubling in case of mis-use on disconnected instances.
+_MAX_DOUBLINGS = 48
+
+
+@dataclass
+class RadiusEstimate:
+    """Mutable sink filled by the estimation program."""
+
+    rho_hat: float = 0.0
+    doublings: int = 0
+    team_size: int = 0
+    finished: bool = False
+
+    def upper_bound(self) -> float:
+        """Certified upper bound on ``rho_star``: the empty separator at
+        width ``rho_hat`` confines the swarm to the inner square."""
+        return self.rho_hat / math.sqrt(2.0)
+
+
+def radius_estimation_program(ell: int, sink: RadiusEstimate) -> Program:
+    """Source program computing the Section 5 estimate into ``sink``."""
+    if ell < 1:
+        raise ValueError("ell must be a positive integer")
+
+    def program(proc: ProcessView) -> Generator[Action, Result, None]:
+        home = proc.position
+        source_rid = proc.robot_ids[0]
+        knowledge = TeamKnowledge(members={source_rid: home})
+        # Step 1: recruit a team (unbounded region: seeds sort trivially).
+        big = square_at_center(home, 2.0 ** 40)
+        yield Annotate("radius:recruit")
+        yield from dfsampling(
+            proc,
+            region=big,
+            owns=lambda p: True,
+            seeds=[home],
+            ell=ell,
+            recruit_cap=4 * ell - 1,
+            knowledge=knowledge,
+            key_base=("radius", "dfs"),
+        )
+        sink.team_size = proc.team_size
+        # Step 2: doubling separator sweep.
+        for i in range(1, _MAX_DOUBLINGS + 1):
+            width = ell * (2.0 ** i)
+            square = square_at_center(home, width)
+            sep = separator_of(square, ell)
+            yield Annotate("radius:sweep", {"width": width})
+            report = ExplorationReport()
+            for j, rect in enumerate(sep.rectangles()):
+                part = yield from explore_rect_team(
+                    proc, rect, meet_at=rect.lower_left,
+                    barrier_key=("radius", "sep", i, j),
+                )
+                report.merge(part)
+            # Occupancy counts robots of P only — the source's own home
+            # does not witness swarm extent.
+            occupied = any(
+                sep.contains(pos) for pos in report.sleeping.values()
+            ) or any(
+                sep.contains(home_)
+                for rid, home_ in knowledge.members.items()
+                if rid != source_rid
+            )
+            sink.doublings = i
+            if not occupied:
+                sink.rho_hat = width
+                sink.finished = True
+                yield Move(home)
+                return
+        sink.finished = False
+
+    return program

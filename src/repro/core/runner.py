@@ -1,0 +1,135 @@
+"""Top-level entry points: run an algorithm on an instance.
+
+These helpers wrap the full pipeline — build a world, spawn the source
+process with the algorithm's program, run the engine to quiescence — and
+return an :class:`AlgorithmRun` bundling the simulation result with the
+inputs, so metrics and benchmarks have one uniform record type.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from ..instances import Instance
+from ..sim import SOURCE_ID, Engine, SimulationResult, Trace
+from ..sim.actions import Program
+
+__all__ = ["AlgorithmRun", "run_program", "run_aseparator", "run_agrid", "run_awave"]
+
+
+@dataclass(frozen=True)
+class AlgorithmRun:
+    """One algorithm execution with its inputs and outcome."""
+
+    algorithm: str
+    instance: Instance
+    ell: int
+    rho: float
+    result: SimulationResult
+
+    @property
+    def makespan(self) -> float:
+        return self.result.makespan
+
+    @property
+    def woke_all(self) -> bool:
+        return self.result.woke_all
+
+    @property
+    def max_energy(self) -> float:
+        return self.result.max_energy
+
+    def summary(self) -> str:
+        return (
+            f"{self.algorithm} on {self.instance.name}: "
+            f"ell={self.ell} rho={self.rho:g} -> {self.result.summary()}"
+        )
+
+
+def run_program(
+    instance: Instance,
+    program: Program,
+    algorithm: str,
+    ell: int,
+    rho: float,
+    budget: float = math.inf,
+    trace: Trace | None = None,
+) -> AlgorithmRun:
+    """Run ``program`` as the source process on a fresh world."""
+    world = instance.world(budget=budget)
+    engine = Engine(world, trace=trace)
+    engine.spawn(program, robot_ids=[SOURCE_ID])
+    result = engine.run()
+    return AlgorithmRun(
+        algorithm=algorithm,
+        instance=instance,
+        ell=ell,
+        rho=rho,
+        result=result,
+    )
+
+
+def run_aseparator(
+    instance: Instance,
+    ell: int | None = None,
+    rho: float | None = None,
+    trace: Trace | None = None,
+) -> AlgorithmRun:
+    """Run ``ASeparator`` (Theorem 1) with inputs ``(ell, rho)``.
+
+    Defaults follow the paper's convention: the tightest admissible
+    integral upper bounds on the instance's true parameters.
+    """
+    from .aseparator import aseparator_program
+
+    d_ell, d_rho = instance.default_inputs()
+    ell = d_ell if ell is None else ell
+    rho = d_rho if rho is None else rho
+    program = aseparator_program(ell=ell, rho=float(rho))
+    return run_program(
+        instance, program, algorithm="ASeparator", ell=ell, rho=float(rho),
+        trace=trace,
+    )
+
+
+def run_agrid(
+    instance: Instance,
+    ell: int | None = None,
+    trace: Trace | None = None,
+    enforce_budget: bool = False,
+) -> AlgorithmRun:
+    """Run ``AGrid`` (Theorem 4); only ``ell`` is needed (Section 5).
+
+    With ``enforce_budget`` the engine hard-fails any robot exceeding the
+    theorem's ``O(ell^2)`` energy budget (with this implementation's
+    constant, :func:`repro.core.agrid.agrid_energy_budget`).
+    """
+    from .agrid import agrid_energy_budget, agrid_program
+
+    d_ell, d_rho = instance.default_inputs()
+    ell = d_ell if ell is None else ell
+    budget = agrid_energy_budget(ell) if enforce_budget else math.inf
+    program = agrid_program(ell=ell)
+    return run_program(
+        instance, program, algorithm="AGrid", ell=ell, rho=float(d_rho),
+        budget=budget, trace=trace,
+    )
+
+
+def run_awave(
+    instance: Instance,
+    ell: int | None = None,
+    trace: Trace | None = None,
+    enforce_budget: bool = False,
+) -> AlgorithmRun:
+    """Run ``AWave`` (Theorem 5); only ``ell`` is needed."""
+    from .awave import awave_energy_budget, awave_program
+
+    d_ell, d_rho = instance.default_inputs()
+    ell = d_ell if ell is None else ell
+    budget = awave_energy_budget(ell) if enforce_budget else math.inf
+    program = awave_program(ell=ell)
+    return run_program(
+        instance, program, algorithm="AWave", ell=ell, rho=float(d_rho),
+        budget=budget, trace=trace,
+    )

@@ -1,0 +1,138 @@
+"""Spiral search — discover the nearest robot in ``O(D^2)`` (Section 1).
+
+The paper's introduction observes that a lone robot can find its nearest
+neighbor at unknown distance ``D`` in time ``O(D^2)`` "by following the
+trajectory of a spiral".  This module implements that primitive: a square
+spiral whose rings are ``sqrt(2)`` apart with snapshots every ``sqrt(2)``
+of travel, so after walking the first ``k`` rings every point within
+Chebyshev radius ``~k*sqrt(2)/2`` has been seen.
+
+The primitive doubles as the one-robot fallback of the treasure-hunt /
+cow-path literature the paper cites ([FHG+16], [BDPP20]) and is used by
+tests as an independent discovery baseline against ``DFSampling``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Generator, Iterator
+
+from ..geometry import Point, distance
+from ..sim import Look, Move, Result
+from ..sim.actions import Action, RobotView
+from ..sim.engine import ProcessView
+
+__all__ = ["spiral_stops", "spiral_search", "spiral_time_bound", "SpiralFind"]
+
+_STEP = math.sqrt(2.0)
+
+
+def spiral_stops(center: Point, max_radius: float) -> Iterator[Point]:
+    """Snapshot stops along a square spiral around ``center``.
+
+    Rings are axis-parallel squares of half-width ``k * sqrt(2)`` for
+    ``k = 1, 2, ...``; stops are spaced at most ``sqrt(2)`` along each
+    ring, so the swept annulus between consecutive rings is fully covered
+    by radius-1 snapshots.  Stops are generated until the ring half-width
+    exceeds ``max_radius``.
+    """
+    cx, cy = center
+    k = 1
+    while True:
+        half = k * _STEP
+        if half - _STEP > max_radius:
+            return
+        # Walk the ring counter-clockwise from the east edge midpoint.
+        corners = [
+            Point(cx + half, cy - half),
+            Point(cx + half, cy + half),
+            Point(cx - half, cy + half),
+            Point(cx - half, cy - half),
+            Point(cx + half, cy - half),
+        ]
+        start = Point(cx + half, cy)
+        yield start
+        cursor = start
+        path = [Point(cx + half, cy + half), *corners[2:]]
+        for target in path:
+            seg = distance(cursor, target)
+            steps = max(1, math.ceil(seg / _STEP))
+            for i in range(1, steps + 1):
+                t = i / steps
+                yield Point(
+                    cursor[0] + (target[0] - cursor[0]) * t,
+                    cursor[1] + (target[1] - cursor[1]) * t,
+                )
+            cursor = target
+        # Close the ring back at the east midpoint before stepping out.
+        seg = distance(cursor, start)
+        steps = max(1, math.ceil(seg / _STEP))
+        for i in range(1, steps + 1):
+            t = i / steps
+            yield Point(
+                cursor[0] + (start[0] - cursor[0]) * t,
+                cursor[1] + (start[1] - cursor[1]) * t,
+            )
+        k += 1
+
+
+def spiral_time_bound(found_distance: float) -> float:
+    """Travel bound for finding a robot at distance ``D``: ``O(D^2)``.
+
+    Ring ``k`` has perimeter ``8*k*sqrt(2)``; summing rings until the
+    target's ring ``k* <= D/sqrt(2) + 2`` gives ``4*sqrt(2)*k*(k*+1)``
+    plus inter-ring hops — bounded by ``8*(D + 3)^2``.
+    """
+    return 8.0 * (found_distance + 3.0) ** 2
+
+
+@dataclass
+class SpiralFind:
+    """Result of a spiral search."""
+
+    view: RobotView | None       # the first sleeping robot seen (or None)
+    travelled: float
+    snapshots: int
+
+    @property
+    def found(self) -> bool:
+        return self.view is not None
+
+
+def spiral_search(
+    proc: ProcessView,
+    max_radius: float,
+) -> Generator[Action, Result, SpiralFind]:
+    """Walk the spiral until a sleeping robot is seen (or the radius cap).
+
+    Returns the first sleeping robot observed; the process ends at the
+    stop where the sighting happened (within distance 1 of the robot).
+    The initial snapshot covers the unit disk before any movement.
+    """
+    origin = proc.position
+    travelled = 0.0
+    snapshots = 0
+
+    snap = (yield Look()).value
+    snapshots += 1
+    sleeping = snap.sleeping()
+    if sleeping:
+        return SpiralFind(view=sleeping[0], travelled=0.0, snapshots=snapshots)
+
+    cursor = origin
+    for stop in spiral_stops(origin, max_radius):
+        yield Move(stop)
+        travelled += distance(cursor, stop)
+        cursor = stop
+        snap = (yield Look()).value
+        snapshots += 1
+        sleeping = snap.sleeping()
+        if sleeping:
+            nearest = min(
+                sleeping, key=lambda v: distance(v.position, cursor)
+            )
+            return SpiralFind(
+                view=nearest, travelled=travelled, snapshots=snapshots
+            )
+    return SpiralFind(view=None, travelled=travelled, snapshots=snapshots)

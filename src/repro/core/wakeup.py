@@ -1,0 +1,98 @@
+"""Distributed realization of a wake-up tree (Algorithm 1, Section 6.2).
+
+A centralized solver hands us a :class:`~repro.centralized.WakeupSchedule`
+over *known* sleeping positions; this module executes it in the simulator.
+Following Algorithm 1's split semantics, each waker carries an ordered list
+of targets: it moves to the first target, wakes it and hands over that
+target's own list (the "left-hand sub-tree"), then continues with the rest
+of its list (the "right-hand sub-tree").
+
+Every woken robot can be given an ``after`` continuation — the program it
+runs once its subtree is exhausted.  ``AGrid``/``AWave`` use it to enroll
+freshly-woken robots into the next wave round; plain ``ASeparator``
+terminations leave it ``None`` (robot stops, parked in place).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator, Mapping, Sequence
+
+from ..centralized import ROOT, WakeupSchedule
+from ..geometry import Point
+from ..sim import Move, Result, Wake
+from ..sim.actions import Action, Program
+from ..sim.engine import ProcessView
+
+__all__ = ["WakePlan", "plan_from_schedule", "execute_wake_plan", "propagation_program"]
+
+#: Ordered wake lists keyed by simulator robot id; ``targets[rid]`` is the
+#: sequence of robot ids that ``rid`` personally wakes, in order.
+WakePlan = Dict[int, tuple[int, ...]]
+
+#: Optional per-robot continuation factory: given the woken robot's id,
+#: return the program it runs after finishing its subtree (or ``None``).
+AfterFactory = Callable[[int], Program | None]
+
+
+def plan_from_schedule(
+    schedule: WakeupSchedule,
+    target_ids: Sequence[int],
+    root_id: int,
+) -> tuple[WakePlan, dict[int, Point]]:
+    """Translate a schedule over indices into robot-id terms.
+
+    ``target_ids[i]`` is the simulator id of the robot at
+    ``schedule.positions[i]``; ``root_id`` is the robot executing the
+    ``ROOT`` list.  Returns the plan and the position map for all targets.
+    """
+    def rid(index: int) -> int:
+        return root_id if index == ROOT else target_ids[index]
+
+    plan: WakePlan = {}
+    for waker, targets in schedule.orders.items():
+        plan[rid(waker)] = tuple(target_ids[t] for t in targets)
+    positions = {
+        target_ids[i]: schedule.positions[i] for i in range(len(target_ids))
+    }
+    return plan, positions
+
+
+def execute_wake_plan(
+    proc: ProcessView,
+    plan: WakePlan,
+    positions: Mapping[int, Point],
+    my_id: int,
+    after: AfterFactory | None = None,
+) -> Generator[Action, Result, None]:
+    """Run robot ``my_id``'s share of ``plan`` inside an existing process.
+
+    The process moves to each of its targets in order; each woken robot is
+    spun off as a new process running its own share (then its ``after``
+    continuation).  The caller's generator resumes control when the list is
+    exhausted — the caller decides what the waker does next.
+
+    The executing process should contain only the waker robot: the whole
+    process moves, so teammates would be dragged along (callers park
+    teammates first — see ``ASeparator``'s termination phase).
+    """
+    for target in plan.get(my_id, ()):
+        yield Move(positions[target])
+        yield Wake(target, program=propagation_program(plan, positions, target, after))
+
+
+def propagation_program(
+    plan: WakePlan,
+    positions: Mapping[int, Point],
+    robot_id: int,
+    after: AfterFactory | None = None,
+) -> Program:
+    """Program for a robot woken mid-tree: finish the subtree, then
+    ``after(robot_id)`` (if any), then stop."""
+
+    def program(proc: ProcessView) -> Generator[Action, Result, None]:
+        yield from execute_wake_plan(proc, plan, positions, robot_id, after)
+        continuation = after(robot_id) if after is not None else None
+        if continuation is not None:
+            yield from continuation(proc)
+
+    return program

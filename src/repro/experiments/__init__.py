@@ -1,0 +1,37 @@
+"""Experiment harness: every table and figure of the paper as a function."""
+
+from .ablations import distribution_gap, online_competitiveness, solver_choice
+from .figures import (
+    exploration_scaling,
+    lower_bound_experiment,
+    phase_durations_by_label,
+    phase_timeline,
+)
+from .io import format_table, print_table, write_csv
+from .table1 import (
+    agrid_xi_sweep,
+    aseparator_ell_sweep,
+    aseparator_rho_sweep,
+    awave_vs_agrid,
+    energy_infeasibility_sweep,
+    fit_aseparator_shape,
+)
+
+__all__ = [
+    "distribution_gap",
+    "online_competitiveness",
+    "solver_choice",
+    "exploration_scaling",
+    "lower_bound_experiment",
+    "phase_durations_by_label",
+    "phase_timeline",
+    "format_table",
+    "print_table",
+    "write_csv",
+    "agrid_xi_sweep",
+    "aseparator_ell_sweep",
+    "aseparator_rho_sweep",
+    "awave_vs_agrid",
+    "energy_infeasibility_sweep",
+    "fit_aseparator_shape",
+]

@@ -1,0 +1,122 @@
+"""Ablations for the design choices DESIGN.md calls out.
+
+* **Distribution gap** — how much makespan does *not knowing* positions
+  cost?  Same instances solved by (i) the clairvoyant centralized quadtree
+  schedule, (ii) the distributed ``ASeparator``; the gap is the price of
+  the discovery problem the paper is about (its ``ell^2 log`` term).
+* **Solver choice** — ``ASeparator`` with the quadtree (certified ``O(R)``)
+  vs greedy (no guarantee, better constants) centralized terminations.
+* **Online competitiveness** — the [BW20]-adjacent online extension:
+  measured competitive ratios of the event-driven online dispatcher.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..centralized import (
+    OnlineRequest,
+    competitive_ratio,
+    greedy_schedule,
+    quadtree_schedule,
+)
+from ..core.aseparator import aseparator_program
+from ..core.runner import run_aseparator, run_program
+from ..geometry import Point
+from ..instances import uniform_disk
+
+__all__ = [
+    "distribution_gap",
+    "solver_choice",
+    "online_competitiveness",
+]
+
+
+def distribution_gap(
+    configs: Sequence[tuple[int, float, int]] = ((40, 8.0, 1), (120, 14.0, 2)),
+) -> list[dict[str, Any]]:
+    """Distributed vs clairvoyant makespan on the same instances."""
+    rows: list[dict[str, Any]] = []
+    for n, rho, seed in configs:
+        inst = uniform_disk(n=n, rho=rho, seed=seed)
+        clairvoyant = quadtree_schedule(inst.source, list(inst.positions))
+        distributed = run_aseparator(inst)
+        rows.append(
+            {
+                "n": n,
+                "rho_star": inst.rho_star,
+                "ell": distributed.ell,
+                "clairvoyant": clairvoyant.makespan(),
+                "distributed": distributed.makespan,
+                "gap": distributed.makespan / clairvoyant.makespan(),
+                "woke_all": distributed.woke_all,
+            }
+        )
+    return rows
+
+
+def solver_choice(
+    configs: Sequence[tuple[int, float, int]] = ((60, 10.0, 3), (150, 16.0, 4)),
+) -> list[dict[str, Any]]:
+    """``ASeparator`` terminations with quadtree vs greedy schedules."""
+    rows: list[dict[str, Any]] = []
+    for n, rho, seed in configs:
+        inst = uniform_disk(n=n, rho=rho, seed=seed)
+        ell, rho_in = inst.default_inputs()
+        results = {}
+        for name, solver in (
+            ("quadtree", quadtree_schedule),
+            ("greedy", greedy_schedule),
+        ):
+            run = run_program(
+                inst,
+                aseparator_program(ell=ell, rho=float(rho_in), solver=solver),
+                algorithm=f"ASeparator[{name}]",
+                ell=ell,
+                rho=float(rho_in),
+            )
+            assert run.woke_all
+            results[name] = run.makespan
+        rows.append(
+            {
+                "n": n,
+                "ell": ell,
+                "quadtree_makespan": results["quadtree"],
+                "greedy_makespan": results["greedy"],
+                "greedy/quadtree": results["greedy"] / results["quadtree"],
+            }
+        )
+    return rows
+
+
+def online_competitiveness(
+    sizes: Sequence[int] = (4, 8, 12),
+    trials: int = 10,
+    seed: int = 0,
+) -> list[dict[str, Any]]:
+    """Empirical competitive ratios of the online dispatcher."""
+    rng = random.Random(seed)
+    rows: list[dict[str, Any]] = []
+    for n in sizes:
+        ratios = []
+        for _ in range(trials):
+            requests = [
+                OnlineRequest(
+                    Point(rng.uniform(-8, 8), rng.uniform(-8, 8)),
+                    rng.uniform(0.0, 15.0),
+                )
+                for _ in range(n)
+            ]
+            ratios.append(competitive_ratio(Point(0, 0), requests))
+        rows.append(
+            {
+                "n": n,
+                "trials": trials,
+                "mean_ratio": float(np.mean(ratios)),
+                "max_ratio": float(np.max(ratios)),
+            }
+        )
+    return rows

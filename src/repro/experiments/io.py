@@ -1,0 +1,57 @@
+"""Row printing and CSV export for experiment series."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Sequence
+
+__all__ = ["format_table", "print_table", "write_csv"]
+
+
+def format_table(rows: Sequence[Mapping[str, Any]], title: str = "") -> str:
+    """Fixed-width text table from homogeneous dict rows."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    headers = list(rows[0].keys())
+    rendered = [
+        {h: _fmt(row.get(h)) for h in headers} for row in rows
+    ]
+    widths = {
+        h: max(len(h), *(len(r[h]) for r in rendered)) for h in headers
+    }
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[h]) for h in headers))
+    lines.append("  ".join("-" * widths[h] for h in headers))
+    for r in rendered:
+        lines.append("  ".join(r[h].ljust(widths[h]) for h in headers))
+    return "\n".join(lines)
+
+
+def print_table(rows: Sequence[Mapping[str, Any]], title: str = "") -> None:
+    """Print dict rows as a fixed-width text table."""
+    print(format_table(rows, title))
+
+
+def write_csv(path: str | Path, rows: Sequence[Mapping[str, Any]]) -> Path:
+    """Write dict rows to ``path`` (parent directories created)."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    if not rows:
+        target.write_text("")
+        return target
+    headers = list(rows[0].keys())
+    with target.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=headers)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({h: row.get(h) for h in headers})
+    return target
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

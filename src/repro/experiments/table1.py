@@ -1,0 +1,237 @@
+"""Experiments reproducing Table 1 of the paper.
+
+Each function returns a list of dict rows (printable with
+:func:`repro.experiments.io.print_table`) and is exercised by a
+``benchmarks/bench_table1_*`` module.  The rows carry the measured
+makespans together with the bound features, so the callers can fit the
+Table 1 shapes with :mod:`repro.metrics.fits`.
+
+Scale parameters are explicit everywhere so benchmarks can pick profiles
+that run in seconds while the CLI can scale up.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Sequence
+
+from ..core.agrid import agrid_energy_budget
+from ..core.awave import awave_energy_budget
+from ..core.explore import exploration_stops
+from ..core.runner import run_agrid, run_aseparator, run_awave
+from ..geometry import Point, distance, square_at_center
+from ..instances import (
+    Instance,
+    beaded_path,
+    coverage_fraction,
+    energy_ball,
+    energy_infeasibility_threshold,
+    record_look_positions,
+    uniform_disk,
+)
+from ..metrics import (
+    aseparator_features,
+    fit_linear_combination,
+    summarize,
+)
+from ..sim import Look, Move
+
+__all__ = [
+    "aseparator_rho_sweep",
+    "aseparator_ell_sweep",
+    "agrid_xi_sweep",
+    "awave_vs_agrid",
+    "energy_infeasibility_sweep",
+    "fit_aseparator_shape",
+]
+
+
+def aseparator_rho_sweep(
+    rhos: Sequence[float],
+    n_per_rho: Callable[[float], int] = lambda rho: int(4 * rho),
+    seeds: Sequence[int] = (0, 1),
+) -> list[dict[str, Any]]:
+    """T1-row1(a): ``ASeparator`` makespan vs ``rho`` at ~constant density.
+
+    Density is held fixed so ``ell_star`` stays roughly constant and the
+    ``rho`` term of Thm 1 dominates — expected slope ~1 in log-log.
+    """
+    rows: list[dict[str, Any]] = []
+    for rho in rhos:
+        for seed in seeds:
+            inst = uniform_disk(n=n_per_rho(rho), rho=rho, seed=seed)
+            run = run_aseparator(inst)
+            s = summarize(run)
+            rows.append(
+                {
+                    "rho": rho,
+                    "seed": seed,
+                    "n": s.n,
+                    "ell": s.ell,
+                    "makespan": s.makespan,
+                    "makespan/rho": s.makespan / rho,
+                    "woke_all": s.woke_all,
+                }
+            )
+    return rows
+
+
+def aseparator_ell_sweep(
+    ells: Sequence[int],
+    side: int = 7,
+) -> list[dict[str, Any]]:
+    """T1-row1(b): ``ASeparator`` makespan vs ``ell`` at fixed ``rho/ell``.
+
+    Lattices of pitch ``ell`` pin ``ell_star = ell`` exactly and scale
+    ``rho_star`` proportionally to ``ell``, so Thm 1 predicts makespan
+    ``a*ell + b*ell^2`` — a log-log slope strictly between 1 and 2.
+    """
+    from ..instances import grid_lattice
+
+    rows: list[dict[str, Any]] = []
+    for ell in ells:
+        inst = grid_lattice(side=side, spacing=float(ell))
+        run = run_aseparator(inst, ell=ell)
+        rho = run.rho
+        feature = ell * ell * math.log(max(rho / ell, 2.0))
+        rows.append(
+            {
+                "ell": ell,
+                "rho": rho,
+                "n": inst.n,
+                "makespan": run.makespan,
+                "ell2log": feature,
+                "makespan/ell2log": run.makespan / feature,
+                "woke_all": run.woke_all,
+            }
+        )
+    return rows
+
+
+def fit_aseparator_shape(rows: Sequence[dict[str, Any]]):
+    """Fit the Thm 1 template over mixed sweep rows (needs ``ell`` & ``rho``)."""
+    feats = [aseparator_features(r["ell"], r["rho"]) for r in rows]
+    return fit_linear_combination(
+        feats,
+        [r["makespan"] for r in rows],
+        feature_names=("rho", "ell^2*log(rho/ell)"),
+    )
+
+
+def agrid_xi_sweep(
+    lengths: Sequence[int],
+    spacing: float = 1.0,
+    ell: int | None = None,
+) -> list[dict[str, Any]]:
+    """T1-row3: ``AGrid`` makespan vs ``xi_ell`` on beaded paths.
+
+    ``xi_ell ~ n * spacing``; Thm 4 predicts makespan ``Θ(ell * xi)`` —
+    the ``makespan/xi`` column should be roughly flat, and ``max_energy``
+    must stay below the ``Θ(ell^2)`` budget.
+    """
+    rows: list[dict[str, Any]] = []
+    for n in lengths:
+        inst = beaded_path(n=n, spacing=spacing)
+        run = run_agrid(inst, ell=ell)
+        xi = inst.xi(run.ell)
+        rows.append(
+            {
+                "n": n,
+                "xi": xi,
+                "ell": run.ell,
+                "makespan": run.makespan,
+                "makespan/xi": run.makespan / xi,
+                "max_energy": run.max_energy,
+                "energy_budget": agrid_energy_budget(run.ell),
+                "woke_all": run.woke_all,
+            }
+        )
+    return rows
+
+
+def awave_vs_agrid(
+    lengths: Sequence[int],
+    spacing: float,
+    ell: int,
+) -> list[dict[str, Any]]:
+    """T1-row4: ``AWave`` vs ``AGrid`` on the same corridors.
+
+    Thm 5 vs Thm 4: for ``xi`` large, ``AWave``'s ``O(xi + ell^2 log
+    (xi/ell))`` beats ``AGrid``'s ``O(ell * xi)`` — the rows expose the
+    measured ratio and each algorithm's energy usage against its budget.
+    """
+    rows: list[dict[str, Any]] = []
+    for n in lengths:
+        inst = beaded_path(n=n, spacing=spacing)
+        grid_run = run_agrid(inst, ell=ell)
+        wave_run = run_awave(inst, ell=ell)
+        xi = inst.xi(ell)
+        rows.append(
+            {
+                "n": n,
+                "xi": xi,
+                "ell": ell,
+                "agrid_makespan": grid_run.makespan,
+                "awave_makespan": wave_run.makespan,
+                "awave/agrid": wave_run.makespan / grid_run.makespan
+                if grid_run.makespan > 0
+                else math.inf,
+                "agrid_maxE": grid_run.max_energy,
+                "awave_maxE": wave_run.max_energy,
+                "agrid_budget": agrid_energy_budget(ell),
+                "awave_budget": awave_energy_budget(ell),
+                "both_woke": grid_run.woke_all and wave_run.woke_all,
+            }
+        )
+    return rows
+
+
+def energy_infeasibility_sweep(
+    ell: int,
+    budget_factors: Sequence[float] = (0.25, 0.5, 0.75, 1.0, 1.5, 3.0),
+    resolution: int = 10,
+) -> list[dict[str, Any]]:
+    """T1-row2 (Thm 3): discovery coverage of ``B(0, ell)`` vs budget.
+
+    A source with budget ``f * pi*(ell^2-1)/2`` sweeps the ball with the
+    Lemma 1 boustrophedon until its energy runs out; the row reports the
+    covered fraction of the ball and whether an adversarially-hidden robot
+    (at the last/never covered spot) would have been found.  Below
+    ``f = 1`` coverage must be incomplete — that is the theorem.
+    """
+    threshold = energy_infeasibility_threshold(ell)
+    ball_square = square_at_center(Point(0.0, 0.0), 2.0 * ell)
+    stops = exploration_stops(ball_square)
+
+    rows: list[dict[str, Any]] = []
+    for factor in budget_factors:
+        budget = factor * threshold
+
+        def budgeted_explorer(proc):
+            remaining = budget
+            position = proc.position
+            yield Look()
+            for stop in stops:
+                hop = distance(position, stop)
+                if hop > remaining + 1e-12:
+                    break
+                yield Move(stop)
+                remaining -= hop
+                position = stop
+                yield Look()
+
+        decoy = energy_ball(ell)
+        coverage, _ = record_look_positions(decoy, budgeted_explorer)
+        fraction = coverage_fraction(
+            coverage, Point(0.0, 0.0), float(ell), resolution=resolution
+        )
+        rows.append(
+            {
+                "budget_factor": factor,
+                "budget": budget,
+                "threshold": threshold,
+                "coverage": fraction,
+                "adversary_hides": fraction < 1.0 - 1e-9,
+            }
+        )
+    return rows

@@ -1,0 +1,186 @@
+"""Uniform-grid spatial hash for fixed-radius neighbor queries.
+
+Every hot geometric query in the reproduction is a fixed-radius search:
+
+* the simulator's ``look`` snapshot (radius 1 around the observer);
+* delta-disk-graph construction (radius ``delta`` adjacency);
+* covering checks for ``ell``-samplings (radius ``ell``/``2*ell``).
+
+A uniform grid whose cell size equals the query radius answers such a query
+by scanning the 3x3 block of cells around the probe, which is expected
+``O(1)`` per query for the bounded-density point sets the paper considers
+(an ``ell``-sampling packs at most ``16 R^2 / (pi ell^2)`` points into a
+width-``R`` square — Lemma 4).
+
+The structure is static-friendly: sleeping robots never move, so the index
+is built once per instance and reused for every snapshot.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Dict, Hashable, Iterable, Iterator, List, Tuple
+
+from .points import EPS, Point, distance
+
+__all__ = ["GridHash"]
+
+_Cell = Tuple[int, int]
+
+
+class GridHash:
+    """Point index supporting insert/remove and closed-ball queries.
+
+    Items are identified by an arbitrary hashable key (robot id, sample
+    index, ...) mapped to a fixed position.  Querying uses a *closed* ball
+    with the global ``EPS`` tolerance, matching the paper's "up to distance
+    1" visibility convention.
+    """
+
+    def __init__(self, cell_size: float) -> None:
+        if cell_size <= 0:
+            raise ValueError("cell_size must be positive")
+        self.cell_size = float(cell_size)
+        self._cells: Dict[_Cell, List[Hashable]] = defaultdict(list)
+        self._positions: Dict[Hashable, Point] = {}
+
+    # -- mutation -----------------------------------------------------------
+    def insert(self, key: Hashable, position: Point) -> None:
+        """Insert ``key`` at ``position`` (error when the key already exists)."""
+        if key in self._positions:
+            raise KeyError(f"key {key!r} already present")
+        self._positions[key] = position
+        self._cells[self._cell_of(position)].append(key)
+
+    def remove(self, key: Hashable) -> Point:
+        """Remove ``key`` and return its last position."""
+        position = self._positions.pop(key)
+        cell = self._cells[self._cell_of(position)]
+        cell.remove(key)
+        return position
+
+    def discard(self, key: Hashable) -> None:
+        """Remove ``key`` if present, silently otherwise."""
+        if key in self._positions:
+            self.remove(key)
+
+    # -- lookup ---------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._positions)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._positions
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._positions)
+
+    def position_of(self, key: Hashable) -> Point:
+        return self._positions[key]
+
+    def items(self) -> Iterable[tuple[Hashable, Point]]:
+        return self._positions.items()
+
+    def query_ball(
+        self, center: Point, radius: float, tol: float = EPS
+    ) -> list[tuple[Hashable, Point]]:
+        """All ``(key, position)`` with ``|position - center| <= radius + tol``.
+
+        Hot path for every snapshot; the loop is deliberately inlined
+        (no helper calls, squared-distance comparison).
+        """
+        if radius < 0:
+            return []
+        limit = radius + tol
+        size = self.cell_size
+        x0 = center[0]
+        y0 = center[1]
+        reach = int(math.ceil(limit / size))
+        cx = int(math.floor(x0 / size))
+        cy = int(math.floor(y0 / size))
+        cells = self._cells
+        positions = self._positions
+        limit_sq = limit * limit
+        found: list[tuple[Hashable, Point]] = []
+        for ix in range(cx - reach, cx + reach + 1):
+            for iy in range(cy - reach, cy + reach + 1):
+                bucket = cells.get((ix, iy))
+                if not bucket:
+                    continue
+                for key in bucket:
+                    pos = positions[key]
+                    dx = pos[0] - x0
+                    dy = pos[1] - y0
+                    if dx * dx + dy * dy <= limit_sq:
+                        found.append((key, pos))
+        return found
+
+    def query_keys(self, center: Point, radius: float, tol: float = EPS) -> list[Hashable]:
+        """Keys only, for callers that do not need positions."""
+        return [key for key, _ in self.query_ball(center, radius, tol)]
+
+    def nearest(self, center: Point) -> tuple[Hashable, Point] | None:
+        """Nearest item to ``center`` (``None`` when empty).
+
+        Expanding ring search: scan successively wider cell annuli and stop
+        once the best candidate is provably closer than any unscanned cell.
+        """
+        if not self._positions:
+            return None
+        cx, cy = self._cell_of(center)
+        best_key: Hashable | None = None
+        best_dist = math.inf
+        ring = 0
+        # Upper bound on rings: the whole structure is finite, so scan at
+        # most until the populated bounding box has been covered.
+        max_ring = self._max_ring(cx, cy)
+        while ring <= max_ring:
+            for ix, iy in self._ring_cells(cx, cy, ring):
+                for key in self._cells.get((ix, iy), ()):
+                    d = distance(self._positions[key], center)
+                    if d < best_dist:
+                        best_dist = d
+                        best_key = key
+            # Any cell in ring r+1 is at distance >= r * cell_size from the
+            # probe cell; once that exceeds the best distance we can stop.
+            if best_key is not None and best_dist <= ring * self.cell_size:
+                break
+            ring += 1
+        assert best_key is not None
+        return best_key, self._positions[best_key]
+
+    # -- internals ----------------------------------------------------------
+    def _cell_of(self, p: Point) -> _Cell:
+        return (
+            int(math.floor(p[0] / self.cell_size)),
+            int(math.floor(p[1] / self.cell_size)),
+        )
+
+    def _max_ring(self, cx: int, cy: int) -> int:
+        spread = 0
+        for ix, iy in self._cells:
+            if self._cells[(ix, iy)]:
+                spread = max(spread, abs(ix - cx), abs(iy - cy))
+        return spread + 1
+
+    @staticmethod
+    def _ring_cells(cx: int, cy: int, ring: int) -> Iterable[_Cell]:
+        if ring == 0:
+            yield (cx, cy)
+            return
+        for ix in range(cx - ring, cx + ring + 1):
+            yield (ix, cy - ring)
+            yield (ix, cy + ring)
+        for iy in range(cy - ring + 1, cy + ring):
+            yield (cx - ring, iy)
+            yield (cx + ring, iy)
+
+    @classmethod
+    def from_points(
+        cls, points: Iterable[Point], cell_size: float
+    ) -> "GridHash":
+        """Index the points keyed by their integer enumeration order."""
+        index = cls(cell_size)
+        for i, p in enumerate(points):
+            index.insert(i, p)
+        return index

@@ -1,0 +1,67 @@
+"""Seed ordering ``Sort(X)`` for ``DFSampling`` (Section 6.5).
+
+When DFSampling restarts from several seeds scattered in a separator, the
+order in which seeds are visited determines the total inter-seed travel.
+The paper orders seeds by projecting each onto the closest point of the
+square's boundary and walking the boundary *clockwise around the center*;
+the projected tour then costs at most the square's perimeter plus ``2*ell``
+per seed (proof of Lemma 5, team case).
+
+We implement the projection with :meth:`Rect.boundary_projection` and order
+projected points by their clockwise arc-length coordinate along the
+boundary, starting from the lower-left corner.  Ties (seeds projecting to
+the same boundary point) are broken by distance to the boundary then by
+coordinates, making the order total and deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .points import EPS, Point, distance
+from .rectangles import Rect
+
+__all__ = ["boundary_parameter", "sort_seeds"]
+
+
+def boundary_parameter(region: Rect, p: Point) -> float:
+    """Clockwise arc-length coordinate of boundary point ``p``.
+
+    The tour starts at the lower-left corner, goes *up* the left edge, right
+    along the top, down the right edge and left along the bottom (clockwise
+    when y points up).  ``p`` is clamped to the boundary first, so any point
+    may be passed.  Returns a value in ``[0, perimeter)``.
+    """
+    q = region.boundary_projection(p)
+    w, h = region.width, region.height
+    x, y = q[0] - region.xmin, q[1] - region.ymin
+    on_left = abs(x) <= EPS
+    on_top = abs(y - h) <= EPS
+    on_right = abs(x - w) <= EPS
+    # Order of the checks resolves corner ambiguity consistently with the
+    # tour direction (a corner belongs to the edge that *ends* there).
+    if on_left:
+        return y
+    if on_top:
+        return h + x
+    if on_right:
+        return h + w + (h - y)
+    return h + w + h + (w - x)
+
+
+def sort_seeds(region: Rect, seeds: Sequence[Point]) -> list[Point]:
+    """Seeds ordered by the clockwise boundary tour of ``region``.
+
+    Deterministic total order: primary key is the clockwise coordinate of
+    the boundary projection, then distance from the seed to its projection,
+    then the raw coordinates.
+    """
+    def key(seed: Point) -> tuple[float, float, float, float]:
+        return (
+            boundary_parameter(region, seed),
+            distance(seed, region.boundary_projection(seed)),
+            seed[0],
+            seed[1],
+        )
+
+    return sorted(seeds, key=key)

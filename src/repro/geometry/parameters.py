@@ -1,0 +1,132 @@
+"""Instance parameters: radius, connectivity threshold, eccentricity.
+
+These are the three quantities Table 1 of the paper is expressed in:
+
+* :func:`radius` — ``rho_star``, the largest distance from the source to a
+  sleeping robot;
+* :func:`connectivity_threshold` — ``ell_star``, the least ``delta`` such
+  that the ``delta``-disk graph of ``P ∪ {s}`` is connected;
+* :func:`ell_eccentricity` — ``xi_ell``, the minimum weighted depth of a
+  spanning tree of the ``ell``-disk graph rooted at the source.  The
+  shortest-path tree minimizes every root distance simultaneously, hence
+  ``xi_ell`` equals the shortest-path eccentricity of the source.
+
+:func:`instance_parameters` bundles all three plus the admissibility check
+``ell <= rho <= n * ell`` of Proposition 1 into one summary record.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from .diskgraph import DiskGraph, bottleneck_connectivity
+from .points import Point, max_distance_from
+
+__all__ = [
+    "radius",
+    "connectivity_threshold",
+    "ell_eccentricity",
+    "hop_eccentricity",
+    "is_admissible",
+    "InstanceParameters",
+    "instance_parameters",
+]
+
+
+def radius(source: Point, positions: Sequence[Point]) -> float:
+    """``rho_star``: largest distance from ``source`` to any position."""
+    return max_distance_from(source, positions)
+
+
+def connectivity_threshold(source: Point, positions: Sequence[Point]) -> float:
+    """``ell_star``: least delta connecting the disk graph of ``P ∪ {s}``."""
+    return bottleneck_connectivity([source, *positions])
+
+
+def ell_eccentricity(
+    source: Point, positions: Sequence[Point], ell: float
+) -> float:
+    """``xi_ell``: weighted eccentricity of the source in the ell-disk graph.
+
+    Returns ``math.inf`` when the ``ell``-disk graph of ``P ∪ {s}`` is
+    disconnected (the paper's "finite or infinite" minimum depth).
+    """
+    if not positions:
+        return 0.0
+    graph = DiskGraph([source, *positions], ell)
+    dist = graph.shortest_path_lengths(0)
+    return max(dist[1:])
+
+
+def hop_eccentricity(source: Point, positions: Sequence[Point], ell: float) -> int:
+    """Maximum hop count from the source in the ``ell``-disk graph.
+
+    Lemma 6 bounds this by ``1 + 2 * xi_ell / ell``; tests validate that
+    inequality.  Returns ``-1`` when some robot is unreachable.
+    """
+    if not positions:
+        return 0
+    graph = DiskGraph([source, *positions], ell)
+    hops = graph.hop_distances(0)
+    return min(hops[1:]) if min(hops[1:]) < 0 else max(hops[1:])
+
+
+def is_admissible(ell: float, rho: float, n: int) -> bool:
+    """Admissibility of an input tuple: ``ell <= rho <= n * ell``.
+
+    (Proposition 1: ``ell_star <= rho_star <= n * ell_star`` always holds,
+    so admissible tuples exist for every instance.)
+    """
+    return 0 < ell <= rho <= n * ell
+
+
+@dataclass(frozen=True)
+class InstanceParameters:
+    """Computed parameters of an instance ``(P, s)`` for a given ``ell``."""
+
+    n: int
+    rho_star: float
+    ell_star: float
+    ell: float
+    xi_ell: float
+
+    @property
+    def connected(self) -> bool:
+        """Whether the ``ell``-disk graph is connected (finite ``xi_ell``)."""
+        return math.isfinite(self.xi_ell)
+
+    def admissible_input(self, slack: float = 1.0) -> tuple[int, int, int]:
+        """An admissible integer tuple ``(ell, rho, n)`` dominating this instance.
+
+        The paper assumes integral ``ell`` and ``rho`` for simplicity
+        (Section 1.2): a tuple is admissible iff its ceilings are.  ``slack``
+        scales both values, letting experiments probe loose upper bounds.
+        """
+        ell = max(1, math.ceil(self.ell_star * slack))
+        rho = max(ell, math.ceil(self.rho_star * slack))
+        n = max(self.n, math.ceil(rho / ell))
+        return ell, rho, n
+
+
+def instance_parameters(
+    source: Point, positions: Sequence[Point], ell: float | None = None
+) -> InstanceParameters:
+    """Compute all instance parameters in one pass.
+
+    ``ell`` defaults to ``ceil(ell_star)`` (the tightest integral upper
+    bound the paper would hand to the algorithms).
+    """
+    ell_star = connectivity_threshold(source, positions)
+    if ell is None:
+        ell = float(max(1, math.ceil(ell_star)))
+    rho_star = radius(source, positions)
+    xi = ell_eccentricity(source, positions, ell)
+    return InstanceParameters(
+        n=len(positions),
+        rho_star=rho_star,
+        ell_star=ell_star,
+        ell=float(ell),
+        xi_ell=xi,
+    )

@@ -1,0 +1,153 @@
+"""Planar points and elementary metric helpers.
+
+Robots live in the Euclidean plane; every higher-level module manipulates
+positions as immutable :class:`Point` values.  A ``Point`` is a lightweight
+``NamedTuple`` so it unpacks, hashes and compares like a plain ``(x, y)``
+tuple while still offering vector arithmetic and readable accessors.
+
+All distances in this package are Euclidean unless a function name says
+otherwise (``l1_distance``).  The paper's model moves robots at unit speed,
+so a Euclidean distance is also a travel *time* — the simulator relies on
+this equivalence throughout.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, NamedTuple, Sequence
+
+__all__ = [
+    "EPS",
+    "Point",
+    "distance",
+    "l1_distance",
+    "midpoint",
+    "path_length",
+    "points_within",
+    "close_to",
+    "convex_combination",
+    "centroid",
+    "max_distance_from",
+    "pairwise_min_distance",
+]
+
+#: Global numeric tolerance.  Co-location tests, closed-ball visibility
+#: queries and barrier position checks all use this slack so that robots
+#: that meet "at the same point" after a few float operations still count
+#: as co-located.
+EPS = 1e-9
+
+
+class Point(NamedTuple):
+    """An immutable point (or vector) of the Euclidean plane."""
+
+    x: float
+    y: float
+
+    def __add__(self, other: "Point") -> "Point":  # type: ignore[override]
+        return Point(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: "Point") -> "Point":
+        return Point(self.x - other.x, self.y - other.y)
+
+    def __mul__(self, scalar: float) -> "Point":  # type: ignore[override]
+        return Point(self.x * scalar, self.y * scalar)
+
+    def __rmul__(self, scalar: float) -> "Point":  # type: ignore[override]
+        return Point(self.x * scalar, self.y * scalar)
+
+    def __neg__(self) -> "Point":
+        return Point(-self.x, -self.y)
+
+    def norm(self) -> float:
+        """Euclidean norm of this point seen as a vector."""
+        return math.hypot(self.x, self.y)
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def round(self, ndigits: int = 9) -> "Point":
+        """Point with both coordinates rounded (useful for dict keys)."""
+        return Point(round(self.x, ndigits), round(self.y, ndigits))
+
+
+ORIGIN = Point(0.0, 0.0)
+
+
+def distance(a: Point, b: Point) -> float:
+    """Euclidean distance between two points."""
+    return math.hypot(a[0] - b[0], a[1] - b[1])
+
+
+def l1_distance(a: Point, b: Point) -> float:
+    """Manhattan (L1) distance, used by the ``Sort(X)`` seed ordering."""
+    return abs(a[0] - b[0]) + abs(a[1] - b[1])
+
+
+def midpoint(a: Point, b: Point) -> Point:
+    """Midpoint of the segment ``[a, b]``."""
+    return Point((a[0] + b[0]) / 2.0, (a[1] + b[1]) / 2.0)
+
+
+def convex_combination(a: Point, b: Point, t: float) -> Point:
+    """Point ``(1 - t) * a + t * b``; ``t = 0`` gives ``a``, ``t = 1`` gives ``b``."""
+    return Point(a[0] + (b[0] - a[0]) * t, a[1] + (b[1] - a[1]) * t)
+
+
+def path_length(waypoints: Sequence[Point]) -> float:
+    """Total length of the polyline through ``waypoints`` (0 if < 2 points)."""
+    return sum(
+        distance(waypoints[i], waypoints[i + 1]) for i in range(len(waypoints) - 1)
+    )
+
+
+def points_within(
+    points: Iterable[Point], center: Point, radius: float, tol: float = EPS
+) -> list[Point]:
+    """All ``points`` inside the closed ball ``B(center, radius)``.
+
+    The comparison is closed-with-tolerance: the paper's visibility is "up to
+    distance 1" inclusive, and exploration coverage proofs place snapshot
+    points so that targets sit *exactly* at distance 1.
+    """
+    limit = radius + tol
+    return [p for p in points if distance(p, center) <= limit]
+
+
+def close_to(a: Point, b: Point, tol: float = EPS) -> bool:
+    """Whether two points coincide up to the global tolerance."""
+    return distance(a, b) <= tol
+
+
+def centroid(points: Sequence[Point]) -> Point:
+    """Arithmetic mean of a non-empty point sequence."""
+    if not points:
+        raise ValueError("centroid of an empty point sequence is undefined")
+    sx = sum(p[0] for p in points)
+    sy = sum(p[1] for p in points)
+    return Point(sx / len(points), sy / len(points))
+
+
+def max_distance_from(origin: Point, points: Iterable[Point]) -> float:
+    """Largest Euclidean distance from ``origin`` to any of ``points``.
+
+    This is the paper's *radius* ``rho_star`` when ``origin`` is the source
+    and ``points`` are the sleeping-robot positions.  Returns ``0.0`` for an
+    empty iterable (a lone source has radius 0).
+    """
+    return max((distance(origin, p) for p in points), default=0.0)
+
+
+def pairwise_min_distance(points: Sequence[Point]) -> float:
+    """Smallest pairwise distance (``inf`` when fewer than two points).
+
+    Quadratic scan — used by tests and small instance validators only; the
+    simulator itself relies on :mod:`repro.geometry.gridhash` for neighbor
+    queries.
+    """
+    best = math.inf
+    for i in range(len(points)):
+        for j in range(i + 1, len(points)):
+            best = min(best, distance(points[i], points[j]))
+    return best

@@ -1,0 +1,245 @@
+"""Axis-parallel rectangles and squares.
+
+The paper's algorithms carve the plane into axis-parallel squares: the
+``2*rho`` bounding square of ``ASeparator``, its four recursive sub-squares,
+the ``2*ell`` grid cells of ``AGrid`` and the ``8*ell^2*log2(ell)`` cells of
+``AWave``.  This module provides the shared rectangle type with the exact
+conventions those algorithms need:
+
+* **Half-open membership** (:meth:`Rect.contains_half_open`) so a partition
+  of a square into four sub-squares assigns every point to exactly one part
+  (robots sitting on a shared edge must not be claimed by two teams);
+* **Closed membership** (:meth:`Rect.contains`) for visibility/coverage
+  tests where boundary points count;
+* quadrant partitioning, boundary projection (used by the ``Sort(X)`` seed
+  ordering of ``DFSampling``) and corner/center accessors.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from .points import EPS, Point
+
+__all__ = ["Rect", "square", "square_at_center", "enclosing_rect"]
+
+
+@dataclass(frozen=True)
+class Rect:
+    """Axis-parallel rectangle ``[xmin, xmax] x [ymin, ymax]``."""
+
+    xmin: float
+    ymin: float
+    xmax: float
+    ymax: float
+
+    def __post_init__(self) -> None:
+        if self.xmax < self.xmin or self.ymax < self.ymin:
+            raise ValueError(f"degenerate rectangle: {self}")
+
+    # -- basic measurements -------------------------------------------------
+    @property
+    def width(self) -> float:
+        return self.xmax - self.xmin
+
+    @property
+    def height(self) -> float:
+        return self.ymax - self.ymin
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def perimeter(self) -> float:
+        return 2.0 * (self.width + self.height)
+
+    @property
+    def diagonal(self) -> float:
+        return math.hypot(self.width, self.height)
+
+    @property
+    def center(self) -> Point:
+        return Point((self.xmin + self.xmax) / 2.0, (self.ymin + self.ymax) / 2.0)
+
+    @property
+    def lower_left(self) -> Point:
+        return Point(self.xmin, self.ymin)
+
+    @property
+    def lower_right(self) -> Point:
+        return Point(self.xmax, self.ymin)
+
+    @property
+    def upper_left(self) -> Point:
+        return Point(self.xmin, self.ymax)
+
+    @property
+    def upper_right(self) -> Point:
+        return Point(self.xmax, self.ymax)
+
+    def corners(self) -> tuple[Point, Point, Point, Point]:
+        """Corners in counter-clockwise order starting at the lower left."""
+        return (self.lower_left, self.lower_right, self.upper_right, self.upper_left)
+
+    def is_square(self, tol: float = EPS) -> bool:
+        return abs(self.width - self.height) <= tol
+
+    # -- membership ---------------------------------------------------------
+    def contains(self, p: Point, tol: float = EPS) -> bool:
+        """Closed membership with tolerance (boundary points belong)."""
+        return (
+            self.xmin - tol <= p[0] <= self.xmax + tol
+            and self.ymin - tol <= p[1] <= self.ymax + tol
+        )
+
+    def contains_half_open(self, p: Point) -> bool:
+        """Half-open membership ``[xmin, xmax) x [ymin, ymax)``.
+
+        Used when a region is *partitioned*: each point of the parent square
+        belongs to exactly one part.  Note the parent's own right/top edges
+        are excluded; partition helpers re-include them on the outermost
+        parts (see :meth:`quadrants_owning`).
+        """
+        return self.xmin <= p[0] < self.xmax and self.ymin <= p[1] < self.ymax
+
+    def contains_rect(self, other: "Rect", tol: float = EPS) -> bool:
+        return (
+            self.xmin - tol <= other.xmin
+            and self.ymin - tol <= other.ymin
+            and self.xmax + tol >= other.xmax
+            and self.ymax + tol >= other.ymax
+        )
+
+    def strictly_inside(self, p: Point, margin: float) -> bool:
+        """Whether ``p`` is at distance more than ``margin`` from the boundary."""
+        return (
+            self.xmin + margin < p[0] < self.xmax - margin
+            and self.ymin + margin < p[1] < self.ymax - margin
+        )
+
+    # -- geometry -----------------------------------------------------------
+    def clamp(self, p: Point) -> Point:
+        """Closest point of the rectangle to ``p`` (``p`` itself if inside)."""
+        return Point(
+            min(max(p[0], self.xmin), self.xmax),
+            min(max(p[1], self.ymin), self.ymax),
+        )
+
+    def boundary_projection(self, p: Point) -> Point:
+        """Closest point of the rectangle *boundary* to ``p``.
+
+        For an interior point this is its projection onto the nearest edge;
+        for an exterior point it coincides with :meth:`clamp`.  The
+        ``Sort(X)`` seed ordering of ``DFSampling`` projects separator seeds
+        onto the square boundary before sorting them in clockwise order.
+        """
+        if not self.contains(p, tol=0.0):
+            return self.clamp(p)
+        gaps = (
+            (p[0] - self.xmin, Point(self.xmin, p[1])),
+            (self.xmax - p[0], Point(self.xmax, p[1])),
+            (p[1] - self.ymin, Point(p[0], self.ymin)),
+            (self.ymax - p[1], Point(p[0], self.ymax)),
+        )
+        return min(gaps, key=lambda pair: pair[0])[1]
+
+    def distance_to_point(self, p: Point) -> float:
+        """Euclidean distance from ``p`` to the rectangle (0 inside)."""
+        q = self.clamp(p)
+        return math.hypot(p[0] - q[0], p[1] - q[1])
+
+    def expanded(self, margin: float) -> "Rect":
+        """Rectangle grown by ``margin`` on every side (shrunk if negative)."""
+        return Rect(
+            self.xmin - margin,
+            self.ymin - margin,
+            self.xmax + margin,
+            self.ymax + margin,
+        )
+
+    def intersection(self, other: "Rect") -> "Rect | None":
+        """Intersection rectangle, or ``None`` when disjoint."""
+        xmin = max(self.xmin, other.xmin)
+        ymin = max(self.ymin, other.ymin)
+        xmax = min(self.xmax, other.xmax)
+        ymax = min(self.ymax, other.ymax)
+        if xmax < xmin or ymax < ymin:
+            return None
+        return Rect(xmin, ymin, xmax, ymax)
+
+    # -- partitioning -------------------------------------------------------
+    def quadrants(self) -> tuple["Rect", "Rect", "Rect", "Rect"]:
+        """The four equal quadrant sub-rectangles.
+
+        Order: lower-left, lower-right, upper-right, upper-left (counter
+        clockwise, matching the paper's figures).
+        """
+        cx, cy = self.center
+        return (
+            Rect(self.xmin, self.ymin, cx, cy),
+            Rect(cx, self.ymin, self.xmax, cy),
+            Rect(cx, cy, self.xmax, self.ymax),
+            Rect(self.xmin, cy, cx, self.ymax),
+        )
+
+    def quadrant_index(self, p: Point) -> int:
+        """Index (0..3) of the quadrant *owning* ``p``.
+
+        Ownership is the half-open rule relative to the center, with the
+        parent's closed boundary folded back in, so every point of the parent
+        square belongs to exactly one quadrant.  Raises ``ValueError`` when
+        ``p`` is outside the (closed) parent.
+        """
+        if not self.contains(p):
+            raise ValueError(f"{p} outside {self}")
+        cx, cy = self.center
+        right = p[0] >= cx
+        top = p[1] >= cy
+        if not right and not top:
+            return 0
+        if right and not top:
+            return 1
+        if right and top:
+            return 2
+        return 3
+
+    def split_rows(self, k: int) -> list["Rect"]:
+        """``k`` horizontal strips of equal height, bottom to top.
+
+        This is the Lemma 1 team-exploration split: each of the ``k`` robots
+        explores one ``w x h/k`` strip.
+        """
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        h = self.height / k
+        return [
+            Rect(self.xmin, self.ymin + i * h, self.xmax, self.ymin + (i + 1) * h)
+            for i in range(k)
+        ]
+
+    def __iter__(self) -> Iterator[float]:
+        return iter((self.xmin, self.ymin, self.xmax, self.ymax))
+
+
+def square(lower_left: Point, width: float) -> Rect:
+    """Axis-parallel square from its lower-left corner."""
+    return Rect(lower_left[0], lower_left[1], lower_left[0] + width, lower_left[1] + width)
+
+
+def square_at_center(center: Point, width: float) -> Rect:
+    """Axis-parallel square from its center, e.g. the ``2*rho`` root square."""
+    half = width / 2.0
+    return Rect(center[0] - half, center[1] - half, center[0] + half, center[1] + half)
+
+
+def enclosing_rect(points: Iterable[Point], margin: float = 0.0) -> Rect:
+    """Smallest axis-parallel rectangle containing ``points`` (plus margin)."""
+    pts = list(points)
+    if not pts:
+        raise ValueError("cannot enclose an empty point set")
+    xs = [p[0] for p in pts]
+    ys = [p[1] for p in pts]
+    return Rect(min(xs) - margin, min(ys) - margin, max(xs) + margin, max(ys) + margin)

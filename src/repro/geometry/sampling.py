@@ -1,0 +1,97 @@
+"""Centralized ``ell``-samplings and covering checks.
+
+An *ell-sampling* of a region ``S`` is a subset ``P' ⊆ P ∩ S`` whose points
+are pairwise more than ``ell`` apart; ``S`` is *covered* by ``P'`` when
+every robot of ``S`` lies within ``ell`` of some point of ``P'``
+(Section 2.4).  Lemma 4 bounds a sampling of a width-``R`` square by
+``16 R^2 / (pi ell^2)`` points.
+
+This module provides the *centralized* reference implementation (greedy
+maximal sampling) used to validate the distributed ``DFSampling`` of
+:mod:`repro.core.dfsampling`, plus the covering predicates shared by both.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from .gridhash import GridHash
+from .points import EPS, Point, distance
+from .rectangles import Rect
+
+__all__ = [
+    "is_ell_sampling",
+    "covers",
+    "greedy_ell_sampling",
+    "sampling_cardinality_bound",
+]
+
+
+def is_ell_sampling(sample: Sequence[Point], ell: float, tol: float = EPS) -> bool:
+    """Whether ``sample`` points are pairwise at distance at least ``ell``.
+
+    The paper's DFSampling adds a point only when its distance to every
+    already-chosen point is *strictly greater* than ``ell``; the resulting
+    set is "pairwise at distance at least ``ell``".  We test the closed
+    form with tolerance, which both constructions satisfy.
+    """
+    index = GridHash(cell_size=max(ell, tol))
+    for i, p in enumerate(sample):
+        if any(
+            distance(p, q) < ell - tol for _, q in index.query_ball(p, ell)
+        ):
+            return False
+        index.insert(i, p)
+    return True
+
+
+def covers(
+    sample: Sequence[Point],
+    points: Sequence[Point],
+    ell: float,
+    tol: float = EPS,
+) -> bool:
+    """Whether every point of ``points`` is within ``ell`` of ``sample``."""
+    if not points:
+        return True
+    if not sample:
+        return False
+    index = GridHash(cell_size=ell)
+    for i, p in enumerate(sample):
+        index.insert(i, p)
+    return all(index.query_ball(p, ell, tol=tol) for p in points)
+
+
+def greedy_ell_sampling(
+    points: Sequence[Point],
+    ell: float,
+    region: Rect | None = None,
+    limit: int | None = None,
+) -> list[Point]:
+    """Greedy maximal ``ell``-sampling (centralized reference).
+
+    Scans ``points`` in order, keeping a point when it lies in ``region``
+    (closed, when given) and is more than ``ell`` away from every kept
+    point.  A maximal sampling covers its region with radius ``ell``;
+    tests validate that against :func:`covers`.  ``limit`` mirrors the
+    ``4*ell`` recruitment cap of the distributed variant.
+    """
+    index = GridHash(cell_size=max(ell, 1e-12))
+    kept: list[Point] = []
+    for p in points:
+        if region is not None and not region.contains(p):
+            continue
+        if index.query_ball(p, ell, tol=0.0):
+            continue
+        index.insert(len(kept), p)
+        kept.append(p)
+        if limit is not None and len(kept) >= limit:
+            break
+    return kept
+
+
+def sampling_cardinality_bound(width: float, ell: float) -> float:
+    """Lemma 4 bound: an ``ell``-sampling of a width-``R`` square has at
+    most ``16 R^2 / (pi ell^2)`` points."""
+    return 16.0 * width * width / (math.pi * ell * ell)

@@ -1,0 +1,55 @@
+"""Instance container, workload generators and lower-bound constructions."""
+
+from .adversary import (
+    CoverageMap,
+    adversarial_grid_instance,
+    coverage_fraction,
+    disk_candidates,
+    latest_covered_point,
+    record_look_positions,
+)
+from .families import (
+    annulus,
+    beaded_path,
+    clusters,
+    connected_walk,
+    grid_lattice,
+    spiral,
+    two_clusters_bridge,
+    uniform_disk,
+    uniform_square,
+)
+from .lower_bounds import (
+    GridOfDisks,
+    RectilinearPath,
+    energy_ball,
+    energy_infeasibility_threshold,
+    grid_of_disks,
+    rectilinear_path,
+)
+from .spec import Instance
+
+__all__ = [
+    "Instance",
+    "annulus",
+    "beaded_path",
+    "clusters",
+    "connected_walk",
+    "grid_lattice",
+    "spiral",
+    "two_clusters_bridge",
+    "uniform_disk",
+    "uniform_square",
+    "GridOfDisks",
+    "RectilinearPath",
+    "energy_ball",
+    "energy_infeasibility_threshold",
+    "grid_of_disks",
+    "rectilinear_path",
+    "CoverageMap",
+    "adversarial_grid_instance",
+    "coverage_fraction",
+    "disk_candidates",
+    "latest_covered_point",
+    "record_look_positions",
+]

@@ -1,0 +1,29 @@
+"""Metrics: wake curves, run summaries, and bound-shape fits."""
+
+from .curves import WakeCurve, round_staircase, wake_curve, wake_quantile
+from .fits import (
+    LinearFit,
+    agrid_features,
+    aseparator_features,
+    awave_features,
+    fit_linear_combination,
+    fit_power_law,
+    r_squared,
+)
+from .summary import RunSummary, summarize
+
+__all__ = [
+    "WakeCurve",
+    "round_staircase",
+    "wake_curve",
+    "wake_quantile",
+    "LinearFit",
+    "agrid_features",
+    "aseparator_features",
+    "awave_features",
+    "fit_linear_combination",
+    "fit_power_law",
+    "r_squared",
+    "RunSummary",
+    "summarize",
+]

@@ -1,0 +1,70 @@
+"""Wake-time and discovery curves from simulation results.
+
+The wake curve — fraction of the swarm awake as a function of time — is
+the observable behind every makespan number; phases of ``ASeparator`` show
+up as its plateaus, and the wave algorithms as staircases (one step per
+wave round).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from ..sim import SimulationResult
+
+__all__ = ["WakeCurve", "wake_curve", "wake_quantile", "round_staircase"]
+
+
+@dataclass(frozen=True)
+class WakeCurve:
+    """Sorted wake times of the initially-asleep robots."""
+
+    times: tuple[float, ...]
+    n: int
+
+    def fraction_awake_at(self, t: float) -> float:
+        if self.n == 0:
+            return 1.0
+        count = sum(1 for wt in self.times if wt <= t + 1e-12)
+        return count / self.n
+
+    def quantile(self, q: float) -> float:
+        """Time by which a fraction ``q`` of the swarm is awake."""
+        if not self.times:
+            return 0.0
+        index = min(len(self.times) - 1, max(0, math.ceil(q * self.n) - 1))
+        return self.times[index]
+
+    def sample(self, points: int = 50) -> list[tuple[float, float]]:
+        """Evenly-spaced (time, fraction) pairs for plotting/printing."""
+        if not self.times:
+            return [(0.0, 1.0)]
+        horizon = self.times[-1]
+        return [
+            (t, self.fraction_awake_at(t))
+            for t in (horizon * i / (points - 1) for i in range(points))
+        ]
+
+
+def wake_curve(result: SimulationResult) -> WakeCurve:
+    """The run's wake curve over the initially-asleep robots."""
+    times = sorted(t for rid, t in result.wake_times.items() if rid != 0)
+    return WakeCurve(times=tuple(times), n=result.n)
+
+
+def wake_quantile(result: SimulationResult, q: float) -> float:
+    """Time by which a fraction ``q`` of the swarm is awake."""
+    return wake_curve(result).quantile(q)
+
+
+def round_staircase(result: SimulationResult, window: float) -> list[int]:
+    """Robots woken per length-``window`` interval — the wave-round
+    staircase of ``AGrid``/``AWave`` (one burst per round)."""
+    curve = wake_curve(result)
+    if not curve.times:
+        return []
+    buckets = int(curve.times[-1] // window) + 1
+    counts = [0] * buckets
+    for t in curve.times:
+        counts[int(t // window)] += 1
+    return counts

@@ -1,0 +1,120 @@
+"""Shape-fit regressions for the Table 1 bounds.
+
+The reproduction contract is about *shapes*, not constants: a sweep of
+measured makespans should be explained by the paper's complexity formula
+with a decent coefficient of determination.  This module fits measured
+series to the bound templates by linear least squares:
+
+* ``rho + ell^2 log(rho/ell)``   — ``ASeparator`` (Thm 1);
+* ``ell * xi``                   — ``AGrid`` (Thm 4);
+* ``xi + ell^2 log(xi/ell)``     — ``AWave`` (Thm 5);
+* generic power laws (log-log slope) for quick scaling diagnostics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "LinearFit",
+    "fit_linear_combination",
+    "fit_power_law",
+    "aseparator_features",
+    "agrid_features",
+    "awave_features",
+    "r_squared",
+]
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """Result of a least-squares fit ``y ~ coeffs . features + intercept``."""
+
+    coefficients: tuple[float, ...]
+    intercept: float
+    r2: float
+    feature_names: tuple[str, ...]
+
+    def predict(self, features: Sequence[float]) -> float:
+        return self.intercept + sum(
+            c * f for c, f in zip(self.coefficients, features)
+        )
+
+    def describe(self) -> str:
+        terms = " + ".join(
+            f"{c:.4g}*{name}"
+            for c, name in zip(self.coefficients, self.feature_names)
+        )
+        return f"y = {terms} + {self.intercept:.4g}   (R^2 = {self.r2:.4f})"
+
+
+def r_squared(y: Sequence[float], y_hat: Sequence[float]) -> float:
+    """Coefficient of determination of predictions ``y_hat`` against ``y``."""
+    y_arr = np.asarray(y, dtype=float)
+    pred = np.asarray(y_hat, dtype=float)
+    ss_res = float(np.sum((y_arr - pred) ** 2))
+    ss_tot = float(np.sum((y_arr - np.mean(y_arr)) ** 2))
+    if ss_tot <= 1e-30:
+        return 1.0 if ss_res <= 1e-30 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def fit_linear_combination(
+    rows: Sequence[Sequence[float]],
+    y: Sequence[float],
+    feature_names: Sequence[str],
+    intercept: bool = True,
+) -> LinearFit:
+    """Least-squares fit of ``y`` against feature rows."""
+    x = np.asarray(rows, dtype=float)
+    target = np.asarray(y, dtype=float)
+    if intercept:
+        x = np.hstack([x, np.ones((x.shape[0], 1))])
+    coef, *_ = np.linalg.lstsq(x, target, rcond=None)
+    if intercept:
+        coefficients, b = coef[:-1], float(coef[-1])
+    else:
+        coefficients, b = coef, 0.0
+    pred = x @ coef
+    return LinearFit(
+        coefficients=tuple(float(c) for c in coefficients),
+        intercept=b,
+        r2=r_squared(target, pred),
+        feature_names=tuple(feature_names),
+    )
+
+
+def fit_power_law(x: Sequence[float], y: Sequence[float]) -> tuple[float, float, float]:
+    """Fit ``y = a * x^b`` by log-log least squares.
+
+    Returns ``(a, b, r2_in_log_space)`` — the slope ``b`` is the scaling
+    exponent benchmarks report (e.g. ~1 for makespan vs ``rho``).
+    """
+    lx = np.log(np.asarray(x, dtype=float))
+    ly = np.log(np.asarray(y, dtype=float))
+    b, log_a = np.polyfit(lx, ly, 1)
+    pred = log_a + b * lx
+    return float(math.exp(log_a)), float(b), r_squared(ly, pred)
+
+
+def _safe_log(value: float) -> float:
+    return math.log(max(value, 1.0 + 1e-9))
+
+
+def aseparator_features(ell: float, rho: float) -> tuple[float, float]:
+    """Features of the Thm 1 bound: ``(rho, ell^2 * log(rho/ell))``."""
+    return (rho, ell * ell * _safe_log(rho / ell))
+
+
+def agrid_features(ell: float, xi: float) -> tuple[float]:
+    """Feature of the Thm 4 bound: ``(ell * xi,)``."""
+    return (ell * xi,)
+
+
+def awave_features(ell: float, xi: float) -> tuple[float, float]:
+    """Features of the Thm 5 bound: ``(xi, ell^2 * log(xi/ell))``."""
+    return (xi, ell * ell * _safe_log(xi / ell))

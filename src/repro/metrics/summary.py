@@ -1,0 +1,67 @@
+"""Uniform run summaries for tables and CSV export."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import asdict, dataclass
+from typing import Any
+
+from ..core.runner import AlgorithmRun
+from .curves import wake_curve
+
+__all__ = ["RunSummary", "summarize"]
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """Flat record of one run — ready for CSV rows and printed tables."""
+
+    algorithm: str
+    instance: str
+    n: int
+    ell: int
+    rho: float
+    rho_star: float
+    ell_star: float
+    xi_ell: float
+    makespan: float
+    half_wake_time: float     # time to wake 50% of the swarm
+    termination_time: float
+    max_energy: float
+    total_energy: float
+    snapshots: int
+    woke_all: bool
+
+    def as_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+    @property
+    def makespan_per_rho(self) -> float:
+        return self.makespan / self.rho_star if self.rho_star > 0 else math.inf
+
+    @property
+    def makespan_per_xi(self) -> float:
+        return self.makespan / self.xi_ell if self.xi_ell > 0 else math.inf
+
+
+def summarize(run: AlgorithmRun) -> RunSummary:
+    """Flatten an :class:`AlgorithmRun` into a :class:`RunSummary` record."""
+    inst = run.instance
+    curve = wake_curve(run.result)
+    return RunSummary(
+        algorithm=run.algorithm,
+        instance=inst.name,
+        n=inst.n,
+        ell=run.ell,
+        rho=run.rho,
+        rho_star=inst.rho_star,
+        ell_star=inst.ell_star,
+        xi_ell=inst.xi(run.ell),
+        makespan=run.result.makespan,
+        half_wake_time=curve.quantile(0.5),
+        termination_time=run.result.termination_time,
+        max_energy=run.result.max_energy,
+        total_energy=run.result.total_energy,
+        snapshots=run.result.snapshots,
+        woke_all=run.result.woke_all,
+    )

@@ -1,0 +1,217 @@
+"""Actions a robot process may yield to the simulation engine.
+
+The paper's robots follow the Look-Compute-Move model (Section 1.2): they
+*look* (instantaneous snapshot of the distance-1 vicinity), *compute*
+(free), and *move* at unit speed; they may also wait, wake a co-located
+sleeping robot while handing it information, and exchange variables with
+co-located robots.  Each of those capabilities maps to one action below.
+Two further actions — :class:`Fork` and :class:`Absorb` — implement the
+paper's team splits and rendezvous merges at the process granularity (see
+DESIGN.md §3), and :class:`Barrier` realizes "wait until the four teams can
+merge and share their variables".
+
+A program is a generator yielding actions; every ``yield`` evaluates to a
+:class:`Result` carrying the simulation time at completion plus the
+action-specific value (e.g. a :class:`Snapshot` for :class:`Look`).
+
+Time cost of each action:
+
+========== =========================================
+Move       Euclidean length of the segment
+MovePath   total polyline length
+Wait       the requested duration
+WaitUntil  ``max(0, t - now)``
+Look       0 (discrete snapshot)
+Wake       0 (touch)
+Fork       0
+Barrier    until the last party arrives
+Absorb     0
+Annotate   0 (pure trace marker)
+========== =========================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, NamedTuple, Sequence, TYPE_CHECKING
+
+from ..geometry import Point
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import ProcessView
+
+__all__ = [
+    "Action",
+    "Move",
+    "MovePath",
+    "Wait",
+    "WaitUntil",
+    "Look",
+    "Wake",
+    "Fork",
+    "Barrier",
+    "Absorb",
+    "Annotate",
+    "Result",
+    "RobotView",
+    "Snapshot",
+    "Program",
+]
+
+#: A program is instantiated with the view of the process that runs it and
+#: yields actions; ``yield`` evaluates to a :class:`Result`.
+Program = Callable[["ProcessView"], Generator["Action", "Result", None]]
+
+
+class Action:
+    """Marker base class for everything a program may yield."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Move(Action):
+    """Move the whole process (all owned robots) straight to ``target``."""
+
+    target: Point
+
+
+@dataclass(frozen=True)
+class MovePath(Action):
+    """Move along a polyline of waypoints (visited in order)."""
+
+    waypoints: tuple[Point, ...]
+
+    def __init__(self, waypoints: Sequence[Point]) -> None:
+        object.__setattr__(self, "waypoints", tuple(waypoints))
+
+
+@dataclass(frozen=True)
+class Wait(Action):
+    """Stay put for ``duration`` time units (must be non-negative)."""
+
+    duration: float
+
+
+@dataclass(frozen=True)
+class WaitUntil(Action):
+    """Stay put until absolute time ``time`` (no-op if already past)."""
+
+    time: float
+
+
+@dataclass(frozen=True)
+class Look(Action):
+    """Instantaneous snapshot of all robots within distance 1.
+
+    The result value is a :class:`Snapshot`.  Own team members appear in the
+    snapshot too (they are co-located, hence within distance 1); callers
+    filter by the ids they already know.
+    """
+
+
+@dataclass(frozen=True)
+class Wake(Action):
+    """Wake the co-located sleeping robot ``robot_id``.
+
+    ``program`` is the continuation handed to the woken robot — the paper's
+    "share with it some information".  When ``program`` is ``None`` the
+    robot *joins the waking team* (becomes owned by this process, moving
+    with it from now on); otherwise a new process running ``program`` is
+    spawned for it.  The result value is the new process id (or ``None``
+    when joining).
+    """
+
+    robot_id: int
+    program: Program | None = None
+
+
+@dataclass(frozen=True)
+class Fork(Action):
+    """Split owned robots into new independent processes.
+
+    ``assignments`` maps disjoint robot-id groups to programs; each group
+    becomes a new process starting here and now.  Unassigned robots stay
+    with the forking process (which must keep at least one robot — a team
+    leader always continues inline).  The result value is the list of new
+    process ids, in assignment order.
+    """
+
+    assignments: tuple[tuple[tuple[int, ...], Program], ...]
+
+    def __init__(
+        self, assignments: Sequence[tuple[Sequence[int], Program]]
+    ) -> None:
+        frozen = tuple(
+            (tuple(ids), program) for ids, program in assignments
+        )
+        object.__setattr__(self, "assignments", frozen)
+
+
+@dataclass(frozen=True)
+class Barrier(Action):
+    """Rendezvous with ``parties - 1`` other processes on ``key``.
+
+    Blocks until ``parties`` processes have issued a barrier with the same
+    key; all resume at the arrival time of the last one.  Each party
+    contributes a ``payload`` (its shared variables); the result value is
+    the list of all payloads in *arrival order* — this models co-located
+    variable exchange, so the engine checks that all parties are at the
+    same position when the barrier releases.
+    """
+
+    key: Any
+    parties: int
+    payload: Any = None
+
+
+@dataclass(frozen=True)
+class Absorb(Action):
+    """Take ownership of idle, co-located robots.
+
+    Robots released by a finished process park at their last position; a
+    live process that reaches them may absorb them into its team.  Used by
+    the barrier survivor during the Reorganization phase of ``ASeparator``.
+    """
+
+    robot_ids: tuple[int, ...]
+
+    def __init__(self, robot_ids: Sequence[int]) -> None:
+        object.__setattr__(self, "robot_ids", tuple(robot_ids))
+
+
+@dataclass(frozen=True)
+class Annotate(Action):
+    """Zero-cost trace marker (phase labels for the FIG1/FIG2 benches)."""
+
+    label: str
+    data: Any = None
+
+
+class RobotView(NamedTuple):
+    """What a snapshot reveals about one robot: identity, position, status."""
+
+    robot_id: int
+    position: Point
+    awake: bool
+
+
+class Snapshot(NamedTuple):
+    """Result of a :class:`Look`: observer state plus visible robots."""
+
+    time: float
+    observer: Point
+    robots: tuple[RobotView, ...]
+
+    def sleeping(self) -> list[RobotView]:
+        return [r for r in self.robots if not r.awake]
+
+    def awake(self) -> list[RobotView]:
+        return [r for r in self.robots if r.awake]
+
+
+class Result(NamedTuple):
+    """Value of a ``yield``: completion time plus action-specific payload."""
+
+    time: float
+    value: Any

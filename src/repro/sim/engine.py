@@ -1,0 +1,644 @@
+"""Deterministic event-driven engine for the Look-Compute-Move model.
+
+The engine advances a priority queue of timestamped events.  Each *process*
+is a Python generator owning a group of co-located robots (DESIGN.md §3):
+resuming the generator yields the next :class:`~repro.sim.actions.Action`,
+whose completion schedules the next resume.  Time-free actions (``Look``,
+``Wake``, ``Fork``, ``Absorb``, ``Annotate``) are executed synchronously in
+a loop until the process either blocks on a timed action or a barrier, or
+returns.
+
+Determinism: events at equal times are ordered by a monotone sequence
+number, and barrier payload lists are ordered by arrival; re-running the
+same instance and programs reproduces the identical trace.
+
+Makespan accounting follows the paper: the makespan of an execution is the
+time of the last wake; the engine also reports the full termination time
+(last process finishing its moves), which upper-bounds it.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, Sequence
+
+from ..geometry import EPS, GridHash, Point, close_to, convex_combination, distance
+from .actions import (
+    Absorb,
+    Action,
+    Annotate,
+    Barrier,
+    Fork,
+    Look,
+    Move,
+    MovePath,
+    Program,
+    Result,
+    RobotView,
+    Snapshot,
+    Wait,
+    WaitUntil,
+    Wake,
+)
+from .errors import (
+    AbsorbError,
+    BarrierError,
+    CoLocationError,
+    EnergyBudgetExceeded,
+    ForkError,
+    ProtocolError,
+    RunawayProcessError,
+    SimulationDeadlock,
+    WakeError,
+)
+from .trace import Trace
+from .world import CO_LOCATION_TOL, VISIBILITY_RADIUS, World
+
+__all__ = ["Engine", "ProcessView", "SimulationResult"]
+
+#: Hard cap on consecutive zero-time actions per resume, to turn infinite
+#: compute loops into a diagnosable error instead of a hang.
+_MAX_IMMEDIATE_ACTIONS = 2_000_000
+
+
+class _Process:
+    """Engine-internal process record."""
+
+    __slots__ = (
+        "pid",
+        "generator",
+        "robot_ids",
+        "position",
+        "state",
+        "started",
+        "motion_from",
+        "motion_start",
+        "motion_to",
+        "motion_end",
+        "motion_bbox",
+    )
+
+    def __init__(
+        self,
+        pid: int,
+        generator: Generator[Action, Result, None],
+        robot_ids: list[int],
+        position: Point,
+    ) -> None:
+        self.pid = pid
+        self.generator = generator
+        self.robot_ids = robot_ids
+        self.position = position
+        self.state = "ready"  # ready | moving | waiting | barrier | done
+        self.started = False
+        # Motion state, valid while state == "moving"; lets other processes
+        # interpolate this process's position for Look snapshots.
+        self.motion_from: Point | None = None
+        self.motion_start = 0.0
+        self.motion_to: Point | None = None
+        self.motion_end = 0.0
+        # Axis-aligned bounds of the current segment, pre-expanded by the
+        # visibility radius: a cheap reject for snapshot queries.
+        self.motion_bbox: tuple[float, float, float, float] | None = None
+
+    def position_at(self, time: float) -> Point:
+        if self.state != "moving" or self.motion_from is None or self.motion_to is None:
+            return self.position
+        if time >= self.motion_end:
+            return self.motion_to
+        if time <= self.motion_start:
+            return self.motion_from
+        span = self.motion_end - self.motion_start
+        t = (time - self.motion_start) / span if span > 0 else 1.0
+        return convex_combination(self.motion_from, self.motion_to, t)
+
+
+class ProcessView:
+    """What a program may know about its own process.
+
+    This is the process's *local* state — id, owned robots, position and the
+    global clock the model grants every awake robot — never information
+    about other robots (that must come from ``Look`` or exchanges).
+    """
+
+    def __init__(self, engine: "Engine", pid: int) -> None:
+        self._engine = engine
+        self.pid = pid
+
+    @property
+    def robot_ids(self) -> tuple[int, ...]:
+        return tuple(self._engine._processes[self.pid].robot_ids)
+
+    @property
+    def position(self) -> Point:
+        return self._engine._processes[self.pid].position
+
+    @property
+    def time(self) -> float:
+        return self._engine.now
+
+    @property
+    def team_size(self) -> int:
+        return len(self._engine._processes[self.pid].robot_ids)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ProcessView(pid={self.pid}, robots={self.robot_ids})"
+
+
+class _BarrierState:
+    __slots__ = ("parties", "arrived", "payloads", "released")
+
+    def __init__(self, parties: int) -> None:
+        self.parties = parties
+        self.arrived: list[int] = []
+        self.payloads: list[Any] = []
+        self.released = False
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of a simulation run."""
+
+    makespan: float            # time of the last wake (paper's makespan)
+    termination_time: float    # last event processed (moves/waits included)
+    woke_all: bool
+    awake_count: int
+    n: int
+    max_energy: float          # max per-robot odometer
+    total_energy: float
+    snapshots: int
+    trace: Trace
+    wake_times: dict[int, float]
+
+    def summary(self) -> str:
+        status = "all awake" if self.woke_all else f"{self.awake_count}/{self.n + 1} awake"
+        return (
+            f"makespan={self.makespan:.3f} end={self.termination_time:.3f} "
+            f"({status}) max_energy={self.max_energy:.3f} looks={self.snapshots}"
+        )
+
+
+class Engine:
+    """Discrete-event executor for robot-process programs."""
+
+    def __init__(
+        self,
+        world: World,
+        trace: Trace | None = None,
+        co_location_tol: float = CO_LOCATION_TOL,
+    ) -> None:
+        self.world = world
+        self.trace = trace if trace is not None else Trace()
+        self.now = 0.0
+        self.co_location_tol = co_location_tol
+        self._processes: Dict[int, _Process] = {}
+        self._owned: set[int] = set()        # robots owned by a live process
+        self._idle_robots: set[int] = set()  # awake robots with no live process
+        self._idle_index = GridHash(cell_size=VISIBILITY_RADIUS)
+        # Snapshot acceleration: stationary processes are spatially indexed
+        # by pid; only the (few) currently-moving processes are scanned
+        # linearly with position interpolation.
+        self._stationary = GridHash(cell_size=VISIBILITY_RADIUS)
+        self._moving: set[int] = set()
+        self._barriers: Dict[Any, _BarrierState] = {}
+        self._queue: list[tuple[float, int, int, Any]] = []
+        self._seq = itertools.count()
+        self._pid_counter = itertools.count()
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def spawn(
+        self,
+        program: Program,
+        robot_ids: Sequence[int],
+        position: Point | None = None,
+    ) -> int:
+        """Create a process owning ``robot_ids`` and schedule its start.
+
+        All robots must be awake, unowned, and co-located; ``position``
+        defaults to the first robot's current position.
+        """
+        ids = list(robot_ids)
+        if not ids:
+            raise ProtocolError("a process needs at least one robot")
+        for rid in ids:
+            robot = self.world.robots[rid]
+            if not robot.awake:
+                raise ProtocolError(f"robot {rid} is asleep; cannot join a process")
+            if rid in self._owned:
+                raise ProtocolError(f"robot {rid} is already owned by a process")
+        base = self.world.robots[ids[0]].position if position is None else position
+        for rid in ids:
+            if not close_to(self.world.robots[rid].position, base, self.co_location_tol):
+                raise CoLocationError(f"robot {rid} is not at {base}")
+            self._idle_robots.discard(rid)
+            self._idle_index.discard(rid)
+            self._owned.add(rid)
+        pid = next(self._pid_counter)
+        generator = program(ProcessView(self, pid))
+        proc = _Process(pid, generator, ids, base)
+        self._processes[pid] = proc
+        self._stationary.insert(pid, base)
+        self._schedule(self.now, pid, Result(self.now, None))
+        self.trace.record(self.now, "process_start", pid, robots=list(ids))
+        return pid
+
+    def run(self, until: float | None = None) -> SimulationResult:
+        """Process events until the queue drains (or ``until`` is reached)."""
+        self._started = True
+        while self._queue:
+            time, _seq, pid, value = heapq.heappop(self._queue)
+            if until is not None and time > until:
+                # Push back so a subsequent run() can continue.
+                self._schedule(time, pid, value)
+                break
+            self.now = max(self.now, time)
+            proc = self._processes.get(pid)
+            if proc is None or proc.state == "done":
+                continue
+            if isinstance(value.value, _SegmentCont):
+                # Intermediate polyline waypoint: sync position, start the
+                # next segment — the generator is not resumed yet.
+                if proc.motion_to is not None:
+                    proc.position = proc.motion_to
+                    for rid in proc.robot_ids:
+                        self.world.robots[rid].position = proc.position
+                value.value.advance()
+                continue
+            self._resume(proc, value)
+        if until is None and self._blocked_parties():
+            raise SimulationDeadlock(
+                "event queue drained with processes blocked on barriers: "
+                + ", ".join(
+                    f"{key!r} ({len(st.arrived)}/{st.parties})"
+                    for key, st in self._barriers.items()
+                    if not st.released
+                )
+            )
+        return self._result()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _blocked_parties(self) -> bool:
+        return any(not st.released and st.arrived for st in self._barriers.values())
+
+    def _schedule(self, time: float, pid: int, value: Result) -> None:
+        heapq.heappush(self._queue, (time, next(self._seq), pid, value))
+
+    def _resume(self, proc: _Process, value: Result) -> None:
+        # Complete any in-flight motion bookkeeping.
+        if proc.state == "moving" and proc.motion_to is not None:
+            proc.position = proc.motion_to
+            for rid in proc.robot_ids:
+                self.world.robots[rid].position = proc.position
+            proc.motion_from = proc.motion_to = None
+            self._moving.discard(proc.pid)
+            self._stationary.discard(proc.pid)
+            self._stationary.insert(proc.pid, proc.position)
+        proc.state = "ready"
+
+        for _ in range(_MAX_IMMEDIATE_ACTIONS):
+            try:
+                if proc.started:
+                    action = proc.generator.send(value)
+                else:
+                    proc.started = True
+                    action = proc.generator.send(None)
+            except StopIteration:
+                self._finish(proc)
+                return
+            handled = self._dispatch(proc, action)
+            if handled is None:
+                return  # process blocked or scheduled for later
+            value = handled
+
+        raise RunawayProcessError(
+            f"process {proc.pid} issued more than {_MAX_IMMEDIATE_ACTIONS} "
+            "zero-time actions in a row"
+        )
+
+    def _finish(self, proc: _Process) -> None:
+        proc.state = "done"
+        self._stationary.discard(proc.pid)
+        self._moving.discard(proc.pid)
+        for rid in proc.robot_ids:
+            self._idle_robots.add(rid)
+            self._idle_index.insert(rid, self.world.robots[rid].position)
+            self._owned.discard(rid)
+        self.trace.record(self.now, "process_end", proc.pid, robots=list(proc.robot_ids))
+        del self._processes[proc.pid]
+        # Idle robots keep their last (already synced) positions and remain
+        # visible to Look via the idle index.
+
+    def _dispatch(self, proc: _Process, action: Action) -> Result | None:
+        """Execute one action.
+
+        Returns a :class:`Result` when the action completed instantly (the
+        caller loop feeds it straight back to the generator) or ``None``
+        when the process was re-scheduled / blocked.
+        """
+        if isinstance(action, Move):
+            return self._do_move(proc, (action.target,))
+        if isinstance(action, MovePath):
+            return self._do_move(proc, action.waypoints)
+        if isinstance(action, Wait):
+            if action.duration < -EPS:
+                raise ProtocolError(f"negative wait: {action.duration}")
+            self._set_waiting(proc, self.now + max(0.0, action.duration))
+            return None
+        if isinstance(action, WaitUntil):
+            self._set_waiting(proc, max(self.now, action.time))
+            return None
+        if isinstance(action, Look):
+            return Result(self.now, self._do_look(proc))
+        if isinstance(action, Wake):
+            return Result(self.now, self._do_wake(proc, action))
+        if isinstance(action, Fork):
+            return Result(self.now, self._do_fork(proc, action))
+        if isinstance(action, Barrier):
+            return self._do_barrier(proc, action)
+        if isinstance(action, Absorb):
+            return Result(self.now, self._do_absorb(proc, action))
+        if isinstance(action, Annotate):
+            self.trace.record(
+                self.now, "phase", proc.pid, label=action.label, data=action.data
+            )
+            return Result(self.now, None)
+        raise ProtocolError(f"unknown action {action!r}")
+
+    # -- timed actions ------------------------------------------------------
+    def _set_waiting(self, proc: _Process, wake_at: float) -> None:
+        proc.state = "waiting"
+        self._schedule(wake_at, proc.pid, Result(wake_at, None))
+
+    def _do_move(self, proc: _Process, waypoints: Sequence[Point]) -> None:
+        # Collapse the polyline into successive segments; we schedule the
+        # final arrival only, but track the *current* segment for position
+        # interpolation by charging segments one at a time.
+        remaining = [w for w in waypoints]
+        if not remaining:
+            raise ProtocolError("empty move")
+        # Filter out zero-length prefixes.
+        length = 0.0
+        prev = proc.position
+        for w in remaining:
+            length += distance(prev, w)
+            prev = w
+        for rid in proc.robot_ids:
+            robot = self.world.robots[rid]
+            if not robot.can_move(length):
+                raise EnergyBudgetExceeded(
+                    rid, robot.odometer + length, robot.budget
+                )
+        if length <= EPS:
+            # Zero-length move: stay put, complete immediately by scheduling
+            # at the current time (keeps semantics uniform).
+            proc.position = remaining[-1] if remaining else proc.position
+            self._stationary.discard(proc.pid)
+            self._stationary.insert(proc.pid, proc.position)
+            self._schedule(self.now, proc.pid, Result(self.now, None))
+            proc.state = "waiting"
+            return None
+        for rid in proc.robot_ids:
+            self.world.robots[rid].charge(length)
+        self._stationary.discard(proc.pid)
+        self._moving.add(proc.pid)
+        # For interpolation we expose the straight chord of the first..last
+        # segment only when the path is a single segment; multi-segment
+        # paths are walked segment-by-segment via chained events.
+        if len(remaining) == 1:
+            self._begin_segment(proc, remaining[0])
+        else:
+            self._begin_polyline(proc, remaining)
+        self.trace.record(
+            self.now, "move", proc.pid, length=length,
+            to=remaining[-1], waypoints=len(remaining),
+            robots=len(proc.robot_ids),
+        )
+        return None
+
+    def _begin_segment(self, proc: _Process, target: Point) -> None:
+        length = distance(proc.position, target)
+        proc.state = "moving"
+        proc.motion_from = proc.position
+        proc.motion_start = self.now
+        proc.motion_to = target
+        proc.motion_end = self.now + length
+        proc.motion_bbox = _segment_bbox(proc.position, target)
+        self._schedule(proc.motion_end, proc.pid, Result(proc.motion_end, None))
+
+    def _begin_polyline(self, proc: _Process, waypoints: Sequence[Point]) -> None:
+        """Walk a polyline with exact per-segment positions.
+
+        Implemented by chaining an internal generator: we wrap the original
+        generator resume by scheduling intermediate arrivals that only
+        update motion state.  To keep the engine simple the polyline is
+        flattened here into per-segment events carried in the queue value.
+        """
+        # Store pending waypoints on the process by chaining through the
+        # queue: each event updates to the next segment until exhausted.
+        segments = list(waypoints)
+
+        def advance() -> None:
+            if not segments:
+                return
+            target = segments.pop(0)
+            length = distance(proc.position, target)
+            proc.state = "moving"
+            proc.motion_from = proc.position
+            proc.motion_start = self.now
+            proc.motion_to = target
+            proc.motion_end = self.now + length
+            proc.motion_bbox = _segment_bbox(proc.position, target)
+            if segments:
+                self._schedule(
+                    proc.motion_end, proc.pid, Result(proc.motion_end, _SegmentCont(advance))
+                )
+            else:
+                self._schedule(proc.motion_end, proc.pid, Result(proc.motion_end, None))
+
+        advance()
+
+    # -- instantaneous actions -------------------------------------------
+    def _do_look(self, proc: _Process) -> Snapshot:
+        center = proc.position
+        views: list[RobotView] = []
+        # Sleeping robots: static index.
+        for robot in self.world.sleeping_within(center, VISIBILITY_RADIUS):
+            views.append(RobotView(robot.robot_id, robot.position, False))
+        # Awake robots: live processes (interpolated) + idle robots.
+        for pid, pos in self._stationary.query_ball(center, VISIBILITY_RADIUS):
+            for rid in self._processes[pid].robot_ids:
+                views.append(RobotView(rid, pos, True))
+        cx, cy = center
+        for pid in self._moving:
+            other = self._processes[pid]
+            bbox = other.motion_bbox
+            if bbox is not None and not (
+                bbox[0] <= cx <= bbox[2] and bbox[1] <= cy <= bbox[3]
+            ):
+                continue
+            pos = other.position_at(self.now)
+            if distance(pos, center) <= VISIBILITY_RADIUS + EPS:
+                for rid in other.robot_ids:
+                    views.append(RobotView(rid, pos, True))
+        for rid, pos in self._idle_index.query_ball(center, VISIBILITY_RADIUS):
+            views.append(RobotView(rid, pos, True))
+        views.sort(key=lambda v: v.robot_id)
+        self.trace.record(self.now, "look", proc.pid, count=len(views), at=center)
+        return Snapshot(self.now, center, tuple(views))
+
+    def _do_wake(self, proc: _Process, action: Wake) -> int | None:
+        robot = self.world.robots.get(action.robot_id)
+        if robot is None:
+            raise WakeError(f"unknown robot {action.robot_id}")
+        if robot.awake:
+            raise WakeError(f"robot {action.robot_id} is already awake")
+        if not close_to(robot.position, proc.position, self.co_location_tol):
+            raise CoLocationError(
+                f"process {proc.pid} at {proc.position} cannot wake robot "
+                f"{action.robot_id} at {robot.position}"
+            )
+        waker = proc.robot_ids[0]
+        self.world.mark_awake(action.robot_id, self.now, waker)
+        robot.position = proc.position
+        self.trace.record(
+            self.now, "wake", proc.pid,
+            robot=action.robot_id, waker=waker, position=robot.position,
+        )
+        self._owned.add(action.robot_id)
+        if action.program is None:
+            proc.robot_ids.append(action.robot_id)
+            return None
+        pid = next(self._pid_counter)
+        generator = action.program(ProcessView(self, pid))
+        child = _Process(pid, generator, [action.robot_id], robot.position)
+        self._processes[pid] = child
+        self._stationary.insert(pid, robot.position)
+        self._schedule(self.now, pid, Result(self.now, None))
+        self.trace.record(self.now, "process_start", pid, robots=[action.robot_id])
+        return pid
+
+    def _do_fork(self, proc: _Process, action: Fork) -> list[int]:
+        owned = set(proc.robot_ids)
+        assigned: set[int] = set()
+        for ids, _prog in action.assignments:
+            for rid in ids:
+                if rid not in owned:
+                    raise ForkError(f"process {proc.pid} does not own robot {rid}")
+                if rid in assigned:
+                    raise ForkError(f"robot {rid} assigned twice in fork")
+                assigned.add(rid)
+        if assigned == owned:
+            raise ForkError("fork must leave at least one robot with the parent")
+        children: list[int] = []
+        for ids, prog in action.assignments:
+            if not ids:
+                raise ForkError("empty robot group in fork")
+            pid = next(self._pid_counter)
+            generator = prog(ProcessView(self, pid))
+            child = _Process(pid, generator, list(ids), proc.position)
+            self._processes[pid] = child
+            self._stationary.insert(pid, proc.position)
+            self._schedule(self.now, pid, Result(self.now, None))
+            self.trace.record(self.now, "process_start", pid, robots=list(ids))
+            children.append(pid)
+        proc.robot_ids = [rid for rid in proc.robot_ids if rid not in assigned]
+        self.trace.record(self.now, "fork", proc.pid, children=children)
+        return children
+
+    def _do_barrier(self, proc: _Process, action: Barrier) -> None:
+        state = self._barriers.get(action.key)
+        if state is None or state.released:
+            state = _BarrierState(action.parties)
+            self._barriers[action.key] = state
+        if state.parties != action.parties:
+            raise BarrierError(
+                f"barrier {action.key!r}: party count mismatch "
+                f"({state.parties} != {action.parties})"
+            )
+        if proc.pid in state.arrived:
+            raise BarrierError(f"process {proc.pid} hit barrier {action.key!r} twice")
+        state.arrived.append(proc.pid)
+        state.payloads.append(action.payload)
+        proc.state = "barrier"
+        if len(state.arrived) < state.parties:
+            return None
+        # Last party: verify co-location of all parties, then release.
+        positions = [self._processes[p].position for p in state.arrived]
+        for pos in positions[1:]:
+            if not close_to(pos, positions[0], self.co_location_tol):
+                raise BarrierError(
+                    f"barrier {action.key!r} released with parties at distinct "
+                    f"positions {positions[0]} vs {pos}"
+                )
+        state.released = True
+        payloads = list(state.payloads)
+        self.trace.record(
+            self.now, "barrier", proc.pid, key=repr(action.key), parties=state.parties
+        )
+        for pid in state.arrived:
+            self._schedule(self.now, pid, Result(self.now, payloads))
+        return None
+
+    def _do_absorb(self, proc: _Process, action: Absorb) -> int:
+        for rid in action.robot_ids:
+            robot = self.world.robots.get(rid)
+            if robot is None or not robot.awake:
+                raise AbsorbError(f"robot {rid} is not an awake robot")
+            if rid not in self._idle_robots:
+                raise AbsorbError(f"robot {rid} is not idle (still owned)")
+            if not close_to(robot.position, proc.position, self.co_location_tol):
+                raise AbsorbError(
+                    f"robot {rid} at {robot.position} is not co-located with "
+                    f"process {proc.pid} at {proc.position}"
+                )
+        for rid in action.robot_ids:
+            self._idle_robots.remove(rid)
+            self._idle_index.discard(rid)
+            self._owned.add(rid)
+            proc.robot_ids.append(rid)
+            self.world.robots[rid].position = proc.position
+        self.trace.record(self.now, "absorb", proc.pid, robots=list(action.robot_ids))
+        return len(action.robot_ids)
+
+    # -- results -------------------------------------------------------------
+    def _result(self) -> SimulationResult:
+        awake = sum(1 for r in self.world.robots.values() if r.awake)
+        return SimulationResult(
+            makespan=self.world.last_wake_time,
+            termination_time=self.now,
+            woke_all=self.world.all_awake(),
+            awake_count=awake,
+            n=self.world.n,
+            max_energy=self.world.max_odometer(),
+            total_energy=self.world.total_odometer(),
+            snapshots=self.trace.look_count,
+            trace=self.trace,
+            wake_times=self.world.wake_times(),
+        )
+
+
+class _SegmentCont:
+    """Queue value signalling 'advance to the next polyline segment'."""
+
+    __slots__ = ("advance",)
+
+    def __init__(self, advance) -> None:
+        self.advance = advance
+
+
+def _segment_bbox(a: Point, b: Point) -> tuple[float, float, float, float]:
+    """Axis bounds of segment ``ab`` expanded by the visibility radius."""
+    pad = VISIBILITY_RADIUS + 1e-9
+    return (
+        min(a[0], b[0]) - pad,
+        min(a[1], b[1]) - pad,
+        max(a[0], b[0]) + pad,
+        max(a[1], b[1]) + pad,
+    )

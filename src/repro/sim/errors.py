@@ -1,0 +1,75 @@
+"""Exception hierarchy of the swarm simulator.
+
+All simulator errors derive from :class:`SimulationError`; algorithm bugs
+(waking a non-co-located robot, absorbing a busy robot, malformed forks)
+surface as :class:`ProtocolError` subtypes so tests can assert on the exact
+violation.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SimulationError",
+    "ProtocolError",
+    "CoLocationError",
+    "WakeError",
+    "AbsorbError",
+    "ForkError",
+    "BarrierError",
+    "EnergyBudgetExceeded",
+    "SimulationDeadlock",
+    "RunawayProcessError",
+]
+
+
+class SimulationError(Exception):
+    """Base class for every simulator failure."""
+
+
+class ProtocolError(SimulationError):
+    """An algorithm violated the model's interaction rules."""
+
+
+class CoLocationError(ProtocolError):
+    """An action requiring co-location was attempted at a distance."""
+
+
+class WakeError(ProtocolError):
+    """Waking failed: robot unknown, already awake, or not co-located."""
+
+
+class AbsorbError(ProtocolError):
+    """Absorbing failed: robot not idle or not co-located."""
+
+
+class ForkError(ProtocolError):
+    """A fork referenced robots the process does not own, or reused one."""
+
+
+class BarrierError(ProtocolError):
+    """Inconsistent barrier usage (mismatched party counts, reused key)."""
+
+
+class EnergyBudgetExceeded(SimulationError):
+    """A move would push a robot past its energy budget.
+
+    Carries the offending robot id and the overshoot so experiments can
+    report *which* robot died and how far over it tried to go.
+    """
+
+    def __init__(self, robot_id: int, attempted: float, budget: float) -> None:
+        super().__init__(
+            f"robot {robot_id} attempted total movement {attempted:.6f} "
+            f"exceeding budget {budget:.6f}"
+        )
+        self.robot_id = robot_id
+        self.attempted = attempted
+        self.budget = budget
+
+
+class SimulationDeadlock(SimulationError):
+    """The event queue drained while processes were still blocked."""
+
+
+class RunawayProcessError(SimulationError):
+    """A process issued an implausible number of zero-time actions."""

@@ -1,0 +1,128 @@
+"""Execution traces.
+
+The engine appends a :class:`TraceEvent` for every observable step: wakes,
+moves, barriers, forks, process lifecycle, and the zero-cost ``Annotate``
+markers algorithms emit to label their phases.  The trace is the raw
+material for the metrics module (wake curves, energy, phase timelines) and
+for the FIG1/FIG2 phase-duration benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+__all__ = ["TraceEvent", "Trace", "PhaseInterval"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timestamped event."""
+
+    time: float
+    kind: str           # 'wake' | 'move' | 'look' | 'fork' | 'barrier' |
+                        # 'absorb' | 'process_start' | 'process_end' | 'phase'
+    process_id: int
+    data: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class PhaseInterval:
+    """A labelled phase reconstructed from consecutive markers."""
+
+    label: str
+    process_id: int
+    start: float
+    end: float
+    data: Any = None
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Trace:
+    """Append-only event log with query helpers."""
+
+    def __init__(self, enabled: bool = True, keep_looks: bool = False) -> None:
+        self.enabled = enabled
+        #: ``look`` events are by far the most numerous; they are dropped by
+        #: default and only retained when a test explicitly asks for them.
+        self.keep_looks = keep_looks
+        self.events: list[TraceEvent] = []
+        self._look_count = 0
+
+    # -- recording (engine only) ------------------------------------------
+    def record(self, time: float, kind: str, process_id: int, **data: Any) -> None:
+        if kind == "look":
+            self._look_count += 1
+            if not self.keep_looks:
+                return
+        if self.enabled:
+            self.events.append(TraceEvent(time, kind, process_id, data))
+
+    # -- queries ---------------------------------------------------------
+    @property
+    def look_count(self) -> int:
+        """Total snapshots taken (counted even when not retained)."""
+        return self._look_count
+
+    def of_kind(self, kind: str) -> list[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def filter(self, predicate: Callable[[TraceEvent], bool]) -> list[TraceEvent]:
+        return [e for e in self.events if predicate(e)]
+
+    def wake_events(self) -> list[TraceEvent]:
+        return self.of_kind("wake")
+
+    def total_move_length(self) -> float:
+        return sum(e.data.get("length", 0.0) for e in self.of_kind("move"))
+
+    def phases(self, label_prefix: str = "") -> list[PhaseInterval]:
+        """Phase intervals per process from consecutive ``phase`` markers.
+
+        Each ``Annotate`` marker opens a phase for its process and closes
+        the previous one; a process-end event closes the last open phase.
+        Only labels starting with ``label_prefix`` are returned (empty
+        prefix keeps everything).
+        """
+        open_phase: dict[int, tuple[str, float, Any]] = {}
+        intervals: list[PhaseInterval] = []
+
+        def close(pid: int, end: float) -> None:
+            if pid in open_phase:
+                label, start, data = open_phase.pop(pid)
+                intervals.append(PhaseInterval(label, pid, start, end, data))
+
+        last_time = 0.0
+        for event in self.events:
+            last_time = max(last_time, event.time)
+            if event.kind == "phase":
+                close(event.process_id, event.time)
+                open_phase[event.process_id] = (
+                    event.data.get("label", ""),
+                    event.time,
+                    event.data.get("data"),
+                )
+            elif event.kind == "process_end":
+                close(event.process_id, event.time)
+        for pid in list(open_phase):
+            close(pid, last_time)
+        intervals.sort(key=lambda iv: (iv.start, iv.process_id))
+        if label_prefix:
+            intervals = [iv for iv in intervals if iv.label.startswith(label_prefix)]
+        return intervals
+
+    def phase_durations(self) -> dict[str, float]:
+        """Total duration per phase label, summed across processes."""
+        totals: dict[str, float] = {}
+        for interval in self.phases():
+            totals[interval.label] = totals.get(interval.label, 0.0) + interval.duration
+        return totals
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -1,0 +1,139 @@
+"""The world: robot registry, visibility index, wake bookkeeping.
+
+The world is engine-internal ground truth.  Distributed programs never read
+it directly — they learn about other robots exclusively through ``Look``
+snapshots and co-located exchanges, as the model prescribes.  Tests and
+metrics, on the other hand, inspect the world freely (it plays the role of
+the omniscient observer used in the paper's proofs).
+
+Sleeping robots never move, so they are indexed once in a unit-cell
+:class:`~repro.geometry.gridhash.GridHash` keyed for the distance-1
+snapshot queries; a robot is removed from the index the moment it wakes.
+Awake robots are tracked by the engine's processes (their positions change
+with their process), plus a registry of *idle* awake robots whose process
+has finished.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence
+
+from ..geometry import EPS, GridHash, Point
+from .robot import SOURCE_ID, Robot
+
+__all__ = ["World", "VISIBILITY_RADIUS", "CO_LOCATION_TOL"]
+
+#: The paper's visibility radius: awake robots see robots "in its
+#: distance-1 vicinity".
+VISIBILITY_RADIUS = 1.0
+
+#: Tolerance for co-location checks (wake, absorb, barrier exchange).
+#: Positions are produced as exact move targets, so genuine rendezvous are
+#: exact; the slack only forgives accumulated float error in computed
+#: meeting points.
+CO_LOCATION_TOL = 1e-6
+
+
+class World:
+    """Ground-truth state of a simulation."""
+
+    def __init__(
+        self,
+        source: Point,
+        positions: Sequence[Point],
+        budget: float = math.inf,
+        source_budget: float | None = None,
+    ) -> None:
+        """Create a world with an awake source and ``len(positions)`` sleepers.
+
+        ``budget`` applies to every robot (the paper's uniform energy budget
+        ``B``); ``source_budget`` optionally overrides it for the source.
+        """
+        self.robots: Dict[int, Robot] = {}
+        self.robots[SOURCE_ID] = Robot(
+            robot_id=SOURCE_ID,
+            home=source,
+            position=source,
+            awake=True,
+            wake_time=0.0,
+            budget=budget if source_budget is None else source_budget,
+        )
+        self._sleeping_index = GridHash(cell_size=VISIBILITY_RADIUS)
+        for i, p in enumerate(positions, start=1):
+            self.robots[i] = Robot(robot_id=i, home=p, position=p, budget=budget)
+            self._sleeping_index.insert(i, p)
+        self.last_wake_time = 0.0
+        self._wake_order: list[int] = [SOURCE_ID]
+
+    # -- queries -------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of initially-asleep robots (the paper's ``n``)."""
+        return len(self.robots) - 1
+
+    @property
+    def source(self) -> Robot:
+        return self.robots[SOURCE_ID]
+
+    def sleeping_within(self, center: Point, radius: float) -> list[Robot]:
+        """Sleeping robots in the closed ball ``B(center, radius)``."""
+        return [
+            self.robots[rid]
+            for rid, _ in self._sleeping_index.query_ball(center, radius, tol=EPS)
+        ]
+
+    def sleeping_count(self) -> int:
+        return len(self._sleeping_index)
+
+    def all_awake(self) -> bool:
+        return len(self._sleeping_index) == 0
+
+    def awake_robots(self) -> list[Robot]:
+        return [r for r in self.robots.values() if r.awake]
+
+    def wake_order(self) -> list[int]:
+        """Robot ids in wake order (source first)."""
+        return list(self._wake_order)
+
+    def wake_times(self) -> dict[int, float]:
+        """Wake time per awake robot id."""
+        return {
+            r.robot_id: r.wake_time
+            for r in self.robots.values()
+            if r.awake and r.wake_time is not None
+        }
+
+    def max_odometer(self) -> float:
+        """Largest per-robot travelled distance (energy usage)."""
+        return max(r.odometer for r in self.robots.values())
+
+    def total_odometer(self) -> float:
+        """Total distance travelled by the swarm."""
+        return sum(r.odometer for r in self.robots.values())
+
+    # -- mutation (engine only) ------------------------------------------
+    def mark_awake(self, robot_id: int, time: float, waker_id: int | None) -> Robot:
+        """Flip a sleeping robot to awake (engine-internal)."""
+        robot = self.robots[robot_id]
+        if robot.awake:
+            raise ValueError(f"robot {robot_id} is already awake")
+        robot.awake = True
+        robot.wake_time = time
+        robot.waker_id = waker_id
+        self._sleeping_index.remove(robot_id)
+        self.last_wake_time = max(self.last_wake_time, time)
+        self._wake_order.append(robot_id)
+        return robot
+
+    # -- convenience ---------------------------------------------------------
+    def homes(self) -> list[Point]:
+        """Initial positions of the initially-asleep robots, in id order."""
+        return [self.robots[i].home for i in range(1, len(self.robots))]
+
+    def describe(self) -> str:
+        awake = sum(1 for r in self.robots.values() if r.awake)
+        return (
+            f"World(n={self.n}, awake={awake}/{len(self.robots)}, "
+            f"last_wake={self.last_wake_time:.3f})"
+        )

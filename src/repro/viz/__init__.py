@@ -1,0 +1,13 @@
+"""Terminal visualization and trace export helpers."""
+
+from .ascii import render_instance, render_wake_times, wake_histogram
+from .export import result_to_dict, trace_to_jsonl, wake_times_to_csv
+
+__all__ = [
+    "render_instance",
+    "render_wake_times",
+    "wake_histogram",
+    "result_to_dict",
+    "trace_to_jsonl",
+    "wake_times_to_csv",
+]

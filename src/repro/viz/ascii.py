@@ -1,0 +1,98 @@
+"""ASCII rendering of instances and wake waves.
+
+Terminal-friendly visualization (the repo has no plotting dependency):
+robots are drawn on a character grid, either by status or by wake-time
+bucket, which makes the wave algorithms' ring-by-ring progress visible in
+a terminal or a CI log.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..geometry import Point, enclosing_rect
+from ..instances import Instance
+
+__all__ = ["render_instance", "render_wake_times", "wake_histogram"]
+
+_BUCKETS = "0123456789abcdefghijklmnopqrstuvwxyz"
+
+
+def _canvas(
+    points: Sequence[Point], width: int, height: int
+) -> tuple[list[list[str]], float, float, float, float]:
+    box = enclosing_rect(points, margin=1e-9)
+    grid = [[" "] * width for _ in range(height)]
+    return grid, box.xmin, box.ymin, max(box.width, 1e-9), max(box.height, 1e-9)
+
+
+def _plot(
+    grid: list[list[str]],
+    x0: float,
+    y0: float,
+    w: float,
+    h: float,
+    p: Point,
+    char: str,
+) -> None:
+    width, height = len(grid[0]), len(grid)
+    col = min(width - 1, int((p[0] - x0) / w * (width - 1)))
+    row = min(height - 1, int((p[1] - y0) / h * (height - 1)))
+    grid[height - 1 - row][col] = char
+
+
+def render_instance(instance: Instance, width: int = 72, height: int = 24) -> str:
+    """Draw the instance: ``S`` is the source, ``.`` a sleeping robot."""
+    pts = [instance.source, *instance.positions]
+    grid, x0, y0, w, h = _canvas(pts, width, height)
+    for p in instance.positions:
+        _plot(grid, x0, y0, w, h, p, ".")
+    _plot(grid, x0, y0, w, h, instance.source, "S")
+    return "\n".join("".join(row) for row in grid)
+
+
+def render_wake_times(
+    instance: Instance,
+    wake_times: Mapping[int, float],
+    width: int = 72,
+    height: int = 24,
+    buckets: int = 10,
+) -> str:
+    """Draw robots colored by wake-time decile (0 = earliest).
+
+    Unwoken robots render as ``#`` — a visual all-awake check.
+    """
+    pts = [instance.source, *instance.positions]
+    grid, x0, y0, w, h = _canvas(pts, width, height)
+    times = [t for rid, t in wake_times.items() if rid != 0]
+    horizon = max(times, default=0.0)
+    buckets = min(buckets, len(_BUCKETS))
+    for rid, p in enumerate(instance.positions, start=1):
+        if rid in wake_times:
+            frac = wake_times[rid] / horizon if horizon > 0 else 0.0
+            char = _BUCKETS[min(buckets - 1, int(frac * buckets))]
+        else:
+            char = "#"
+        _plot(grid, x0, y0, w, h, p, char)
+    _plot(grid, x0, y0, w, h, instance.source, "S")
+    return "\n".join("".join(row) for row in grid)
+
+
+def wake_histogram(
+    wake_times: Mapping[int, float], bins: int = 20, width: int = 50
+) -> str:
+    """Horizontal ASCII histogram of wake times."""
+    times = sorted(t for rid, t in wake_times.items() if rid != 0)
+    if not times:
+        return "(no robots)"
+    horizon = times[-1] or 1.0
+    counts = [0] * bins
+    for t in times:
+        counts[min(bins - 1, int(t / horizon * bins))] += 1
+    peak = max(counts)
+    lines = []
+    for i, c in enumerate(counts):
+        bar = "#" * (int(c / peak * width) if peak else 0)
+        lo = horizon * i / bins
+        lines.append(f"{lo:10.1f} | {bar} {c}")
+    return "\n".join(lines)

@@ -1,0 +1,76 @@
+"""Trace and result export (CSV / JSON Lines).
+
+Simulation traces are the raw record of a run; exporting them lets users
+post-process with pandas/duckdb or feed external plotting without adding
+plotting dependencies here.  Points are flattened to ``x``/``y`` columns
+and event payloads JSON-encoded.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from ..geometry import Point
+from ..sim import SimulationResult, Trace
+
+__all__ = ["trace_to_jsonl", "wake_times_to_csv", "result_to_dict"]
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, Point):
+        return {"x": value.x, "y": value.y}
+    if isinstance(value, tuple):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, set, frozenset)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+def trace_to_jsonl(trace: Trace, path: str | Path) -> Path:
+    """Write every trace event as one JSON object per line."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w") as handle:
+        for event in trace:
+            handle.write(
+                json.dumps(
+                    {
+                        "time": event.time,
+                        "kind": event.kind,
+                        "process": event.process_id,
+                        "data": _jsonable(event.data),
+                    },
+                    separators=(",", ":"),
+                )
+                + "\n"
+            )
+    return target
+
+
+def wake_times_to_csv(result: SimulationResult, path: str | Path) -> Path:
+    """Write ``robot_id,wake_time`` rows (source included, time 0)."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    lines = ["robot_id,wake_time"]
+    for rid in sorted(result.wake_times):
+        lines.append(f"{rid},{result.wake_times[rid]!r}")
+    target.write_text("\n".join(lines) + "\n")
+    return target
+
+
+def result_to_dict(result: SimulationResult) -> dict[str, Any]:
+    """Flat JSON-ready summary of a run (no trace payload)."""
+    return {
+        "makespan": result.makespan,
+        "termination_time": result.termination_time,
+        "woke_all": result.woke_all,
+        "awake_count": result.awake_count,
+        "n": result.n,
+        "max_energy": result.max_energy,
+        "total_energy": result.total_energy,
+        "snapshots": result.snapshots,
+    }

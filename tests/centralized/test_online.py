@@ -1,0 +1,103 @@
+"""Online Freeze Tag extension: correctness and competitiveness."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.centralized.online import (
+    BW20_COMPETITIVE_RATIO,
+    OnlineRequest,
+    competitive_ratio,
+    offline_reference_makespan,
+    online_greedy,
+)
+from repro.geometry import Point, distance
+
+coords = st.floats(-10, 10, allow_nan=False, allow_infinity=False)
+releases = st.floats(0.0, 20.0, allow_nan=False, allow_infinity=False)
+request_lists = st.lists(
+    st.builds(
+        OnlineRequest,
+        position=st.builds(Point, coords, coords),
+        release=releases,
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+class TestOnlineGreedy:
+    @given(request_lists)
+    def test_everyone_served_after_release(self, requests):
+        outcome = online_greedy(Point(0, 0), requests)
+        assert all(math.isfinite(t) for t in outcome.wake_times)
+        for req, t in zip(requests, outcome.wake_times):
+            assert t >= req.release - 1e-9
+
+    @given(request_lists)
+    def test_wake_times_respect_travel(self, requests):
+        """A robot's wake time is at least its waker's wake time (or 0)
+        plus the distance from some prior position — at minimum, the
+        source-distance floor holds for the first wake."""
+        outcome = online_greedy(Point(0, 0), requests)
+        first = min(range(len(requests)), key=lambda i: outcome.wake_times[i])
+        assert outcome.wake_times[first] >= distance(
+            Point(0, 0), requests[first].position
+        ) - 1e-9
+
+    @given(request_lists)
+    def test_wakers_are_awake_before_waking(self, requests):
+        outcome = online_greedy(Point(0, 0), requests)
+        for i, waker in enumerate(outcome.waker_of):
+            if waker >= 0:
+                assert outcome.wake_times[waker] <= outcome.wake_times[i] + 1e-9
+
+    def test_zero_release_matches_greedy_flavor(self):
+        pts = [Point(1, 0), Point(2, 0), Point(-1, 0)]
+        requests = [OnlineRequest(p, 0.0) for p in pts]
+        outcome = online_greedy(Point(0, 0), requests)
+        assert outcome.makespan <= 6.0
+
+    def test_late_release_forces_waiting(self):
+        requests = [OnlineRequest(Point(1, 0), release=50.0)]
+        outcome = online_greedy(Point(0, 0), requests)
+        assert outcome.wake_times[0] >= 50.0
+
+    def test_empty(self):
+        outcome = online_greedy(Point(0, 0), [])
+        assert outcome.makespan == 0.0
+
+
+class TestCompetitiveness:
+    @given(request_lists)
+    @settings(max_examples=40)
+    def test_ratio_bounded_small_instances(self, requests):
+        ratio = competitive_ratio(Point(0, 0), requests)
+        assert ratio >= 1.0 - 1e-9
+        # The simple dispatcher is not [BW20]-optimal; random instances
+        # stay within a small constant of the certified lower bound.
+        assert ratio <= 6.0
+
+    def test_reference_lower_bounds_online(self):
+        rng = random.Random(7)
+        requests = [
+            OnlineRequest(
+                Point(rng.uniform(-5, 5), rng.uniform(-5, 5)),
+                rng.uniform(0, 10),
+            )
+            for _ in range(8)
+        ]
+        online = online_greedy(Point(0, 0), requests)
+        reference = offline_reference_makespan(Point(0, 0), requests)
+        assert online.makespan >= reference - 1e-9
+
+    def test_bw20_constant(self):
+        assert BW20_COMPETITIVE_RATIO == pytest.approx(1 + math.sqrt(2))
+
+    def test_simultaneous_release_ratio_near_one_for_chain(self):
+        # A single far request: online is optimal (ratio 1).
+        requests = [OnlineRequest(Point(9, 0), 0.0)]
+        assert competitive_ratio(Point(0, 0), requests) == pytest.approx(1.0)

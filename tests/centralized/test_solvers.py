@@ -1,0 +1,151 @@
+"""Solver correctness and quality: quadtree bound, exact optimality."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.centralized import (
+    PLANE_WAKEUP_CONSTANT_LOWER_BOUND,
+    QUADTREE_MAKESPAN_FACTOR,
+    chain_schedule,
+    exact_makespan,
+    exact_schedule,
+    greedy_schedule,
+    makespan_lower_bound,
+    quadtree_schedule,
+    radius_lower_bound,
+)
+from repro.geometry import Point, Rect, square_at_center
+
+coords = st.floats(-10, 10, allow_nan=False, allow_infinity=False)
+small_swarms = st.lists(st.tuples(coords, coords), min_size=1, max_size=6)
+swarms = st.lists(st.tuples(coords, coords), min_size=1, max_size=40)
+
+
+def _pts(raw):
+    return [Point(x, y) for x, y in raw]
+
+
+class TestQuadtree:
+    @given(swarms)
+    def test_valid_schedule(self, raw):
+        pts = _pts(raw)
+        s = quadtree_schedule(Point(0, 0), pts)
+        s.validate()
+
+    @given(swarms)
+    def test_makespan_bound(self, raw):
+        pts = _pts(raw)
+        region = square_at_center(Point(0, 0), 20.0)
+        s = quadtree_schedule(Point(0, 0), pts, region=region)
+        assert s.makespan() <= QUADTREE_MAKESPAN_FACTOR * 20.0 + 1e-9
+
+    @given(swarms)
+    def test_binary_tree_shape(self, raw):
+        # The paper's wake-up trees have at most two children per node.
+        s = quadtree_schedule(Point(0, 0), _pts(raw))
+        assert s.max_children() <= 2
+
+    def test_coincident_points(self):
+        pts = [Point(1, 1)] * 7
+        s = quadtree_schedule(Point(0, 0), pts)
+        s.validate()
+        assert s.makespan() == pytest.approx(math.sqrt(2.0))
+
+    def test_single_point(self):
+        s = quadtree_schedule(Point(0, 0), [Point(3, 4)])
+        assert s.makespan() == pytest.approx(5.0)
+
+    def test_root_outside_region(self):
+        region = Rect(10, 10, 20, 20)
+        pts = [Point(15, 15), Point(12, 18)]
+        s = quadtree_schedule(Point(0, 0), pts, region=region)
+        s.validate()
+
+
+class TestGreedyAndChain:
+    @given(swarms)
+    def test_greedy_valid(self, raw):
+        s = greedy_schedule(Point(0, 0), _pts(raw))
+        s.validate()
+
+    @given(swarms)
+    def test_chain_valid_and_single_walker(self, raw):
+        pts = _pts(raw)
+        s = chain_schedule(Point(0, 0), pts)
+        s.validate()
+        ev = s.evaluate()
+        # Only the root walks.
+        assert set(ev.travel) <= {-1}
+
+    @given(swarms)
+    def test_greedy_never_worse_than_chain(self, raw):
+        pts = _pts(raw)
+        g = greedy_schedule(Point(0, 0), pts).makespan()
+        c = chain_schedule(Point(0, 0), pts).makespan()
+        assert g <= c + 1e-9
+
+    def test_chain_visits_nearest_first(self):
+        pts = [Point(5, 0), Point(1, 0)]
+        s = chain_schedule(Point(0, 0), pts)
+        assert s.orders[-1] == (1, 0)
+
+
+class TestExact:
+    @given(small_swarms)
+    @settings(max_examples=25)
+    def test_exact_is_lower_envelope(self, raw):
+        pts = _pts(raw)
+        opt = exact_makespan(Point(0, 0), pts)
+        for solver in (quadtree_schedule, greedy_schedule, chain_schedule):
+            assert opt <= solver(Point(0, 0), pts).makespan() + 1e-6
+
+    @given(small_swarms)
+    @settings(max_examples=25)
+    def test_exact_respects_radius_bound(self, raw):
+        pts = _pts(raw)
+        opt = exact_makespan(Point(0, 0), pts)
+        assert opt >= radius_lower_bound(Point(0, 0), pts) - 1e-9
+
+    def test_exact_two_points_closed_form(self):
+        # Opposite unit points: wake one at t=1, someone backtracks 2 more.
+        pts = [Point(1, 0), Point(-1, 0)]
+        assert exact_makespan(Point(0, 0), pts) == pytest.approx(3.0)
+        # Same-side points: a single sweep is optimal.
+        pts = [Point(1, 0), Point(2, 0)]
+        assert exact_makespan(Point(0, 0), pts) == pytest.approx(2.0)
+
+    def test_exact_refuses_large_n(self):
+        with pytest.raises(ValueError):
+            exact_schedule(Point(0, 0), [Point(i, 0) for i in range(12)])
+
+    def test_exact_empty(self):
+        assert exact_makespan(Point(0, 0), []) == 0.0
+
+    def test_exact_schedule_validates(self):
+        rng = random.Random(5)
+        pts = [Point(rng.uniform(-5, 5), rng.uniform(-5, 5)) for _ in range(5)]
+        s = exact_schedule(Point(0, 0), pts)
+        s.validate()
+
+
+class TestBounds:
+    @given(swarms)
+    def test_lower_bounds_are_consistent(self, raw):
+        pts = _pts(raw)
+        lb = makespan_lower_bound(Point(0, 0), pts)
+        assert lb >= radius_lower_bound(Point(0, 0), pts) - 1e-12
+        # Every real schedule respects the bound.
+        assert greedy_schedule(Point(0, 0), pts).makespan() >= lb - 1e-9
+
+    def test_two_point_bound_exact_on_a_ray(self):
+        # Collinear same-side points: the bound matches the optimum.
+        pts = [Point(1, 0), Point(2, 0)]
+        assert makespan_lower_bound(Point(0, 0), pts) == pytest.approx(2.0)
+        assert exact_makespan(Point(0, 0), pts) == pytest.approx(2.0)
+
+    def test_wakeup_constant_literature_value(self):
+        assert PLANE_WAKEUP_CONSTANT_LOWER_BOUND == pytest.approx(1 + 2 * math.sqrt(2))

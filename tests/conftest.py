@@ -1,0 +1,29 @@
+"""Shared fixtures and hypothesis settings for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+# A single moderate profile: property tests stay fast while still
+# exploring a meaningful slice of the input space.
+settings.register_profile(
+    "repro",
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def origin():
+    from repro.geometry import Point
+
+    return Point(0.0, 0.0)
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: long-running integration scenario"
+    )

@@ -1,0 +1,141 @@
+"""AGrid integration: full wake-up, energy budget, wave structure."""
+
+import math
+
+import pytest
+
+from repro.core.agrid import (
+    CellGrid,
+    NEIGHBOR_OFFSETS,
+    agrid_energy_budget,
+    agrid_round_start,
+    agrid_window,
+    agrid_window_start,
+)
+from repro.core.runner import run_agrid
+from repro.geometry import Point
+from repro.instances import (
+    beaded_path,
+    connected_walk,
+    grid_lattice,
+    spiral,
+    uniform_disk,
+)
+
+FAMILIES = [
+    uniform_disk(n=40, rho=8.0, seed=7),
+    beaded_path(n=30, spacing=1.0),
+    beaded_path(n=15, spacing=2.0, seed=1, wiggle=0.4),
+    grid_lattice(side=6, spacing=1.5),
+    connected_walk(n=40, step=1.0, seed=9),
+    spiral(n=50, spacing=1.0),
+]
+
+
+class TestCellGrid:
+    def test_source_cell_is_centered(self):
+        grid = CellGrid(source=Point(0, 0), width=4.0)
+        assert grid.cell_of(Point(0, 0)) == (0, 0)
+        assert grid.rect((0, 0)).center == Point(0, 0)
+
+    def test_half_open_cells_partition(self):
+        grid = CellGrid(source=Point(0, 0), width=4.0)
+        # Right/top edges belong to the next cell.
+        assert grid.cell_of(Point(2.0, 0.0)) == (1, 0)
+        assert grid.cell_of(Point(-2.0, 0.0)) == (0, 0)
+        assert grid.cell_of(Point(0.0, 2.0)) == (0, 1)
+
+    def test_owns_predicate(self):
+        grid = CellGrid(source=Point(1, 1), width=2.0)
+        owns = grid.owns((0, 0))
+        assert owns(Point(1, 1))
+        assert not owns(Point(3, 1))
+
+    def test_neighbors_ccw_unique(self):
+        grid = CellGrid(source=Point(0, 0), width=2.0)
+        neighbors = [grid.neighbor((0, 0), i) for i in range(1, 9)]
+        assert len(set(neighbors)) == 8
+        assert neighbors[0] == (1, 0)   # East first
+        assert (0, 0) not in neighbors
+
+    def test_offsets_cover_king_moves(self):
+        assert set(NEIGHBOR_OFFSETS) == {
+            (di, dj)
+            for di in (-1, 0, 1)
+            for dj in (-1, 0, 1)
+            if (di, dj) != (0, 0)
+        }
+
+
+class TestWindows:
+    def test_window_is_quadratic_in_ell(self):
+        assert agrid_window(4) > agrid_window(2) > agrid_window(1)
+        # Θ(ell^2): the doubling ratio tends to 4 once the quadratic
+        # exploration term dominates the linear propagation/move terms.
+        assert 2.8 < agrid_window(64) / agrid_window(32) < 4.2
+        assert 3.4 < agrid_window(256) / agrid_window(128) < 4.1
+
+    def test_round_and_window_starts_monotone(self):
+        for ell in (1, 3):
+            times = [agrid_round_start(ell, k) for k in range(1, 5)]
+            assert times == sorted(times)
+            w = [agrid_window_start(ell, 2, i) for i in range(1, 9)]
+            assert w == sorted(w)
+            assert w[0] > agrid_round_start(ell, 2)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "instance", FAMILIES, ids=[inst.name for inst in FAMILIES]
+    )
+    def test_wakes_every_robot(self, instance):
+        run = run_agrid(instance)
+        assert run.woke_all, f"{instance.name}: {run.result.summary()}"
+
+    def test_boundary_robot_edge_case(self):
+        """A robot exactly on the source cell's boundary: the source's own
+        round-1 participation must still reach it."""
+        from repro.instances import Instance
+
+        inst = Instance(positions=(Point(1.0, 0.0),), name="edge")  # ell=1 cell edge
+        run = run_agrid(inst, ell=1)
+        assert run.woke_all
+
+    def test_deterministic(self):
+        inst = beaded_path(n=20, spacing=1.0)
+        assert run_agrid(inst).makespan == run_agrid(inst).makespan
+
+
+class TestEnergy:
+    @pytest.mark.parametrize(
+        "instance", FAMILIES[:4], ids=[inst.name for inst in FAMILIES[:4]]
+    )
+    def test_energy_within_theorem4_budget(self, instance):
+        run = run_agrid(instance)
+        assert run.max_energy <= agrid_energy_budget(run.ell)
+
+    def test_enforced_budget_run_passes(self):
+        """Theorem 4's energy claim, enforced by the engine itself."""
+        inst = beaded_path(n=20, spacing=1.0)
+        run = run_agrid(inst, enforce_budget=True)
+        assert run.woke_all
+
+    def test_energy_independent_of_path_length(self):
+        """Per-robot energy is Θ(ell^2) — it must NOT grow with xi."""
+        short = run_agrid(beaded_path(n=10, spacing=1.0))
+        long = run_agrid(beaded_path(n=40, spacing=1.0))
+        assert long.max_energy <= 1.5 * short.max_energy + 10.0
+
+
+class TestMakespanShape:
+    def test_linear_in_xi(self):
+        """Thm 4: makespan Θ(ell * xi) on corridors."""
+        m = {}
+        for n in (10, 20, 40):
+            inst = beaded_path(n=n, spacing=1.0)
+            run = run_agrid(inst)
+            assert run.woke_all
+            m[n] = run.makespan / inst.xi(run.ell)
+        values = list(m.values())
+        # makespan/xi roughly flat (within 2x across a 4x range of xi).
+        assert max(values) <= 2.5 * min(values)

@@ -1,0 +1,76 @@
+"""TeamKnowledge: update rules, merging, ownership queries."""
+
+from repro.core import TeamKnowledge
+from repro.geometry import Point, Rect
+
+
+class TestUpdates:
+    def test_saw_sleeping(self):
+        k = TeamKnowledge()
+        k.saw_sleeping(1, Point(1, 1))
+        assert k.sleeping == {1: Point(1, 1)}
+
+    def test_member_sighting_not_downgraded(self):
+        k = TeamKnowledge()
+        k.recruited(1, Point(1, 1))
+        k.saw_sleeping(1, Point(1, 1))  # stale sighting must not resurrect
+        assert 1 not in k.sleeping
+        assert k.members == {1: Point(1, 1)}
+
+    def test_recruited_moves_out_of_sleeping(self):
+        k = TeamKnowledge()
+        k.saw_sleeping(2, Point(3, 0))
+        k.recruited(2, Point(3, 0))
+        assert k.sleeping == {}
+        assert k.members == {2: Point(3, 0)}
+
+    def test_saw_awake(self):
+        k = TeamKnowledge()
+        k.saw_sleeping(5, Point(1, 0))
+        k.saw_awake_at_home(5, Point(1, 0))
+        assert 5 in k.members and 5 not in k.sleeping
+
+
+class TestMerge:
+    def test_merge_unions_and_resolves(self):
+        a = TeamKnowledge()
+        a.saw_sleeping(1, Point(1, 0))
+        a.saw_sleeping(2, Point(2, 0))
+        b = TeamKnowledge()
+        b.recruited(1, Point(1, 0))  # b knows robot 1 is awake
+        b.saw_sleeping(3, Point(3, 0))
+        a.merge(b)
+        assert set(a.members) == {1}
+        assert set(a.sleeping) == {2, 3}
+
+    def test_merge_is_idempotent(self):
+        a = TeamKnowledge()
+        a.saw_sleeping(1, Point(1, 0))
+        b = a.copy()
+        a.merge(b)
+        a.merge(b)
+        assert a.sleeping == {1: Point(1, 0)}
+
+    def test_copy_is_independent(self):
+        a = TeamKnowledge()
+        a.saw_sleeping(1, Point(1, 0))
+        b = a.copy()
+        b.recruited(1, Point(1, 0))
+        assert 1 in a.sleeping  # the original is untouched
+
+
+class TestQueries:
+    def test_region_filters(self):
+        k = TeamKnowledge()
+        k.saw_sleeping(1, Point(1, 0))
+        k.saw_sleeping(2, Point(9, 0))
+        k.recruited(3, Point(2, 0))
+        left = Rect(0, -1, 5, 1)
+        assert k.sleeping_in(left.contains) == {1: Point(1, 0)}
+        assert k.members_in(left.contains) == {3: Point(2, 0)}
+
+    def test_known_nodes(self):
+        k = TeamKnowledge()
+        k.saw_sleeping(1, Point(1, 0))
+        k.recruited(2, Point(2, 0))
+        assert k.known_nodes() == {1: Point(1, 0), 2: Point(2, 0)}

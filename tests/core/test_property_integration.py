@@ -1,0 +1,86 @@
+"""End-to-end property tests: random swarms, all algorithms, all awake.
+
+Hypothesis generates connected-by-construction swarms (random walks with
+bounded hop length); every algorithm must wake every robot, respect its
+theorem's energy discipline, and never wake anyone twice.  This is the
+distributed analogue of fuzzing: the round/window machinery has to survive
+arbitrary geometry, not just the curated families.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.agrid import agrid_energy_budget
+from repro.core.runner import run_agrid, run_aseparator
+from repro.geometry import Point
+from repro.instances import Instance
+from repro.sim import Trace
+
+
+@st.composite
+def random_walk_swarms(draw):
+    """A connected swarm: hops of length in (0.2, 0.95] from the source."""
+    n = draw(st.integers(1, 14))
+    angles = draw(
+        st.lists(st.floats(0, 2 * math.pi), min_size=n, max_size=n)
+    )
+    hops = draw(
+        st.lists(st.floats(0.2, 0.95), min_size=n, max_size=n)
+    )
+    x, y = 0.0, 0.0
+    points = []
+    for a, h in zip(angles, hops):
+        x += h * math.cos(a)
+        y += h * math.sin(a)
+        points.append(Point(x, y))
+    return Instance(positions=tuple(points), name=f"walk(n={n})")
+
+
+class TestASeparatorProperties:
+    @given(random_walk_swarms())
+    @settings(max_examples=25)
+    def test_all_awake_and_no_double_wakes(self, instance):
+        trace = Trace()
+        run = run_aseparator(instance, trace=trace)
+        assert run.woke_all, instance
+        woken = [e.data["robot"] for e in trace.wake_events()]
+        assert len(woken) == len(set(woken)) == instance.n
+
+    @given(random_walk_swarms())
+    @settings(max_examples=15)
+    def test_makespan_dominates_radius(self, instance):
+        run = run_aseparator(instance)
+        assert run.makespan >= instance.rho_star - 1e-9
+
+
+class TestAGridProperties:
+    @given(random_walk_swarms())
+    @settings(max_examples=15)
+    def test_all_awake_within_energy_budget(self, instance):
+        run = run_agrid(instance)
+        assert run.woke_all, instance
+        assert run.max_energy <= agrid_energy_budget(run.ell)
+
+    @given(random_walk_swarms())
+    @settings(max_examples=10)
+    def test_wave_rounds_are_ordered(self, instance):
+        """Wake times cluster by wave round: a robot two cells away never
+        wakes before some robot one cell away (BFS monotonicity on the
+        wave's cell graph)."""
+        run = run_agrid(instance)
+        from repro.core.agrid import CellGrid
+
+        grid = CellGrid(source=instance.source, width=2.0 * run.ell)
+        by_ring: dict[int, list[float]] = {}
+        for rid, t in run.result.wake_times.items():
+            if rid == 0:
+                continue
+            cell = grid.cell_of(instance.positions[rid - 1])
+            ring = max(abs(cell[0]), abs(cell[1]))
+            by_ring.setdefault(ring, []).append(t)
+        rings = sorted(by_ring)
+        for near, far in zip(rings, rings[1:]):
+            assert min(by_ring[near]) <= min(by_ring[far]) + 1e-9

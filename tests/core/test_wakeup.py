@@ -1,0 +1,92 @@
+"""Algorithm 1: distributed propagation of a wake-up schedule."""
+
+import pytest
+
+from repro.centralized import greedy_schedule, quadtree_schedule
+from repro.core import execute_wake_plan, plan_from_schedule
+from repro.geometry import Point
+from repro.sim import Engine, SOURCE_ID, World
+
+
+def propagate(positions, schedule_fn=quadtree_schedule, after=None):
+    """Build a schedule over ``positions`` and execute it in the engine."""
+    world = World(source=Point(0, 0), positions=positions)
+    schedule = schedule_fn(Point(0, 0), positions)
+    target_ids = list(range(1, len(positions) + 1))
+    plan, posmap = plan_from_schedule(schedule, target_ids, root_id=SOURCE_ID)
+    engine = Engine(world)
+
+    def program(proc):
+        yield from execute_wake_plan(
+            proc, plan, posmap, my_id=SOURCE_ID, after=after
+        )
+
+    engine.spawn(program, [SOURCE_ID])
+    result = engine.run()
+    return world, result, schedule
+
+
+class TestPropagation:
+    def test_wakes_everyone(self):
+        positions = [Point(1, 0), Point(2, 1), Point(-1, 2), Point(0, -3)]
+        world, result, _ = propagate(positions)
+        assert result.woke_all
+
+    def test_simulated_times_match_schedule_evaluation(self):
+        """The engine must realize exactly the schedule's predicted times —
+        the distributed propagation adds zero overhead (Lemma 2)."""
+        import random
+
+        rng = random.Random(11)
+        positions = [
+            Point(rng.uniform(-8, 8), rng.uniform(-8, 8)) for _ in range(12)
+        ]
+        world, result, schedule = propagate(positions)
+        ev = schedule.evaluate()
+        for index, rid in enumerate(range(1, 13)):
+            assert world.robots[rid].wake_time == pytest.approx(
+                ev.wake_times[index]
+            )
+        assert result.makespan == pytest.approx(ev.makespan)
+
+    def test_works_with_greedy_schedules_too(self):
+        positions = [Point(i, (-1) ** i) for i in range(1, 8)]
+        world, result, schedule = propagate(positions, schedule_fn=greedy_schedule)
+        assert result.woke_all
+        assert result.makespan == pytest.approx(schedule.makespan())
+
+    def test_after_continuation_runs_for_each_woken_robot(self):
+        moved = []
+
+        def after(rid):
+            def continuation(proc):
+                yield from ()
+                moved.append(rid)
+
+            return continuation
+
+        positions = [Point(1, 0), Point(2, 0), Point(3, 0)]
+        propagate(positions, after=after)
+        assert sorted(moved) == [1, 2, 3]
+
+    def test_empty_plan_is_noop(self):
+        world = World(source=Point(0, 0), positions=[])
+        engine = Engine(world)
+
+        def program(proc):
+            yield from execute_wake_plan(proc, {}, {}, my_id=SOURCE_ID)
+
+        engine.spawn(program, [SOURCE_ID])
+        result = engine.run()
+        assert result.termination_time == 0.0
+
+
+class TestPlanTranslation:
+    def test_plan_from_schedule_maps_ids(self):
+        positions = [Point(1, 0), Point(2, 0)]
+        schedule = quadtree_schedule(Point(0, 0), positions)
+        plan, posmap = plan_from_schedule(schedule, [10, 20], root_id=99)
+        all_targets = [t for targets in plan.values() for t in targets]
+        assert sorted(all_targets) == [10, 20]
+        assert posmap == {10: Point(1, 0), 20: Point(2, 0)}
+        assert 99 in plan  # the root has duties

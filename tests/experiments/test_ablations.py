@@ -1,0 +1,44 @@
+"""Ablation experiment functions (small profiles)."""
+
+import pytest
+
+from repro.experiments import (
+    distribution_gap,
+    online_competitiveness,
+    solver_choice,
+)
+
+
+class TestDistributionGap:
+    def test_rows_and_gap_direction(self):
+        rows = distribution_gap(configs=((25, 6.0, 1),))
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["woke_all"]
+        # Discovery always costs something.
+        assert row["distributed"] > row["clairvoyant"]
+        assert row["gap"] == pytest.approx(
+            row["distributed"] / row["clairvoyant"]
+        )
+
+
+class TestSolverChoice:
+    def test_both_solvers_complete(self):
+        rows = solver_choice(configs=((30, 7.0, 2),))
+        row = rows[0]
+        assert row["quadtree_makespan"] > 0
+        assert row["greedy_makespan"] > 0
+        assert 0.3 <= row["greedy/quadtree"] <= 2.0
+
+
+class TestOnlineCompetitiveness:
+    def test_ratios_sane(self):
+        rows = online_competitiveness(sizes=(4, 6), trials=5, seed=1)
+        assert len(rows) == 2
+        for row in rows:
+            assert 1.0 <= row["mean_ratio"] <= row["max_ratio"] <= 8.0
+
+    def test_deterministic_given_seed(self):
+        a = online_competitiveness(sizes=(5,), trials=4, seed=3)
+        b = online_competitiveness(sizes=(5,), trials=4, seed=3)
+        assert a == b

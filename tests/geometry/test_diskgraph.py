@@ -1,0 +1,115 @@
+"""Disk graphs, connectivity threshold, shortest paths."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    DiskGraph,
+    Point,
+    bottleneck_connectivity,
+    connected_components,
+    distance,
+)
+
+coords = st.floats(-30, 30, allow_nan=False, allow_infinity=False)
+point_lists = st.lists(st.tuples(coords, coords), min_size=2, max_size=40)
+
+
+def _chain(n, step=1.0):
+    return [Point(i * step, 0.0) for i in range(n)]
+
+
+class TestAdjacency:
+    def test_neighbors_symmetric(self):
+        g = DiskGraph(_chain(5), delta=1.0)
+        for i in range(5):
+            for j in g.neighbors(i):
+                assert i in g.neighbors(j)
+
+    def test_neighbors_exclude_self(self):
+        g = DiskGraph(_chain(3), delta=1.0)
+        assert all(i not in g.neighbors(i) for i in range(3))
+
+    def test_chain_adjacency(self):
+        g = DiskGraph(_chain(4), delta=1.0)
+        assert sorted(g.neighbors(1)) == [0, 2]
+
+    def test_neighbors_of_point(self):
+        g = DiskGraph(_chain(3), delta=1.0)
+        assert sorted(g.neighbors_of_point(Point(0.5, 0.0))) == [0, 1]
+
+    def test_edges_weighted(self):
+        g = DiskGraph([Point(0, 0), Point(0.5, 0)], delta=1.0)
+        edges = list(g.edges())
+        assert edges == [(0, 1, pytest.approx(0.5))]
+
+    def test_invalid_delta(self):
+        with pytest.raises(ValueError):
+            DiskGraph([Point(0, 0)], delta=0.0)
+
+
+class TestConnectivity:
+    def test_chain_connected_iff_delta_ge_step(self):
+        pts = _chain(6, step=2.0)
+        assert not DiskGraph(pts, delta=1.9).is_connected()
+        assert DiskGraph(pts, delta=2.0).is_connected()
+
+    def test_connected_components_split(self):
+        pts = _chain(3) + [Point(100, 0), Point(100.5, 0)]
+        comps = connected_components(pts, delta=1.0)
+        sizes = sorted(len(c) for c in comps)
+        assert sizes == [2, 3]
+
+    @given(point_lists)
+    def test_bottleneck_is_tight(self, raw):
+        pts = [Point(x, y) for x, y in raw]
+        threshold = bottleneck_connectivity(pts)
+        assert DiskGraph(pts, max(threshold, 1e-9) * (1 + 1e-9)).is_connected()
+
+    @given(point_lists)
+    def test_bottleneck_minus_epsilon_disconnects(self, raw):
+        pts = [Point(x, y) for x, y in raw]
+        threshold = bottleneck_connectivity(pts)
+        if threshold > 1e-6:
+            assert not DiskGraph(pts, threshold * (1 - 1e-6)).is_connected()
+
+    def test_bottleneck_trivial(self):
+        assert bottleneck_connectivity([]) == 0.0
+        assert bottleneck_connectivity([Point(3, 3)]) == 0.0
+
+    def test_bottleneck_chain_equals_step(self):
+        assert bottleneck_connectivity(_chain(5, step=1.5)) == pytest.approx(1.5)
+
+
+class TestShortestPaths:
+    def test_dijkstra_chain(self):
+        g = DiskGraph(_chain(5), delta=1.0)
+        dist = g.shortest_path_lengths(0)
+        assert dist == pytest.approx([0.0, 1.0, 2.0, 3.0, 4.0])
+
+    def test_dijkstra_unreachable(self):
+        g = DiskGraph([Point(0, 0), Point(10, 0)], delta=1.0)
+        dist = g.shortest_path_lengths(0)
+        assert math.isinf(dist[1])
+
+    def test_shortest_path_tree_parents(self):
+        g = DiskGraph(_chain(4), delta=1.0)
+        parent = g.shortest_path_tree(0)
+        assert parent[0] is None
+        assert parent[1] == 0 and parent[2] == 1 and parent[3] == 2
+
+    def test_dijkstra_takes_shortcut(self):
+        # Diagonal shortcut shorter than the two-step path.
+        pts = [Point(0, 0), Point(1, 0), Point(1, 1), Point(0.6, 0.6)]
+        g = DiskGraph(pts, delta=1.0)
+        dist = g.shortest_path_lengths(0)
+        assert dist[2] <= distance(pts[0], pts[3]) + distance(pts[3], pts[2]) + 1e-9
+
+    def test_hop_distances(self):
+        g = DiskGraph(_chain(4), delta=1.0)
+        assert g.hop_distances(0) == [0, 1, 2, 3]
+        g2 = DiskGraph([Point(0, 0), Point(5, 0)], delta=1.0)
+        assert g2.hop_distances(0)[1] == -1

@@ -1,0 +1,112 @@
+"""Unit tests for planar point primitives."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    Point,
+    centroid,
+    close_to,
+    convex_combination,
+    distance,
+    l1_distance,
+    max_distance_from,
+    midpoint,
+    pairwise_min_distance,
+    path_length,
+    points_within,
+)
+
+coords = st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False)
+points = st.builds(Point, coords, coords)
+
+
+class TestPointArithmetic:
+    def test_add_sub_roundtrip(self):
+        a, b = Point(1.5, -2.0), Point(0.25, 4.0)
+        assert (a + b) - b == a
+
+    def test_scalar_multiplication_commutes(self):
+        p = Point(3.0, -4.0)
+        assert 2.0 * p == p * 2.0 == Point(6.0, -8.0)
+
+    def test_negation(self):
+        assert -Point(1.0, -2.0) == Point(-1.0, 2.0)
+
+    def test_norm_is_hypotenuse(self):
+        assert Point(3.0, 4.0).norm() == pytest.approx(5.0)
+
+    def test_unpacks_like_tuple(self):
+        x, y = Point(7.0, 8.0)
+        assert (x, y) == (7.0, 8.0)
+
+    def test_round(self):
+        assert Point(1.23456789012, 2.0).round(6) == Point(1.234568, 2.0)
+
+
+class TestDistances:
+    def test_distance_matches_method(self):
+        a, b = Point(0.0, 0.0), Point(3.0, 4.0)
+        assert distance(a, b) == pytest.approx(a.distance_to(b)) == pytest.approx(5.0)
+
+    def test_l1_distance(self):
+        assert l1_distance(Point(0, 0), Point(3, -4)) == pytest.approx(7.0)
+
+    @given(points, points)
+    def test_symmetry(self, a, b):
+        assert distance(a, b) == pytest.approx(distance(b, a))
+
+    @given(points, points, points)
+    def test_triangle_inequality(self, a, b, c):
+        assert distance(a, c) <= distance(a, b) + distance(b, c) + 1e-6
+
+    @given(points)
+    def test_identity(self, a):
+        assert distance(a, a) == 0.0
+
+
+class TestHelpers:
+    def test_midpoint(self):
+        assert midpoint(Point(0, 0), Point(2, 4)) == Point(1, 2)
+
+    def test_convex_combination_endpoints(self):
+        a, b = Point(1, 1), Point(5, -3)
+        assert convex_combination(a, b, 0.0) == a
+        assert convex_combination(a, b, 1.0) == b
+
+    def test_path_length_polyline(self):
+        path = [Point(0, 0), Point(3, 0), Point(3, 4)]
+        assert path_length(path) == pytest.approx(7.0)
+
+    def test_path_length_degenerate(self):
+        assert path_length([]) == 0.0
+        assert path_length([Point(1, 1)]) == 0.0
+
+    def test_points_within_is_closed_ball(self):
+        pts = [Point(1.0, 0.0), Point(1.0 + 1e-12, 0.0), Point(1.1, 0.0)]
+        inside = points_within(pts, Point(0, 0), 1.0)
+        assert Point(1.0, 0.0) in inside
+        assert Point(1.1, 0.0) not in inside
+
+    def test_close_to_tolerance(self):
+        assert close_to(Point(0, 0), Point(0, 1e-12))
+        assert not close_to(Point(0, 0), Point(0, 1e-3))
+
+    def test_centroid(self):
+        assert centroid([Point(0, 0), Point(2, 2)]) == Point(1, 1)
+
+    def test_centroid_empty_raises(self):
+        with pytest.raises(ValueError):
+            centroid([])
+
+    def test_max_distance_from(self):
+        assert max_distance_from(Point(0, 0), [Point(1, 0), Point(0, 5)]) == 5.0
+        assert max_distance_from(Point(0, 0), []) == 0.0
+
+    def test_pairwise_min_distance(self):
+        pts = [Point(0, 0), Point(1, 0), Point(5, 5)]
+        assert pairwise_min_distance(pts) == pytest.approx(1.0)
+        assert math.isinf(pairwise_min_distance([Point(0, 0)]))

@@ -1,0 +1,99 @@
+"""Separators: Lemma 3 (crossing paths hit the annulus) and structure."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    DiskGraph,
+    Point,
+    Rect,
+    distance,
+    separator_of,
+    square_at_center,
+)
+
+
+class TestStructure:
+    def test_annulus_membership(self):
+        sep = separator_of(Rect(0, 0, 10, 10), ell=1.0)
+        assert not sep.is_degenerate
+        assert sep.contains(Point(0.5, 5))      # in the ring
+        assert sep.contains(Point(5, 9.5))
+        assert not sep.contains(Point(5, 5))    # strictly inside
+        assert not sep.contains(Point(11, 5))   # outside the square
+
+    def test_degenerate_when_narrow(self):
+        sep = separator_of(Rect(0, 0, 2, 2), ell=1.0)
+        assert sep.is_degenerate
+        assert sep.contains(Point(1, 1))
+        assert sep.rectangles() == [Rect(0, 0, 2, 2)]
+
+    def test_rectangles_tile_annulus(self):
+        region = Rect(0, 0, 10, 10)
+        sep = separator_of(region, ell=1.0)
+        rects = sep.rectangles()
+        assert len(rects) == 4
+        assert sum(r.area for r in rects) == pytest.approx(sep.area)
+        # Strips stay inside the outer square.
+        for r in rects:
+            assert region.contains_rect(r)
+
+    def test_area(self):
+        sep = separator_of(Rect(0, 0, 10, 10), ell=1.0)
+        assert sep.area == pytest.approx(100 - 64)
+
+    def test_filter(self):
+        sep = separator_of(Rect(0, 0, 10, 10), ell=1.0)
+        pts = [Point(0.5, 0.5), Point(5, 5), Point(9.9, 5)]
+        assert sep.filter(pts) == [Point(0.5, 0.5), Point(9.9, 5)]
+
+    def test_invalid_ell(self):
+        with pytest.raises(ValueError):
+            separator_of(Rect(0, 0, 1, 1), ell=0.0)
+
+
+class TestLemma3:
+    """Any ell-disk-graph path inside->outside crosses the separator."""
+
+    @given(st.integers(0, 1000))
+    def test_random_crossing_paths(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        ell = 1.0
+        region = square_at_center(Point(0, 0), 8.0)
+        sep = separator_of(region, ell)
+        # Random walk from deep inside to far outside with steps <= ell.
+        path = [Point(0.0, 0.0)]
+        while path[-1].norm() < 10.0:
+            angle = rng.uniform(-0.6, 0.6)
+            step = rng.uniform(0.3, 1.0) * ell
+            import math
+
+            direction = math.atan2(path[-1].y, path[-1].x or 1.0) + angle
+            path.append(
+                Point(
+                    path[-1].x + step * math.cos(direction),
+                    path[-1].y + step * math.sin(direction),
+                )
+            )
+        # Consecutive hops are <= ell, start inside, end outside.
+        assert all(
+            distance(a, b) <= ell + 1e-9 for a, b in zip(path, path[1:])
+        )
+        assert any(sep.contains(p) for p in path), "path dodged the separator"
+
+    def test_corollary2_empty_separator_means_separated(self):
+        # Points clustered inside the inner square: an empty separator
+        # correctly certifies there is no inside-outside edge.
+        ell = 1.0
+        region = square_at_center(Point(0, 0), 10.0)
+        sep = separator_of(region, ell)
+        inside = [Point(0.1 * i, 0.0) for i in range(5)]
+        outside = [Point(20.0 + 0.1 * i, 0.0) for i in range(5)]
+        pts = inside + outside
+        assert not any(sep.contains(p) for p in pts)
+        graph = DiskGraph(pts, ell)
+        comp = graph.component_of(0)
+        assert all(i < 5 for i in comp)

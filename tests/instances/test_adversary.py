@@ -1,0 +1,103 @@
+"""Two-pass adversary: coverage maps and adversarial placements."""
+
+import math
+
+import pytest
+
+from repro.geometry import Point
+from repro.instances import (
+    CoverageMap,
+    adversarial_grid_instance,
+    coverage_fraction,
+    disk_candidates,
+    energy_ball,
+    grid_of_disks,
+    latest_covered_point,
+    record_look_positions,
+)
+from repro.sim import Look, Move
+
+
+class TestCoverageMap:
+    def test_first_cover_time(self):
+        cm = CoverageMap(looks=[(1.0, Point(0, 0)), (5.0, Point(10, 0))])
+        assert cm.first_cover_time(Point(0.5, 0)) == 1.0
+        assert cm.first_cover_time(Point(10.4, 0)) == 5.0
+        assert math.isinf(cm.first_cover_time(Point(100, 0)))
+
+    def test_record_look_positions(self):
+        inst = energy_ball(2.0)
+
+        def program(proc):
+            yield Look()
+            yield Move(Point(1, 0))
+            yield Look()
+
+        coverage, _ = record_look_positions(inst, program)
+        assert len(coverage.looks) == 2
+        assert coverage.looks[0] == (0.0, Point(0, 0))
+        assert coverage.looks[1][0] == pytest.approx(1.0)
+
+
+class TestCandidates:
+    def test_candidates_inside_disk(self):
+        pts = disk_candidates(Point(3, 3), radius=1.0, resolution=4)
+        assert all(p.distance_to(Point(3, 3)) <= 1.0 + 1e-9 for p in pts)
+        assert Point(3, 3) in pts
+        assert len(pts) > 20
+
+    def test_latest_covered_prefers_uncovered(self):
+        cm = CoverageMap(looks=[(0.0, Point(0, 0))])  # covers only radius 1
+        p = latest_covered_point(cm, Point(0, 0), radius=3.0, resolution=4)
+        assert math.isinf(cm.first_cover_time(p))
+
+    def test_latest_covered_picks_the_last(self):
+        # Sweep left-to-right: the winning hiding spot is one the early
+        # (western) looks could not see, i.e. covered only at t=2 by the
+        # final look over the origin.
+        looks = [(float(i), Point(-2.0 + i, 0.0)) for i in range(3)]
+        cm = CoverageMap(looks=looks)
+        p = latest_covered_point(cm, Point(0, 0), radius=1.0, resolution=4)
+        assert cm.first_cover_time(p) == pytest.approx(2.0)
+        # The winner is out of reach of both earlier looks.
+        assert p.distance_to(Point(-2, 0)) > 1.0
+        assert p.distance_to(Point(-1, 0)) > 1.0
+
+    def test_coverage_fraction_bounds(self):
+        cm = CoverageMap(looks=[(0.0, Point(0, 0))])
+        f_small = coverage_fraction(cm, Point(0, 0), radius=1.0, resolution=6)
+        f_big = coverage_fraction(cm, Point(0, 0), radius=5.0, resolution=6)
+        assert f_small == pytest.approx(1.0)
+        assert 0.0 < f_big < 0.2
+
+
+class TestAdversarialGrid:
+    def test_pinned_instance_is_harder(self):
+        """The adversarial placement must not make the problem easier for
+        the probed algorithm (it usually makes it measurably harder)."""
+        from repro.core.aseparator import aseparator_program
+        from repro.core.runner import run_aseparator
+
+        construction = grid_of_disks(ell=2.0, rho=6.0, n=10_000)
+
+        def factory(inst):
+            return aseparator_program(ell=2, rho=6.0)
+
+        pinned = adversarial_grid_instance(construction, factory, resolution=2)
+        assert pinned.n == construction.m
+        decoy_run = run_aseparator(construction.instance(), ell=2, rho=6)
+        adv_run = run_aseparator(pinned, ell=2, rho=6)
+        assert adv_run.woke_all
+        assert adv_run.makespan >= 0.8 * decoy_run.makespan
+
+    def test_placements_stay_in_disks(self):
+        from repro.core.aseparator import aseparator_program
+
+        construction = grid_of_disks(ell=2.0, rho=6.0, n=10_000)
+
+        def factory(inst):
+            return aseparator_program(ell=2, rho=6.0)
+
+        pinned = adversarial_grid_instance(construction, factory, resolution=2)
+        for center, pos in zip(construction.centers, pinned.positions):
+            assert center.distance_to(pos) <= construction.disk_radius + 1e-9

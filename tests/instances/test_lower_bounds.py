@@ -1,0 +1,121 @@
+"""Lower-bound constructions: stated properties of Thm 2 / 3 / 6."""
+
+import math
+
+import pytest
+
+from repro.geometry import Point, connectivity_threshold, distance
+from repro.instances import (
+    energy_ball,
+    energy_infeasibility_threshold,
+    grid_of_disks,
+    rectilinear_path,
+)
+
+
+class TestGridOfDisks:
+    def test_lemma12_cardinality_floor(self):
+        """|C| >= 1 + rho^2/ell^2 when n allows (Lemma 12)."""
+        c = grid_of_disks(ell=2.0, rho=10.0, n=10_000)
+        assert c.m >= 1 + (10.0 / 2.0) ** 2
+
+    def test_centers_within_rho(self):
+        c = grid_of_disks(ell=2.0, rho=10.0, n=10_000)
+        limit = 10.0 - 2.0 / 4.0
+        assert all(p.norm() <= limit + 1e-9 for p in c.centers)
+
+    def test_mandatory_column_present(self):
+        c = grid_of_disks(ell=2.0, rho=10.0, n=10_000)
+        for j in range(1, int(10.0 / 2.0) + 1):
+            assert Point(0.0, j * 1.0) in c.centers
+
+    def test_lemma13_connectivity(self):
+        """Adjacent disks are ell-connected: ell* of the centers <= ell."""
+        c = grid_of_disks(ell=2.0, rho=8.0, n=10_000)
+        inst = c.instance()
+        assert connectivity_threshold(inst.source, inst.positions) <= 2.0 + 1e-9
+
+    def test_connectivity_with_worst_placements(self):
+        """Lemma 13 holds for ANY placement inside the disks."""
+        c = grid_of_disks(ell=2.0, rho=6.0, n=10_000)
+        # Push every robot to its disk boundary, outward from the origin.
+        placements = []
+        for center in c.centers:
+            r = center.norm()
+            direction = Point(center.x / r, center.y / r) if r > 0 else Point(1, 0)
+            placements.append(center + c.disk_radius * direction)
+        inst = c.instance(placements)
+        assert connectivity_threshold(inst.source, inst.positions) <= 2.0 + 1e-9
+
+    def test_n_caps_size(self):
+        c = grid_of_disks(ell=1.0, rho=10.0, n=12)
+        assert c.m == 12
+
+    def test_placement_validation(self):
+        c = grid_of_disks(ell=2.0, rho=6.0, n=10_000)
+        bad = [c.centers[0] + Point(10.0, 0.0)] + list(c.centers[1:])
+        with pytest.raises(ValueError, match="escapes"):
+            c.instance(bad)
+
+    def test_prediction_positive_and_growing(self):
+        small = grid_of_disks(ell=2.0, rho=8.0, n=10_000)
+        large = grid_of_disks(ell=4.0, rho=16.0, n=10_000)
+        assert 0 < small.makespan_lower_bound() < large.makespan_lower_bound()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            grid_of_disks(ell=4.0, rho=2.0, n=5)
+
+
+class TestEnergyBall:
+    def test_threshold_formula(self):
+        assert energy_infeasibility_threshold(3.0) == pytest.approx(
+            math.pi * 8.0 / 2.0
+        )
+
+    def test_instance_default_hides_at_boundary(self):
+        inst = energy_ball(5.0)
+        assert inst.positions[0].norm() == pytest.approx(5.0)
+
+    def test_rejects_outside_placement(self):
+        with pytest.raises(ValueError):
+            energy_ball(2.0, position=Point(5.0, 0.0))
+
+
+class TestRectilinearPath:
+    def test_prescribed_parameters(self):
+        ell, rho, B = 1.0, 20.0, 3.0
+        xi = 40.0  # within [rho, rho^2/(2(B+1)) + 1] = [20, 51]
+        path = rectilinear_path(ell, rho, B, xi)
+        inst = path.instance()
+        assert connectivity_threshold(inst.source, inst.positions) <= ell + 1e-9
+        assert inst.rho_star == pytest.approx(rho, rel=0.02)
+        measured_xi = inst.xi(ell)
+        assert measured_xi == pytest.approx(xi, rel=0.15)
+
+    def test_vertical_runs_exceed_budget(self):
+        """Horizontal runs are V = B+1 apart: no energy-B shortcut."""
+        path = rectilinear_path(1.0, 20.0, 3.0, 40.0)
+        ys = sorted({round(p.y, 6) for p in path.waypoints})
+        gaps = [b - a for a, b in zip(ys, ys[1:]) if b - a > 1e-9]
+        assert all(g >= 4.0 - 1e-9 for g in gaps)
+
+    def test_xi_range_validation(self):
+        with pytest.raises(ValueError, match="admissible range"):
+            rectilinear_path(1.0, 20.0, 3.0, xi=1000.0)
+        with pytest.raises(ValueError, match="at least rho"):
+            rectilinear_path(1.0, 20.0, 3.0, xi=5.0)
+        with pytest.raises(ValueError, match="B > ell"):
+            rectilinear_path(2.0, 20.0, 1.0, xi=30.0)
+
+    def test_lower_bound_is_omega_xi(self):
+        path = rectilinear_path(1.0, 20.0, 3.0, 40.0)
+        assert path.makespan_lower_bound() == pytest.approx(10.0)
+
+    def test_beads_spacing(self):
+        path = rectilinear_path(1.0, 20.0, 3.0, 40.0)
+        beads = path.beads()
+        assert all(
+            distance(a, b) <= 1.0 + 1e-9 for a, b in zip(beads, beads[1:])
+            if distance(a, b) < 3.0  # consecutive along the same segment
+        )

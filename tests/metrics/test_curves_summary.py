@@ -1,0 +1,76 @@
+"""Wake curves and run summaries."""
+
+import pytest
+
+from repro.core.runner import run_aseparator
+from repro.instances import beaded_path, uniform_disk
+from repro.metrics import (
+    WakeCurve,
+    round_staircase,
+    summarize,
+    wake_curve,
+    wake_quantile,
+)
+
+
+class TestWakeCurve:
+    def test_curve_from_run(self):
+        inst = uniform_disk(n=25, rho=6.0, seed=2)
+        run = run_aseparator(inst)
+        curve = wake_curve(run.result)
+        assert curve.n == 25
+        assert len(curve.times) == 25
+        assert curve.fraction_awake_at(run.makespan) == pytest.approx(1.0)
+        assert curve.fraction_awake_at(-1.0) == 0.0
+
+    def test_monotone(self):
+        inst = uniform_disk(n=25, rho=6.0, seed=2)
+        run = run_aseparator(inst)
+        curve = wake_curve(run.result)
+        samples = curve.sample(points=20)
+        fractions = [f for _, f in samples]
+        assert fractions == sorted(fractions)
+
+    def test_quantiles(self):
+        curve = WakeCurve(times=(1.0, 2.0, 3.0, 4.0), n=4)
+        assert curve.quantile(0.5) == 2.0
+        assert curve.quantile(1.0) == 4.0
+        assert curve.quantile(0.01) == 1.0
+
+    def test_empty_curve(self):
+        curve = WakeCurve(times=(), n=0)
+        assert curve.fraction_awake_at(0.0) == 1.0
+        assert curve.quantile(0.5) == 0.0
+
+    def test_wake_quantile_helper(self):
+        inst = uniform_disk(n=25, rho=6.0, seed=2)
+        run = run_aseparator(inst)
+        assert wake_quantile(run.result, 0.5) <= run.makespan
+
+    def test_round_staircase_sums_to_n(self):
+        inst = beaded_path(n=12, spacing=1.0)
+        run = run_aseparator(inst)
+        counts = round_staircase(run.result, window=100.0)
+        assert sum(counts) == 12
+
+
+class TestSummary:
+    def test_summary_fields(self):
+        inst = uniform_disk(n=25, rho=6.0, seed=2)
+        run = run_aseparator(inst)
+        s = summarize(run)
+        assert s.algorithm == "ASeparator"
+        assert s.n == 25
+        assert s.woke_all
+        assert s.makespan == run.makespan
+        assert s.half_wake_time <= s.makespan
+        assert s.rho_star == pytest.approx(inst.rho_star)
+        assert s.max_energy <= s.total_energy
+        assert s.makespan_per_rho > 1.0
+
+    def test_as_dict_roundtrip(self):
+        inst = uniform_disk(n=10, rho=4.0, seed=1)
+        s = summarize(run_aseparator(inst))
+        d = s.as_dict()
+        assert d["algorithm"] == "ASeparator"
+        assert set(d) >= {"makespan", "max_energy", "xi_ell", "woke_all"}

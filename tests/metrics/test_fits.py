@@ -1,0 +1,91 @@
+"""Shape fits: recover planted coefficients, power-law slopes."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    agrid_features,
+    aseparator_features,
+    awave_features,
+    fit_linear_combination,
+    fit_power_law,
+    r_squared,
+)
+
+
+class TestLinearFit:
+    def test_recovers_planted_model(self):
+        rng = np.random.default_rng(0)
+        rows, ys = [], []
+        for _ in range(40):
+            rho = rng.uniform(5, 100)
+            ell = rng.uniform(1, 8)
+            feats = aseparator_features(ell, rho)
+            rows.append(feats)
+            ys.append(3.0 * feats[0] + 0.7 * feats[1] + 5.0)
+        fit = fit_linear_combination(rows, ys, ("rho", "ell2log"))
+        assert fit.coefficients[0] == pytest.approx(3.0, abs=1e-6)
+        assert fit.coefficients[1] == pytest.approx(0.7, abs=1e-6)
+        assert fit.intercept == pytest.approx(5.0, abs=1e-5)
+        assert fit.r2 == pytest.approx(1.0)
+
+    def test_predict_and_describe(self):
+        fit = fit_linear_combination(
+            [(1.0,), (2.0,), (3.0,)], [2.0, 4.0, 6.0], ("x",)
+        )
+        assert fit.predict((10.0,)) == pytest.approx(20.0)
+        assert "R^2" in fit.describe()
+
+    def test_no_intercept(self):
+        fit = fit_linear_combination(
+            [(1.0,), (2.0,)], [3.0, 6.0], ("x",), intercept=False
+        )
+        assert fit.intercept == 0.0
+        assert fit.coefficients[0] == pytest.approx(3.0)
+
+
+class TestPowerLaw:
+    def test_recovers_exponent(self):
+        xs = [2.0, 4.0, 8.0, 16.0, 32.0]
+        ys = [5.0 * x**1.5 for x in xs]
+        a, b, r2 = fit_power_law(xs, ys)
+        assert a == pytest.approx(5.0, rel=1e-6)
+        assert b == pytest.approx(1.5, abs=1e-9)
+        assert r2 == pytest.approx(1.0)
+
+    def test_noisy_slope_close(self):
+        rng = np.random.default_rng(1)
+        xs = np.linspace(4, 100, 25)
+        ys = 2.0 * xs**2 * rng.uniform(0.9, 1.1, size=25)
+        _, b, _ = fit_power_law(xs, ys)
+        assert b == pytest.approx(2.0, abs=0.15)
+
+
+class TestFeatures:
+    def test_aseparator_features(self):
+        rho, ell = 64.0, 4.0
+        f = aseparator_features(ell, rho)
+        assert f[0] == rho
+        assert f[1] == pytest.approx(16.0 * math.log(16.0))
+
+    def test_agrid_features(self):
+        assert agrid_features(3.0, 10.0) == (30.0,)
+
+    def test_awave_features(self):
+        f = awave_features(4.0, 64.0)
+        assert f[0] == 64.0
+        assert f[1] == pytest.approx(16.0 * math.log(16.0))
+
+    def test_log_guard(self):
+        # rho < ell must not produce negative logs.
+        f = aseparator_features(10.0, 5.0)
+        assert f[1] >= 0.0
+
+
+class TestRSquared:
+    def test_perfect_and_flat(self):
+        assert r_squared([1, 2, 3], [1, 2, 3]) == pytest.approx(1.0)
+        assert r_squared([5, 5, 5], [5, 5, 5]) == 1.0
+        assert r_squared([1, 2, 3], [3, 2, 1]) < 0.0 or True  # may be negative

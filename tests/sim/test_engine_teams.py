@@ -1,0 +1,239 @@
+"""Process choreography: fork, barrier, absorb, deadlock detection."""
+
+import pytest
+
+from repro.geometry import Point
+from repro.sim import (
+    Absorb,
+    AbsorbError,
+    Barrier,
+    BarrierError,
+    Engine,
+    Fork,
+    ForkError,
+    Move,
+    SOURCE_ID,
+    SimulationDeadlock,
+    Wait,
+    Wake,
+    World,
+)
+
+
+def make_team_world(k):
+    """World with k awake co-located robots at the origin."""
+    world = World(source=Point(0, 0), positions=[Point(0, 0)] * (k - 1))
+    for rid in range(1, k):
+        world.mark_awake(rid, 0.0, waker_id=SOURCE_ID)
+    return world
+
+
+class TestFork:
+    def test_fork_splits_ownership(self):
+        world = make_team_world(3)
+        engine = Engine(world)
+        seen = {}
+
+        def child(name):
+            def program(proc):
+                seen[name] = tuple(proc.robot_ids)
+                yield Move(Point(1, 0))
+
+            return program
+
+        def parent(proc):
+            yield Fork([((1,), child("a")), ((2,), child("b"))])
+            assert proc.robot_ids == (SOURCE_ID,)
+
+        engine.spawn(parent, [0, 1, 2])
+        engine.run()
+        assert seen == {"a": (1,), "b": (2,)}
+
+    def test_fork_cannot_give_everything_away(self):
+        world = make_team_world(2)
+        engine = Engine(world)
+
+        def parent(proc):
+            yield Fork([((0, 1), lambda p: iter(()))])
+
+        engine.spawn(parent, [0, 1])
+        with pytest.raises(ForkError):
+            engine.run()
+
+    def test_fork_unowned_robot_rejected(self):
+        world = make_team_world(2)
+        engine = Engine(world)
+
+        def parent(proc):
+            yield Fork([((7,), lambda p: iter(()))])
+
+        engine.spawn(parent, [0, 1])
+        with pytest.raises(ForkError):
+            engine.run()
+
+    def test_fork_duplicate_assignment_rejected(self):
+        world = make_team_world(3)
+        engine = Engine(world)
+
+        def parent(proc):
+            yield Fork([((1,), lambda p: iter(())), ((1,), lambda p: iter(()))])
+
+        engine.spawn(parent, [0, 1, 2])
+        with pytest.raises(ForkError):
+            engine.run()
+
+
+class TestBarrier:
+    def test_barrier_synchronizes_and_shares(self):
+        world = make_team_world(2)
+        engine = Engine(world)
+        results = {}
+
+        def slow(proc):
+            yield Move(Point(3, 0))     # arrives at t=3
+            yield Move(Point(0, 0))     # back at t=6
+            payloads = (yield Barrier("rv", 2, payload="slow")).value
+            results["slow"] = (proc.time, payloads)
+
+        def parent(proc):
+            yield Fork([((1,), slow)])
+            payloads = (yield Barrier("rv", 2, payload="fast")).value
+            results["fast"] = (proc.time, payloads)
+
+        engine.spawn(parent, [0, 1])
+        engine.run()
+        # Both resume at the last arrival time with all payloads.
+        assert results["fast"][0] == pytest.approx(6.0)
+        assert results["slow"][0] == pytest.approx(6.0)
+        assert sorted(results["fast"][1]) == ["fast", "slow"]
+
+    def test_barrier_party_mismatch(self):
+        world = make_team_world(2)
+        engine = Engine(world)
+
+        def a(proc):
+            yield Barrier("k", 2, payload=None)
+
+        def parent(proc):
+            yield Fork([((1,), a)])
+            yield Barrier("k", 3, payload=None)
+
+        engine.spawn(parent, [0, 1])
+        with pytest.raises(BarrierError):
+            engine.run()
+
+    def test_barrier_requires_colocation(self):
+        world = make_team_world(2)
+        engine = Engine(world)
+
+        def away(proc):
+            yield Move(Point(5, 0))
+            yield Barrier("k", 2, payload=None)
+
+        def parent(proc):
+            yield Fork([((1,), away)])
+            yield Barrier("k", 2, payload=None)
+
+        engine.spawn(parent, [0, 1])
+        with pytest.raises(BarrierError):
+            engine.run()
+
+    def test_unreleased_barrier_deadlocks(self):
+        world = make_team_world(1)
+        engine = Engine(world)
+
+        def lonely(proc):
+            yield Barrier("nobody-else", 2, payload=None)
+
+        engine.spawn(lonely, [0])
+        with pytest.raises(SimulationDeadlock):
+            engine.run()
+
+
+class TestAbsorb:
+    def test_absorb_after_child_finishes(self):
+        world = make_team_world(2)
+        engine = Engine(world)
+
+        def child(proc):
+            yield Barrier("m", 2, payload=None)
+            # returns -> robot 1 idles at the origin
+
+        def parent(proc):
+            yield Fork([((1,), child)])
+            yield Barrier("m", 2, payload=None)
+            yield Wait(0.0)  # let the child's process finish
+            yield Absorb([1])
+            assert set(proc.robot_ids) == {0, 1}
+            yield Move(Point(2, 0))
+
+        engine.spawn(parent, [0, 1])
+        engine.run()
+        assert world.robots[1].position == Point(2, 0)
+
+    def test_absorb_busy_robot_rejected(self):
+        world = make_team_world(2)
+        engine = Engine(world)
+
+        def child(proc):
+            yield Wait(100.0)
+
+        def parent(proc):
+            yield Fork([((1,), child)])
+            yield Absorb([1])
+
+        engine.spawn(parent, [0, 1])
+        with pytest.raises(AbsorbError):
+            engine.run()
+
+    def test_absorb_requires_colocation(self):
+        world = make_team_world(2)
+        engine = Engine(world)
+
+        def child(proc):
+            yield Move(Point(5, 0))
+
+        def parent(proc):
+            yield Fork([((1,), child)])
+            yield Wait(10.0)
+            yield Absorb([1])
+
+        engine.spawn(parent, [0, 1])
+        with pytest.raises(AbsorbError):
+            engine.run()
+
+
+class TestTeamMotion:
+    def test_team_moves_together(self):
+        world = make_team_world(3)
+        engine = Engine(world)
+
+        def program(proc):
+            yield Move(Point(3, 4))
+
+        engine.spawn(program, [0, 1, 2])
+        engine.run()
+        for rid in range(3):
+            assert world.robots[rid].position == Point(3, 4)
+            assert world.robots[rid].odometer == pytest.approx(5.0)
+
+    def test_wake_join_then_fork_out(self):
+        world = World(source=Point(0, 0), positions=[Point(1, 0)])
+        engine = Engine(world)
+        forked = []
+
+        def solo(proc):
+            forked.append(proc.robot_ids)
+            yield Move(Point(9, 0))
+
+        def program(proc):
+            yield Move(Point(1, 0))
+            yield Wake(1)
+            yield Fork([((1,), solo)])
+            yield Move(Point(0, 0))
+
+        engine.spawn(program, [0])
+        engine.run()
+        assert forked == [(1,)]
+        assert world.robots[1].position == Point(9, 0)
+        assert world.robots[0].position == Point(0, 0)

@@ -1,0 +1,117 @@
+"""Trace recording, phase reconstruction, look counting."""
+
+import pytest
+
+from repro.geometry import Point
+from repro.sim import (
+    Annotate,
+    Engine,
+    Look,
+    Move,
+    SOURCE_ID,
+    Trace,
+    Wait,
+    World,
+)
+
+
+def run_traced(program, keep_looks=False):
+    world = World(source=Point(0, 0), positions=[Point(0.5, 0)])
+    trace = Trace(keep_looks=keep_looks)
+    engine = Engine(world, trace=trace)
+    engine.spawn(program, robot_ids=[SOURCE_ID])
+    engine.run()
+    return trace
+
+
+class TestRecording:
+    def test_move_events_carry_length(self):
+        def program(proc):
+            yield Move(Point(3, 4))
+
+        trace = run_traced(program)
+        moves = trace.of_kind("move")
+        assert len(moves) == 1
+        assert moves[0].data["length"] == pytest.approx(5.0)
+        assert trace.total_move_length() == pytest.approx(5.0)
+
+    def test_looks_counted_but_dropped_by_default(self):
+        def program(proc):
+            yield Look()
+            yield Look()
+
+        trace = run_traced(program)
+        assert trace.look_count == 2
+        assert trace.of_kind("look") == []
+
+    def test_keep_looks_retains_observer_position(self):
+        def program(proc):
+            yield Move(Point(1, 0))
+            yield Look()
+
+        trace = run_traced(program, keep_looks=True)
+        looks = trace.of_kind("look")
+        assert len(looks) == 1
+        assert looks[0].data["at"] == Point(1, 0)
+
+    def test_process_lifecycle_events(self):
+        def program(proc):
+            yield Wait(1.0)
+
+        trace = run_traced(program)
+        kinds = [e.kind for e in trace.events]
+        assert kinds[0] == "process_start"
+        assert kinds[-1] == "process_end"
+
+    def test_len_and_iter(self):
+        def program(proc):
+            yield Move(Point(1, 0))
+
+        trace = run_traced(program)
+        assert len(trace) == len(list(trace))
+
+
+class TestPhases:
+    def test_phase_intervals(self):
+        def program(proc):
+            yield Annotate("setup")
+            yield Wait(2.0)
+            yield Annotate("work", {"round": 1})
+            yield Wait(3.0)
+
+        trace = run_traced(program)
+        phases = trace.phases()
+        labels = [(p.label, pytest.approx(p.duration)) for p in phases]
+        assert labels == [("setup", 2.0), ("work", 3.0)]
+
+    def test_phase_prefix_filter(self):
+        def program(proc):
+            yield Annotate("a:x")
+            yield Wait(1.0)
+            yield Annotate("b:y")
+            yield Wait(1.0)
+
+        trace = run_traced(program)
+        assert [p.label for p in trace.phases("a:")] == ["a:x"]
+
+    def test_phase_durations_summed(self):
+        def program(proc):
+            yield Annotate("phase")
+            yield Wait(1.0)
+            yield Annotate("phase")
+            yield Wait(2.0)
+
+        trace = run_traced(program)
+        assert trace.phase_durations()["phase"] == pytest.approx(3.0)
+
+    def test_disabled_trace_records_nothing(self):
+        world = World(source=Point(0, 0), positions=[])
+        trace = Trace(enabled=False)
+        engine = Engine(world, trace=trace)
+
+        def program(proc):
+            yield Move(Point(1, 0))
+
+        engine.spawn(program, [SOURCE_ID])
+        engine.run()
+        assert len(trace) == 0

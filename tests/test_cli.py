@@ -1,0 +1,63 @@
+"""CLI: argument parsing and end-to-end command execution."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.algorithm == "aseparator"
+        assert args.family == "uniform_disk"
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--algorithm", "magic"])
+
+
+class TestCommands:
+    def test_run_aseparator(self, capsys):
+        code = main(
+            ["run", "--family", "uniform_disk", "--n", "15", "--rho", "5",
+             "--seed", "2"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ASeparator" in out
+        assert "rho*=" in out
+
+    def test_run_agrid_with_draw(self, capsys):
+        code = main(
+            ["run", "--algorithm", "agrid", "--family", "beaded_path",
+             "--n", "8", "--spacing", "1.0", "--draw"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "S" in out  # the ASCII map
+
+    def test_params(self, capsys):
+        code = main(["params", "--family", "beaded_path", "--n", "5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "InstanceParameters" in out
+
+    def test_unknown_family_fails(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--family", "nope"])
+
+    def test_table1_energy_only(self, capsys):
+        code = main(["table1", "--experiment", "energy", "--ell", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Thm 3" in out
+
+    def test_figures_explore_only(self, capsys):
+        code = main(["figures", "--figure", "explore"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Lemma 1" in out

@@ -1,0 +1,43 @@
+"""ASCII rendering sanity."""
+
+from repro.core.runner import run_aseparator
+from repro.instances import uniform_disk
+from repro.viz import render_instance, render_wake_times, wake_histogram
+
+
+class TestRenderInstance:
+    def test_contains_source_and_robots(self):
+        inst = uniform_disk(n=20, rho=8.0, seed=1)
+        art = render_instance(inst, width=40, height=16)
+        assert "S" in art
+        assert "." in art
+        assert len(art.splitlines()) == 16
+        assert all(len(line) == 40 for line in art.splitlines())
+
+
+class TestRenderWakeTimes:
+    def test_buckets_present_when_all_awake(self):
+        inst = uniform_disk(n=20, rho=8.0, seed=1)
+        run = run_aseparator(inst)
+        art = render_wake_times(inst, run.result.wake_times, width=40, height=16)
+        assert "S" in art
+        assert "#" not in art  # everyone woke up
+        assert any(ch.isdigit() for ch in art)
+
+    def test_unwoken_marked(self):
+        inst = uniform_disk(n=5, rho=4.0, seed=1)
+        art = render_wake_times(inst, {0: 0.0}, width=30, height=10)
+        assert "#" in art
+
+
+class TestHistogram:
+    def test_histogram_counts(self):
+        inst = uniform_disk(n=20, rho=8.0, seed=1)
+        run = run_aseparator(inst)
+        text = wake_histogram(run.result.wake_times, bins=8)
+        assert len(text.splitlines()) == 8
+        counts = [int(line.rsplit(" ", 1)[-1]) for line in text.splitlines()]
+        assert sum(counts) == 20
+
+    def test_histogram_empty(self):
+        assert wake_histogram({0: 0.0}) == "(no robots)"

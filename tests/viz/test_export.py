@@ -1,0 +1,61 @@
+"""Trace/result export round-trips."""
+
+import json
+
+import pytest
+
+from repro.core.runner import run_aseparator
+from repro.instances import uniform_disk
+from repro.sim import Trace
+from repro.viz import result_to_dict, trace_to_jsonl, wake_times_to_csv
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    inst = uniform_disk(n=15, rho=5.0, seed=4)
+    trace = Trace()
+    run = run_aseparator(inst, trace=trace)
+    return run, trace
+
+
+class TestJsonl:
+    def test_every_event_one_line(self, traced_run, tmp_path):
+        run, trace = traced_run
+        path = trace_to_jsonl(trace, tmp_path / "trace.jsonl")
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == len(trace)
+        first = json.loads(lines[0])
+        assert set(first) == {"time", "kind", "process", "data"}
+        assert first["kind"] == "process_start"
+
+    def test_points_flattened(self, traced_run, tmp_path):
+        run, trace = traced_run
+        path = trace_to_jsonl(trace, tmp_path / "trace.jsonl")
+        for line in path.read_text().splitlines():
+            event = json.loads(line)
+            if event["kind"] == "wake":
+                assert set(event["data"]["position"]) == {"x", "y"}
+                break
+        else:
+            pytest.fail("no wake event exported")
+
+
+class TestCsv:
+    def test_wake_times_csv(self, traced_run, tmp_path):
+        run, _ = traced_run
+        path = wake_times_to_csv(run.result, tmp_path / "wakes.csv")
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "robot_id,wake_time"
+        assert len(lines) == 1 + 16  # source + 15 robots
+        # Times parse back to the exact float values.
+        rid, t = lines[1].split(",")
+        assert float(t) == run.result.wake_times[int(rid)]
+
+
+class TestDict:
+    def test_result_to_dict(self, traced_run):
+        run, _ = traced_run
+        d = result_to_dict(run.result)
+        assert d["woke_all"] is True
+        assert d["n"] == 15
+        assert json.dumps(d)  # JSON-ready
