@@ -3,6 +3,10 @@
 * distribution gap — the measurable price of the discovery problem;
 * centralized-solver choice inside ``ASeparator`` terminations;
 * online-extension competitive ratios vs the [BW20] benchmark constant.
+
+The gap and solver ablations run their simulations through the sweep
+harness (:func:`repro.experiments.run_requests`); pass ``workers`` to the
+underlying functions to parallelise larger configs.
 """
 
 from repro.centralized.online import BW20_COMPETITIVE_RATIO

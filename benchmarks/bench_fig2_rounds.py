@@ -3,39 +3,37 @@
 Figure 2 shows teams recruiting ``4*ell`` robots per sub-square, merging at
 the parent center and re-entering sub-squares.  We reproduce it as the
 per-round series: number of partition rounds, team sizes at each round,
-and the geometric shrinking of the squares.
+and the geometric shrinking of the squares — extracted from the phase
+markers the sweep harness captures with ``collect="phases"``.
 """
 
-import math
-
-from repro.core.runner import run_aseparator
-from repro.experiments import print_table
+from repro.core.runner import RunRequest
+from repro.experiments import print_table, run_requests
 from repro.instances import uniform_disk
-from repro.sim import Trace
 
 
 def test_bench_round_series(once):
-    inst = uniform_disk(n=300, rho=16.0, seed=0)
+    request = RunRequest(
+        algorithm="aseparator",
+        family="uniform_disk",
+        family_kwargs={"n": 300, "rho": 16.0, "seed": 0},
+        collect="phases",
+    )
 
-    def run():
-        trace = Trace()
-        result = run_aseparator(inst, trace=trace)
-        return trace, result
-
-    trace, result = once(run)
-    assert result.woke_all
+    [record] = once(run_requests, [request])
+    assert record["woke_all"]
     partitions = [
-        e for e in trace.of_kind("phase") if e.data["label"] == "asep:partition"
+        e for e in record["phase_events"] if e["label"] == "asep:partition"
     ]
     rows = []
     for e in partitions:
-        square = e.data["data"]["square"]
+        square = e["data"]["square"]
         width = square[2] - square[0]
         rows.append(
             {
-                "time": e.time,
+                "time": e["time"],
                 "square_width": width,
-                "team": e.data["data"]["team"],
+                "team": e["data"]["team"],
             }
         )
     rows.sort(key=lambda r: (r["time"], -r["square_width"]))
@@ -46,5 +44,5 @@ def test_bench_round_series(once):
     for a, b in zip(widths, widths[1:]):
         assert a / b == 2.0
     # Teams at partition rounds carry at least 4*ell robots (Figure 2a/b).
-    ell = inst.default_inputs()[0]
+    ell = uniform_disk(n=300, rho=16.0, seed=0).default_inputs()[0]
     assert all(r["team"] >= 4 * ell for r in rows)

@@ -10,7 +10,8 @@ Reproduces the optimal-energy row of Table 1 on corridor instances where
 """
 
 from repro.core.agrid import agrid_energy_budget
-from repro.experiments import agrid_xi_sweep, print_table
+from repro.core.runner import RunRequest
+from repro.experiments import agrid_xi_sweep, print_table, run_requests
 from repro.metrics import fit_power_law
 
 
@@ -36,12 +37,28 @@ def test_bench_agrid_xi_scaling(once):
 def test_bench_agrid_ell_energy(once):
     """Max energy grows with ell (Θ(ell^2) budget) but not with xi."""
 
+    requests = [
+        RunRequest(
+            algorithm="agrid",
+            family="beaded_path",
+            family_kwargs={"n": 24, "spacing": float(ell)},
+            ell=ell,
+        )
+        for ell in (1, 2, 3)
+    ]
+
     def sweep():
-        rows = []
-        for ell in (1, 2, 3):
-            row = agrid_xi_sweep(lengths=(24,), spacing=float(ell), ell=ell)[0]
-            rows.append({"ell": ell, **row})
-        return rows
+        return [
+            {
+                "ell": r["ell"],
+                "xi": r["xi_ell"],
+                "makespan": r["makespan"],
+                "max_energy": r["max_energy"],
+                "energy_budget": agrid_energy_budget(r["ell"]),
+                "woke_all": r["woke_all"],
+            }
+            for r in run_requests(requests)
+        ]
 
     rows = once(sweep)
     print_table(rows, "\nT1-row3(b): AGrid max energy vs ell")

@@ -9,34 +9,37 @@ Reproduces the unconstrained-energy row of Table 1:
 * fit the Thm 1 template over the union and report the coefficients.
 """
 
-import math
-
+from repro.core.runner import RunRequest
 from repro.experiments import (
     aseparator_ell_sweep,
-    aseparator_rho_sweep,
     print_table,
+    run_requests,
 )
-from repro.instances import beaded_path
-from repro.core.runner import run_aseparator
 from repro.metrics import fit_linear_combination, fit_power_law
 
 
 def test_bench_rho_scaling(once):
+    requests = [
+        RunRequest(
+            algorithm="aseparator",
+            family="beaded_path",
+            family_kwargs={"n": n, "spacing": 1.0},
+        )
+        for n in (8, 16, 32, 64)
+    ]
+
     def sweep():
-        rows = []
-        for n in (8, 16, 32, 64):
-            inst = beaded_path(n=n, spacing=1.0)
-            run = run_aseparator(inst)
-            rows.append(
-                {
-                    "rho": inst.rho_star,
-                    "ell": run.ell,
-                    "makespan": run.makespan,
-                    "makespan/rho": run.makespan / inst.rho_star,
-                    "woke_all": run.woke_all,
-                }
-            )
-        return rows
+        records = run_requests(requests)
+        return [
+            {
+                "rho": r["rho_star"],
+                "ell": r["ell"],
+                "makespan": r["makespan"],
+                "makespan/rho": r["makespan"] / r["rho_star"],
+                "woke_all": r["woke_all"],
+            }
+            for r in records
+        ]
 
     rows = once(sweep)
     print_table(rows, "\nT1-row1(a): ASeparator makespan vs rho (ell pinned = 1)")

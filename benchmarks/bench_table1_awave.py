@@ -12,12 +12,10 @@ Reproduces the last row of Table 1 plus the Thm 6 construction:
   ``Ω(xi)`` prediction.
 """
 
-import math
-
 from repro.core.agrid import agrid_energy_budget
 from repro.core.awave import awave_cell_width, awave_energy_budget
-from repro.core.runner import run_agrid, run_awave
-from repro.experiments import print_table
+from repro.core.runner import RunRequest, run_agrid
+from repro.experiments import print_table, run_requests
 from repro.instances import beaded_path, rectilinear_path
 
 
@@ -26,43 +24,47 @@ def test_bench_awave_vs_agrid(once):
     # Corridor spanning >1 wave cell (cell width 256 for ell=4).
     inst = beaded_path(n=110, spacing=3.5)
     assert inst.rho_star > awave_cell_width(ell) / 2.0
+    requests = [
+        RunRequest(
+            algorithm=algorithm,
+            family="beaded_path",
+            family_kwargs={"n": 110, "spacing": 3.5},
+            ell=ell,
+        )
+        for algorithm in ("awave", "agrid")
+    ]
 
-    def run_both():
-        wave = run_awave(inst, ell=ell)
-        grid = run_agrid(inst, ell=ell)
-        return wave, grid
-
-    wave, grid = once(run_both)
+    wave, grid = once(run_requests, requests)
     xi = inst.xi(ell)
     rows = [
         {
             "algorithm": "AWave",
             "xi": xi,
-            "makespan": wave.makespan,
-            "makespan/xi": wave.makespan / xi,
-            "max_energy": wave.max_energy,
+            "makespan": wave["makespan"],
+            "makespan/xi": wave["makespan"] / xi,
+            "max_energy": wave["max_energy"],
             "energy_budget": awave_energy_budget(ell),
-            "woke_all": wave.woke_all,
+            "woke_all": wave["woke_all"],
         },
         {
             "algorithm": "AGrid",
             "xi": xi,
-            "makespan": grid.makespan,
-            "makespan/xi": grid.makespan / xi,
-            "max_energy": grid.max_energy,
+            "makespan": grid["makespan"],
+            "makespan/xi": grid["makespan"] / xi,
+            "max_energy": grid["max_energy"],
             "energy_budget": agrid_energy_budget(ell),
-            "woke_all": grid.woke_all,
+            "woke_all": grid["woke_all"],
         },
     ]
     print_table(rows, "\nT1-row4: AWave vs AGrid on a multi-cell corridor (ell=4)")
-    assert wave.woke_all and grid.woke_all
-    assert wave.max_energy <= awave_energy_budget(ell)
-    assert grid.max_energy <= agrid_energy_budget(ell)
+    assert wave["woke_all"] and grid["woke_all"]
+    assert wave["max_energy"] <= awave_energy_budget(ell)
+    assert grid["max_energy"] <= agrid_energy_budget(ell)
     # Energy trade-off from Table 1: AWave spends more energy per robot
     # (Θ(ell^2 log ell) > Θ(ell^2)) to buy a better makespan rate.
     print(
         f"measured energy ratio awave/agrid = "
-        f"{wave.max_energy / grid.max_energy:.2f}"
+        f"{wave['max_energy'] / grid['max_energy']:.2f}"
     )
 
 

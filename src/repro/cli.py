@@ -5,6 +5,8 @@ Commands:
 * ``run``    — run one algorithm on a generated instance and print the
   summary, the wake-time map and the wake histogram;
 * ``params`` — compute an instance's ``(rho*, ell*, xi_ell)``;
+* ``sweep``  — run a declarative sweep-spec file on a worker pool with
+  incremental result caching (the batch harness);
 * ``table1`` — regenerate the Table 1 experiment rows;
 * ``figures``— regenerate the figure experiments (phases, exploration,
   lower bound).
@@ -13,18 +15,23 @@ Examples::
 
     freezetag run --algorithm aseparator --family uniform_disk --n 80 --rho 15
     freezetag run --algorithm agrid --family beaded_path --n 40 --spacing 1.0
+    freezetag sweep examples/sweep_quick.json --workers 4 --cache-dir .sweep-cache
     freezetag table1 --experiment rho --scale small
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Any, Callable
 
 from .core.runner import run_agrid, run_aseparator, run_awave
 from .experiments import (
+    ResultCache,
+    SweepSpec,
     agrid_xi_sweep,
+    aggregate_records,
     aseparator_ell_sweep,
     aseparator_rho_sweep,
     awave_vs_agrid,
@@ -34,18 +41,10 @@ from .experiments import (
     lower_bound_experiment,
     phase_timeline,
     print_table,
+    run_sweep,
+    write_csv,
 )
-from .instances import (
-    Instance,
-    annulus,
-    beaded_path,
-    clusters,
-    connected_walk,
-    grid_lattice,
-    spiral,
-    uniform_disk,
-    uniform_square,
-)
+from .instances import Instance, make_instance, uniform_disk
 from .metrics import summarize
 from .viz import render_wake_times, wake_histogram
 
@@ -57,26 +56,34 @@ _ALGORITHMS: dict[str, Callable[..., Any]] = {
     "awave": run_awave,
 }
 
+#: Family name -> generator kwargs from the shared CLI flags.
+_FAMILY_CLI_KWARGS: dict[str, Callable[[argparse.Namespace], dict[str, Any]]] = {
+    "uniform_disk": lambda a: {"n": a.n, "rho": a.rho, "seed": a.seed},
+    "uniform_square": lambda a: {"n": a.n, "half_width": a.rho, "seed": a.seed},
+    "clusters": lambda a: {
+        "n": a.n, "n_clusters": a.k, "rho": a.rho, "seed": a.seed,
+    },
+    "annulus": lambda a: {
+        "n": a.n, "r_inner": a.rho / 2, "r_outer": a.rho, "seed": a.seed,
+    },
+    "beaded_path": lambda a: {"n": a.n, "spacing": a.spacing, "seed": a.seed},
+    "spiral": lambda a: {"n": a.n, "spacing": a.spacing},
+    "grid_lattice": lambda a: {
+        "side": max(2, int(a.n ** 0.5)), "spacing": a.spacing,
+    },
+    "connected_walk": lambda a: {"n": a.n, "step": a.spacing, "seed": a.seed},
+    "two_clusters_bridge": lambda a: {
+        "n": a.n, "gap": a.rho, "spacing": a.spacing, "seed": a.seed,
+    },
+}
+
 
 def _make_instance(args: argparse.Namespace) -> Instance:
-    family = args.family
-    if family == "uniform_disk":
-        return uniform_disk(n=args.n, rho=args.rho, seed=args.seed)
-    if family == "uniform_square":
-        return uniform_square(n=args.n, half_width=args.rho, seed=args.seed)
-    if family == "clusters":
-        return clusters(n=args.n, n_clusters=args.k, rho=args.rho, seed=args.seed)
-    if family == "annulus":
-        return annulus(n=args.n, r_inner=args.rho / 2, r_outer=args.rho, seed=args.seed)
-    if family == "beaded_path":
-        return beaded_path(n=args.n, spacing=args.spacing, seed=args.seed)
-    if family == "spiral":
-        return spiral(n=args.n, spacing=args.spacing)
-    if family == "grid_lattice":
-        return grid_lattice(side=max(2, int(args.n ** 0.5)), spacing=args.spacing)
-    if family == "connected_walk":
-        return connected_walk(n=args.n, step=args.spacing, seed=args.seed)
-    raise SystemExit(f"unknown family {family!r}")
+    try:
+        kwargs = _FAMILY_CLI_KWARGS[args.family](args)
+    except KeyError:
+        raise SystemExit(f"unknown family {args.family!r}") from None
+    return make_instance(args.family, **kwargs)
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -105,6 +112,41 @@ def _cmd_params(args: argparse.Namespace) -> int:
     print(instance)
     print(params)
     return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    try:
+        spec = SweepSpec.from_file(args.spec)
+        spec.expand()  # surface job-level errors (solver/collect/params) now
+    except OSError as exc:
+        raise SystemExit(f"cannot read sweep spec: {exc}") from None
+    except (json.JSONDecodeError, ValueError) as exc:
+        raise SystemExit(f"invalid sweep spec {args.spec!r}: {exc}") from None
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    progress = None if args.quiet else (lambda tick: print(tick.line()))
+    result = run_sweep(
+        spec, workers=args.workers, cache=cache, progress=progress
+    )
+    scalar_keys = [
+        "algorithm", "instance", "n", "ell", "rho_star", "ell_star",
+        "xi_ell", "makespan", "half_wake_time", "max_energy", "woke_all",
+    ]
+    rows = [{k: record[k] for k in scalar_keys} for record in result.records]
+    print()
+    print_table(rows, f"SWEEP {spec.name!r}: {result.total} runs")
+    print()
+    print_table(
+        aggregate_records(result.records),
+        "Aggregate (per algorithm x family)",
+    )
+    print(
+        f"\n{result.executed} executed, {result.cached} cached"
+        + (f" | {cache.stats()}" if cache is not None else "")
+    )
+    if args.csv:
+        path = write_csv(args.csv, rows)
+        print(f"records written to {path}")
+    return 0 if result.all_woke() else 1
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
@@ -181,6 +223,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_params = sub.add_parser("params", help="compute instance parameters")
     add_instance_args(p_params)
     p_params.set_defaults(handler=_cmd_params)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="run a declarative sweep spec on a worker pool"
+    )
+    p_sweep.add_argument("spec", help="path to a sweep-spec JSON file")
+    p_sweep.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool size (results are identical for any value)",
+    )
+    p_sweep.add_argument(
+        "--cache-dir", default=None,
+        help="directory for the incremental result cache",
+    )
+    p_sweep.add_argument("--csv", default=None, help="write run records to CSV")
+    p_sweep.add_argument(
+        "--quiet", action="store_true", help="suppress per-job progress lines"
+    )
+    p_sweep.set_defaults(handler=_cmd_sweep)
 
     p_t1 = sub.add_parser("table1", help="reproduce Table 1 experiments")
     p_t1.add_argument(

@@ -9,12 +9,25 @@ inputs, so metrics and benchmarks have one uniform record type.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from ..instances import Instance
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..instances import Instance, make_instance
 from ..sim import SOURCE_ID, Engine, SimulationResult, Trace
 from ..sim.actions import Program
 
-__all__ = ["AlgorithmRun", "run_program", "run_aseparator", "run_agrid", "run_awave"]
+__all__ = [
+    "ALGORITHMS",
+    "AlgorithmRun",
+    "RunRequest",
+    "run_program",
+    "run_aseparator",
+    "run_agrid",
+    "run_awave",
+]
+
+#: Algorithm names accepted by :class:`RunRequest` and the CLI.
+ALGORITHMS = ("aseparator", "agrid", "awave")
 
 
 @dataclass(frozen=True)
@@ -43,6 +56,103 @@ class AlgorithmRun:
         return (
             f"{self.algorithm} on {self.instance.name}: "
             f"ell={self.ell} rho={self.rho:g} -> {self.result.summary()}"
+        )
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """Declarative, picklable description of one algorithm run.
+
+    A request carries only plain data — algorithm and family *names* plus
+    keyword arguments — so it can cross process boundaries (the sweep
+    harness ships requests to ``multiprocessing`` workers) and be hashed
+    into a stable cache key (:mod:`repro.experiments.cache`).  Executing
+    the same request twice is deterministic: instance generation is seeded
+    and the engine is event-ordered.
+    """
+
+    algorithm: str
+    family: str
+    family_kwargs: Mapping[str, Any] = field(default_factory=dict)
+    ell: int | None = None
+    rho: float | None = None
+    enforce_budget: bool = False
+    solver: str | None = None        # ASeparator termination solver name
+    collect: str = "summary"         # "summary" | "phases"
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in ALGORITHMS:
+            raise ValueError(
+                f"unknown algorithm {self.algorithm!r}; choose from {ALGORITHMS}"
+            )
+        if self.collect not in ("summary", "phases"):
+            raise ValueError(f"unknown collect mode {self.collect!r}")
+        if self.solver is not None and self.algorithm != "aseparator":
+            raise ValueError("solver overrides only apply to 'aseparator'")
+        if self.rho is not None and self.algorithm != "aseparator":
+            # AGrid/AWave take only ell (Section 5); accepting rho here
+            # would silently fork the cache key without changing the run.
+            raise ValueError("the rho input only applies to 'aseparator'")
+
+    def instance(self) -> Instance:
+        return make_instance(self.family, **dict(self.family_kwargs))
+
+    def as_dict(self) -> dict[str, Any]:
+        """Plain-data view (stable key order) for hashing and labels."""
+        return {
+            "algorithm": self.algorithm,
+            "family": self.family,
+            "family_kwargs": dict(sorted(dict(self.family_kwargs).items())),
+            "ell": self.ell,
+            "rho": self.rho,
+            "enforce_budget": self.enforce_budget,
+            "solver": self.solver,
+            "collect": self.collect,
+        }
+
+    def label(self) -> str:
+        kwargs = ",".join(f"{k}={v}" for k, v in sorted(dict(self.family_kwargs).items()))
+        extra = "".join(
+            f" {name}={value}"
+            for name, value in (("ell", self.ell), ("rho", self.rho), ("solver", self.solver))
+            if value is not None
+        )
+        return f"{self.algorithm} {self.family}({kwargs}){extra}"
+
+    def execute(self, trace: Trace | None = None) -> AlgorithmRun:
+        """Run the request in this process and return the full result."""
+        inst = self.instance()
+        if self.algorithm == "aseparator":
+            if self.solver is not None:
+                from ..centralized import greedy_schedule, quadtree_schedule
+
+                solvers = {"quadtree": quadtree_schedule, "greedy": greedy_schedule}
+                try:
+                    solver_fn = solvers[self.solver]
+                except KeyError:
+                    raise ValueError(
+                        f"unknown solver {self.solver!r}; choose from {sorted(solvers)}"
+                    ) from None
+                from .aseparator import aseparator_program
+
+                d_ell, d_rho = inst.default_inputs()
+                ell = d_ell if self.ell is None else self.ell
+                rho = float(d_rho if self.rho is None else self.rho)
+                return run_program(
+                    inst,
+                    aseparator_program(ell=ell, rho=rho, solver=solver_fn),
+                    algorithm=f"ASeparator[{self.solver}]",
+                    ell=ell,
+                    rho=rho,
+                    trace=trace,
+                )
+            return run_aseparator(inst, ell=self.ell, rho=self.rho, trace=trace)
+        if self.algorithm == "agrid":
+            return run_agrid(
+                inst, ell=self.ell, trace=trace, enforce_budget=self.enforce_budget
+            )
+        return run_awave(
+            inst, ell=self.ell, trace=trace, enforce_budget=self.enforce_budget
         )
 
 

@@ -1,11 +1,28 @@
-"""Experiment harness: every table and figure of the paper as a function."""
+"""Experiment harness: every table and figure of the paper as a function.
+
+:mod:`~repro.experiments.harness` is the batch-execution substrate —
+declarative sweep specs expanded into picklable jobs, run on a process
+pool with an incremental on-disk cache.  The table/figure functions are
+thin, named sweeps built on top of it.
+"""
 
 from .ablations import distribution_gap, online_competitiveness, solver_choice
+from .cache import ResultCache, request_key
 from .figures import (
     exploration_scaling,
     lower_bound_experiment,
     phase_durations_by_label,
     phase_timeline,
+)
+from .harness import (
+    FamilySweep,
+    SweepProgress,
+    SweepResult,
+    SweepSpec,
+    aggregate_records,
+    expand_spec,
+    run_requests,
+    run_sweep,
 )
 from .io import format_table, print_table, write_csv
 from .table1 import (
@@ -18,6 +35,16 @@ from .table1 import (
 )
 
 __all__ = [
+    "FamilySweep",
+    "ResultCache",
+    "SweepProgress",
+    "SweepResult",
+    "SweepSpec",
+    "aggregate_records",
+    "expand_spec",
+    "request_key",
+    "run_requests",
+    "run_sweep",
     "distribution_gap",
     "online_competitiveness",
     "solver_choice",

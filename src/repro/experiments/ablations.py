@@ -17,16 +17,11 @@ from typing import Any, Sequence
 
 import numpy as np
 
-from ..centralized import (
-    OnlineRequest,
-    competitive_ratio,
-    greedy_schedule,
-    quadtree_schedule,
-)
-from ..core.aseparator import aseparator_program
-from ..core.runner import run_aseparator, run_program
+from ..centralized import OnlineRequest, competitive_ratio, quadtree_schedule
+from ..core.runner import RunRequest
 from ..geometry import Point
 from ..instances import uniform_disk
+from .harness import run_requests
 
 __all__ = [
     "distribution_gap",
@@ -37,22 +32,31 @@ __all__ = [
 
 def distribution_gap(
     configs: Sequence[tuple[int, float, int]] = ((40, 8.0, 1), (120, 14.0, 2)),
+    workers: int = 1,
 ) -> list[dict[str, Any]]:
     """Distributed vs clairvoyant makespan on the same instances."""
+    requests = [
+        RunRequest(
+            algorithm="aseparator",
+            family="uniform_disk",
+            family_kwargs={"n": n, "rho": rho, "seed": seed},
+        )
+        for n, rho, seed in configs
+    ]
+    records = run_requests(requests, workers=workers)
     rows: list[dict[str, Any]] = []
-    for n, rho, seed in configs:
+    for (n, rho, seed), record in zip(configs, records):
         inst = uniform_disk(n=n, rho=rho, seed=seed)
         clairvoyant = quadtree_schedule(inst.source, list(inst.positions))
-        distributed = run_aseparator(inst)
         rows.append(
             {
                 "n": n,
                 "rho_star": inst.rho_star,
-                "ell": distributed.ell,
+                "ell": record["ell"],
                 "clairvoyant": clairvoyant.makespan(),
-                "distributed": distributed.makespan,
-                "gap": distributed.makespan / clairvoyant.makespan(),
-                "woke_all": distributed.woke_all,
+                "distributed": record["makespan"],
+                "gap": record["makespan"] / clairvoyant.makespan(),
+                "woke_all": record["woke_all"],
             }
         )
     return rows
@@ -60,33 +64,32 @@ def distribution_gap(
 
 def solver_choice(
     configs: Sequence[tuple[int, float, int]] = ((60, 10.0, 3), (150, 16.0, 4)),
+    workers: int = 1,
 ) -> list[dict[str, Any]]:
     """``ASeparator`` terminations with quadtree vs greedy schedules."""
+    requests = [
+        RunRequest(
+            algorithm="aseparator",
+            family="uniform_disk",
+            family_kwargs={"n": n, "rho": rho, "seed": seed},
+            solver=solver,
+        )
+        for n, rho, seed in configs
+        for solver in ("quadtree", "greedy")
+    ]
+    records = run_requests(requests, workers=workers)
     rows: list[dict[str, Any]] = []
-    for n, rho, seed in configs:
-        inst = uniform_disk(n=n, rho=rho, seed=seed)
-        ell, rho_in = inst.default_inputs()
-        results = {}
-        for name, solver in (
-            ("quadtree", quadtree_schedule),
-            ("greedy", greedy_schedule),
-        ):
-            run = run_program(
-                inst,
-                aseparator_program(ell=ell, rho=float(rho_in), solver=solver),
-                algorithm=f"ASeparator[{name}]",
-                ell=ell,
-                rho=float(rho_in),
-            )
-            assert run.woke_all
-            results[name] = run.makespan
+    for (n, _rho, _seed), (quadtree, greedy) in zip(
+        configs, zip(records[::2], records[1::2])
+    ):
+        assert quadtree["woke_all"] and greedy["woke_all"]
         rows.append(
             {
                 "n": n,
-                "ell": ell,
-                "quadtree_makespan": results["quadtree"],
-                "greedy_makespan": results["greedy"],
-                "greedy/quadtree": results["greedy"] / results["quadtree"],
+                "ell": quadtree["ell"],
+                "quadtree_makespan": quadtree["makespan"],
+                "greedy_makespan": greedy["makespan"],
+                "greedy/quadtree": greedy["makespan"] / quadtree["makespan"],
             }
         )
     return rows

@@ -1,0 +1,88 @@
+"""On-disk JSON result cache for sweep jobs.
+
+Each executed :class:`~repro.core.runner.RunRequest` produces one flat
+JSON record.  The cache stores that record in a file named by a content
+hash of the request, so
+
+* re-running an unchanged spec is a pure cache read (incremental sweeps);
+* *any* change to a job — family kwargs, seed, algorithm input, collect
+  mode — changes the hash and transparently invalidates the entry;
+* entries are human-inspectable (the request is stored alongside the
+  record) and safe to delete at any time.
+
+Writes are atomic (temp file + ``os.replace``) so a crashed or killed
+worker never leaves a truncated entry behind.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from ..core.runner import RunRequest
+
+__all__ = ["ResultCache", "request_key", "canonical_json"]
+
+#: Bump when the record schema changes incompatibly; old entries are then
+#: simply never hit again.
+_SCHEMA_VERSION = 1
+
+
+def canonical_json(payload: Any) -> str:
+    """Deterministic JSON text: sorted keys, no whitespace drift."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def request_key(request: RunRequest) -> str:
+    """Stable content hash of one job, the cache filename stem."""
+    body = canonical_json({"schema": _SCHEMA_VERSION, "request": request.as_dict()})
+    return hashlib.sha256(body.encode("utf-8")).hexdigest()[:32]
+
+
+@dataclass
+class ResultCache:
+    """Directory of ``<request-hash>.json`` result records."""
+
+    directory: Path
+    hits: int = field(default=0, init=False)
+    misses: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        self.directory = Path(self.directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def load(self, request: RunRequest) -> dict[str, Any] | None:
+        """The cached record for ``request``, or ``None`` on a miss."""
+        path = self._path(request_key(request))
+        try:
+            payload = json.loads(path.read_text())
+        except (FileNotFoundError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload["record"]
+
+    def store(self, request: RunRequest, record: dict[str, Any]) -> Path:
+        """Atomically persist ``record`` for ``request``."""
+        key = request_key(request)
+        path = self._path(key)
+        payload = canonical_json(
+            {"schema": _SCHEMA_VERSION, "request": request.as_dict(), "record": record}
+        )
+        tmp = path.with_suffix(f".{os.getpid()}.tmp")
+        tmp.write_text(payload)
+        os.replace(tmp, path)
+        return path
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+    def stats(self) -> str:
+        return f"cache: {self.hits} hits, {self.misses} misses ({self.directory})"

@@ -1,0 +1,383 @@
+"""Batch sweep harness: declarative specs, parallel execution, caching.
+
+The paper's experimental claims are all *sweeps* — an algorithm family
+crossed with instance families, sizes, seeds and inputs.  This module
+turns such a sweep into data:
+
+* :class:`FamilySweep` — one instance family plus a grid of generator
+  kwargs (every combination is expanded);
+* :class:`SweepSpec` — algorithms x family sweeps x seeds x algorithm
+  params, loadable from a JSON file (``freezetag sweep spec.json``);
+* :func:`run_requests` / :func:`run_sweep` — execute the expanded
+  :class:`~repro.core.runner.RunRequest` jobs on a ``multiprocessing``
+  pool with an optional :class:`~repro.experiments.cache.ResultCache`.
+
+Determinism contract: every job is independent and seeded through its
+request (instance generation) while the engine itself is event-ordered,
+so a record depends only on its request — never on scheduling.  Records
+are normalised through canonical JSON and returned in spec-expansion
+order, which makes sweep output **byte-identical for any worker count**
+and for cached vs fresh runs.
+"""
+
+from __future__ import annotations
+
+import inspect
+import itertools
+import json
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from ..core.runner import ALGORITHMS, RunRequest
+from ..instances import FAMILIES, family_accepts_seed
+from ..metrics import summarize
+from .cache import ResultCache, canonical_json
+
+__all__ = [
+    "FamilySweep",
+    "SweepSpec",
+    "SweepProgress",
+    "SweepResult",
+    "expand_spec",
+    "run_requests",
+    "run_sweep",
+    "aggregate_records",
+]
+
+
+# ---------------------------------------------------------------------------
+# Declarative specs
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FamilySweep:
+    """One instance family with a grid of generator-kwarg values.
+
+    ``params`` maps each generator kwarg to the *list* of values to sweep;
+    the harness expands the full cross product.  Example::
+
+        FamilySweep("uniform_disk", {"n": [40, 80], "rho": [8.0, 12.0]})
+
+    expands to four instances per (algorithm, seed) combination.
+    """
+
+    family: str
+    params: Mapping[str, Sequence[Any]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.family not in FAMILIES:
+            raise ValueError(
+                f"unknown family {self.family!r}; choose from {sorted(FAMILIES)}"
+            )
+        accepted = set(inspect.signature(FAMILIES[self.family]).parameters)
+        for name, values in self.params.items():
+            if name not in accepted:
+                raise ValueError(
+                    f"family {self.family!r} has no parameter {name!r}; "
+                    f"choose from {sorted(accepted)}"
+                )
+            if isinstance(values, (str, bytes)) or not isinstance(values, Sequence):
+                raise ValueError(
+                    f"param {name!r} of family {self.family!r} must be a list "
+                    f"of values to sweep, got {values!r}"
+                )
+
+    def grid(self) -> list[dict[str, Any]]:
+        """Every kwarg combination, in stable (sorted-key) order."""
+        names = sorted(self.params)
+        combos = itertools.product(*(self.params[name] for name in names))
+        return [dict(zip(names, combo)) for combo in combos]
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A full sweep: algorithms x families x seeds x algorithm params."""
+
+    name: str
+    algorithms: Sequence[str]
+    families: Sequence[FamilySweep]
+    seeds: Sequence[int] = (0,)
+    algorithm_params: Mapping[str, Sequence[Any]] = field(default_factory=dict)
+    collect: str = "summary"
+
+    def __post_init__(self) -> None:
+        for algorithm in self.algorithms:
+            if algorithm not in ALGORITHMS:
+                raise ValueError(
+                    f"unknown algorithm {algorithm!r}; choose from {ALGORITHMS}"
+                )
+        if not self.algorithms or not self.families:
+            raise ValueError("a sweep needs at least one algorithm and one family")
+
+    @staticmethod
+    def from_dict(payload: Mapping[str, Any]) -> "SweepSpec":
+        """Build a spec from parsed JSON (see ``examples/sweep_quick.json``)."""
+        known = {"name", "algorithms", "families", "seeds", "algorithm_params", "collect"}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown spec fields: {sorted(unknown)}")
+        for entry in payload.get("families", ()):
+            if not isinstance(entry, Mapping) or "family" not in entry:
+                raise ValueError(
+                    f"each families entry needs a 'family' key, got {entry!r}"
+                )
+        families = tuple(
+            FamilySweep(family=f["family"], params=dict(f.get("params", {})))
+            for f in payload.get("families", ())
+        )
+        return SweepSpec(
+            name=str(payload.get("name", "sweep")),
+            algorithms=tuple(payload.get("algorithms", ())),
+            families=families,
+            seeds=tuple(payload.get("seeds", (0,))),
+            algorithm_params=dict(payload.get("algorithm_params", {})),
+            collect=str(payload.get("collect", "summary")),
+        )
+
+    @staticmethod
+    def from_file(path: str | Path) -> "SweepSpec":
+        return SweepSpec.from_dict(json.loads(Path(path).read_text()))
+
+    def expand(self) -> list[RunRequest]:
+        return expand_spec(self)
+
+
+def expand_spec(spec: SweepSpec) -> list[RunRequest]:
+    """Expand a spec into its independent jobs, in deterministic order.
+
+    Seeds are injected as the generator's ``seed`` kwarg; deterministic
+    families (no ``seed`` parameter) are run once per grid point rather
+    than once per seed.  ``algorithm_params`` (``ell``, ``rho``,
+    ``enforce_budget``, ``solver``) is itself a grid and crosses every
+    instance.
+    """
+    param_names = sorted(spec.algorithm_params)
+    allowed = {"ell", "rho", "enforce_budget", "solver"}
+    unknown = set(param_names) - allowed
+    if unknown:
+        raise ValueError(f"unknown algorithm_params: {sorted(unknown)}")
+    param_combos = [
+        dict(zip(param_names, combo))
+        for combo in itertools.product(
+            *(spec.algorithm_params[name] for name in param_names)
+        )
+    ] or [{}]
+
+    requests: list[RunRequest] = []
+    for algorithm in spec.algorithms:
+        for family_sweep in spec.families:
+            seeded = family_accepts_seed(family_sweep.family)
+            for point in family_sweep.grid():
+                # A seed pinned in the grid wins; deterministic families
+                # run once per grid point instead of once per seed.
+                one_shot = not seeded or "seed" in point
+                seeds: Sequence[int | None] = (None,) if one_shot else spec.seeds
+                for seed in seeds:
+                    kwargs = dict(point)
+                    if seed is not None:
+                        kwargs["seed"] = seed
+                    for params in param_combos:
+                        requests.append(
+                            RunRequest(
+                                algorithm=algorithm,
+                                family=family_sweep.family,
+                                family_kwargs=kwargs,
+                                collect=spec.collect,
+                                **params,
+                            )
+                        )
+    return requests
+
+
+# ---------------------------------------------------------------------------
+# Execution
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SweepProgress:
+    """One structured progress tick, emitted as each job settles.
+
+    ``elapsed`` is the job's own runtime (measured inside the worker for
+    pooled jobs), ``0.0`` for cache hits.
+    """
+
+    done: int
+    total: int
+    cached: bool
+    label: str
+    elapsed: float
+
+    def line(self) -> str:
+        origin = "cached" if self.cached else f"{self.elapsed:6.2f}s"
+        return f"[{self.done}/{self.total}] {origin}  {self.label}"
+
+
+@dataclass
+class SweepResult:
+    """Ordered records of one sweep plus execution accounting."""
+
+    records: list[dict[str, Any]]
+    executed: int
+    cached: int
+
+    @property
+    def total(self) -> int:
+        return self.executed + self.cached
+
+    def all_woke(self) -> bool:
+        return all(r.get("woke_all", True) for r in self.records)
+
+
+def execute_request(request: RunRequest) -> dict[str, Any]:
+    """Run one request in this process and flatten it into a JSON record.
+
+    The record is a :class:`~repro.metrics.summary.RunSummary` row plus
+    the request's identifying fields; ``collect="phases"`` additionally
+    captures the traced phase intervals and raw phase markers.
+    """
+    from ..sim import Trace
+
+    trace = Trace() if request.collect == "phases" else None
+    run = request.execute(trace=trace)
+    record: dict[str, Any] = summarize(run).as_dict()
+    record["family"] = request.family
+    record["family_kwargs"] = dict(sorted(dict(request.family_kwargs).items()))
+    record["seed"] = dict(request.family_kwargs).get("seed")
+    if trace is not None:
+        record["phases"] = [
+            {
+                "label": iv.label,
+                "process": iv.process_id,
+                "start": iv.start,
+                "end": iv.end,
+                "duration": iv.duration,
+            }
+            for iv in trace.phases()
+        ]
+        record["phase_events"] = [
+            {"time": e.time, "label": e.data.get("label", ""), "data": e.data.get("data")}
+            for e in trace.of_kind("phase")
+        ]
+    # Canonical JSON round-trip: identical bytes whether a record comes
+    # from a worker, the local process, or a cache file.
+    return json.loads(canonical_json(record))
+
+
+def _execute_indexed(
+    job: tuple[int, RunRequest],
+) -> tuple[int, dict[str, Any], float]:
+    index, request = job
+    start = time.perf_counter()
+    record = execute_request(request)
+    return index, record, time.perf_counter() - start
+
+
+def run_requests(
+    requests: Sequence[RunRequest],
+    workers: int = 1,
+    cache: ResultCache | None = None,
+    progress: Callable[[SweepProgress], None] | None = None,
+) -> list[dict[str, Any]]:
+    """Execute jobs (pool of ``workers``) and return records in job order.
+
+    Cached jobs are skipped; fresh results are stored back.  The returned
+    list is ordered by position in ``requests`` regardless of worker
+    count or completion order.
+    """
+    total = len(requests)
+    records: list[dict[str, Any] | None] = [None] * total
+    done = 0
+
+    def tick(index: int, cached: bool, elapsed: float) -> None:
+        nonlocal done
+        done += 1
+        if progress is not None:
+            progress(
+                SweepProgress(
+                    done=done,
+                    total=total,
+                    cached=cached,
+                    label=requests[index].label(),
+                    elapsed=elapsed,
+                )
+            )
+
+    pending: list[tuple[int, RunRequest]] = []
+    for index, request in enumerate(requests):
+        record = cache.load(request) if cache is not None else None
+        if record is not None:
+            records[index] = record
+            tick(index, cached=True, elapsed=0.0)
+        else:
+            pending.append((index, request))
+
+    def settle(index: int, record: dict[str, Any], elapsed: float) -> None:
+        if cache is not None:
+            cache.store(requests[index], record)
+        records[index] = record
+        tick(index, cached=False, elapsed=elapsed)
+
+    if workers <= 1 or len(pending) <= 1:
+        for index, request in pending:
+            _, record, elapsed = _execute_indexed((index, request))
+            settle(index, record, elapsed)
+    else:
+        with multiprocessing.Pool(processes=min(workers, len(pending))) as pool:
+            for index, record, elapsed in pool.imap_unordered(
+                _execute_indexed, pending, chunksize=1
+            ):
+                settle(index, record, elapsed)
+
+    assert all(record is not None for record in records)
+    return records  # type: ignore[return-value]
+
+
+def run_sweep(
+    spec: SweepSpec,
+    workers: int = 1,
+    cache: ResultCache | None = None,
+    progress: Callable[[SweepProgress], None] | None = None,
+) -> SweepResult:
+    """Expand and execute a :class:`SweepSpec`."""
+    requests = spec.expand()
+    hits_before = cache.hits if cache is not None else 0
+    records = run_requests(requests, workers=workers, cache=cache, progress=progress)
+    cached = (cache.hits - hits_before) if cache is not None else 0
+    return SweepResult(records=records, executed=len(records) - cached, cached=cached)
+
+
+# ---------------------------------------------------------------------------
+# Aggregation
+# ---------------------------------------------------------------------------
+
+def aggregate_records(
+    records: Iterable[Mapping[str, Any]],
+    by: Sequence[str] = ("algorithm", "family"),
+) -> list[dict[str, Any]]:
+    """Per-group summary rows (count, makespan stats, energy, wake status).
+
+    The default grouping reproduces the shape of the paper's tables: one
+    row per algorithm x instance family.
+    """
+    groups: dict[tuple, list[Mapping[str, Any]]] = {}
+    for record in records:
+        key = tuple(record.get(k) for k in by)
+        groups.setdefault(key, []).append(record)
+    rows: list[dict[str, Any]] = []
+    for key in sorted(groups, key=lambda k: tuple(str(v) for v in k)):
+        members = groups[key]
+        makespans = [r["makespan"] for r in members]
+        rows.append(
+            {
+                **dict(zip(by, key)),
+                "runs": len(members),
+                "mean_makespan": sum(makespans) / len(makespans),
+                "max_makespan": max(makespans),
+                "max_energy": max(r["max_energy"] for r in members),
+                "all_woke": all(r["woke_all"] for r in members),
+            }
+        )
+    return rows

@@ -7,7 +7,10 @@ makespans together with the bound features, so the callers can fit the
 Table 1 shapes with :mod:`repro.metrics.fits`.
 
 Scale parameters are explicit everywhere so benchmarks can pick profiles
-that run in seconds while the CLI can scale up.
+that run in seconds while the CLI can scale up.  Every engine-backed
+sweep is expressed as :class:`~repro.core.runner.RunRequest` jobs and
+executed through :func:`~repro.experiments.harness.run_requests`, so the
+same functions parallelise (``workers``) and cache (``cache``) for free.
 """
 
 from __future__ import annotations
@@ -18,23 +21,18 @@ from typing import Any, Callable, Sequence
 from ..core.agrid import agrid_energy_budget
 from ..core.awave import awave_energy_budget
 from ..core.explore import exploration_stops
-from ..core.runner import run_agrid, run_aseparator, run_awave
+from ..core.runner import RunRequest
 from ..geometry import Point, distance, square_at_center
 from ..instances import (
-    Instance,
-    beaded_path,
     coverage_fraction,
     energy_ball,
     energy_infeasibility_threshold,
     record_look_positions,
-    uniform_disk,
 )
-from ..metrics import (
-    aseparator_features,
-    fit_linear_combination,
-    summarize,
-)
+from ..metrics import aseparator_features, fit_linear_combination
 from ..sim import Look, Move
+from .cache import ResultCache
+from .harness import run_requests
 
 __all__ = [
     "aseparator_rho_sweep",
@@ -50,35 +48,43 @@ def aseparator_rho_sweep(
     rhos: Sequence[float],
     n_per_rho: Callable[[float], int] = lambda rho: int(4 * rho),
     seeds: Sequence[int] = (0, 1),
+    workers: int = 1,
+    cache: ResultCache | None = None,
 ) -> list[dict[str, Any]]:
     """T1-row1(a): ``ASeparator`` makespan vs ``rho`` at ~constant density.
 
     Density is held fixed so ``ell_star`` stays roughly constant and the
     ``rho`` term of Thm 1 dominates — expected slope ~1 in log-log.
     """
-    rows: list[dict[str, Any]] = []
-    for rho in rhos:
-        for seed in seeds:
-            inst = uniform_disk(n=n_per_rho(rho), rho=rho, seed=seed)
-            run = run_aseparator(inst)
-            s = summarize(run)
-            rows.append(
-                {
-                    "rho": rho,
-                    "seed": seed,
-                    "n": s.n,
-                    "ell": s.ell,
-                    "makespan": s.makespan,
-                    "makespan/rho": s.makespan / rho,
-                    "woke_all": s.woke_all,
-                }
-            )
-    return rows
+    requests = [
+        RunRequest(
+            algorithm="aseparator",
+            family="uniform_disk",
+            family_kwargs={"n": n_per_rho(rho), "rho": rho, "seed": seed},
+        )
+        for rho in rhos
+        for seed in seeds
+    ]
+    records = run_requests(requests, workers=workers, cache=cache)
+    return [
+        {
+            "rho": request.family_kwargs["rho"],
+            "seed": request.family_kwargs["seed"],
+            "n": record["n"],
+            "ell": record["ell"],
+            "makespan": record["makespan"],
+            "makespan/rho": record["makespan"] / request.family_kwargs["rho"],
+            "woke_all": record["woke_all"],
+        }
+        for request, record in zip(requests, records)
+    ]
 
 
 def aseparator_ell_sweep(
     ells: Sequence[int],
     side: int = 7,
+    workers: int = 1,
+    cache: ResultCache | None = None,
 ) -> list[dict[str, Any]]:
     """T1-row1(b): ``ASeparator`` makespan vs ``ell`` at fixed ``rho/ell``.
 
@@ -86,23 +92,30 @@ def aseparator_ell_sweep(
     ``rho_star`` proportionally to ``ell``, so Thm 1 predicts makespan
     ``a*ell + b*ell^2`` — a log-log slope strictly between 1 and 2.
     """
-    from ..instances import grid_lattice
-
+    requests = [
+        RunRequest(
+            algorithm="aseparator",
+            family="grid_lattice",
+            family_kwargs={"side": side, "spacing": float(ell)},
+            ell=ell,
+        )
+        for ell in ells
+    ]
+    records = run_requests(requests, workers=workers, cache=cache)
     rows: list[dict[str, Any]] = []
-    for ell in ells:
-        inst = grid_lattice(side=side, spacing=float(ell))
-        run = run_aseparator(inst, ell=ell)
-        rho = run.rho
+    for record in records:
+        ell = record["ell"]
+        rho = record["rho"]
         feature = ell * ell * math.log(max(rho / ell, 2.0))
         rows.append(
             {
                 "ell": ell,
                 "rho": rho,
-                "n": inst.n,
-                "makespan": run.makespan,
+                "n": record["n"],
+                "makespan": record["makespan"],
                 "ell2log": feature,
-                "makespan/ell2log": run.makespan / feature,
-                "woke_all": run.woke_all,
+                "makespan/ell2log": record["makespan"] / feature,
+                "woke_all": record["woke_all"],
             }
         )
     return rows
@@ -122,6 +135,8 @@ def agrid_xi_sweep(
     lengths: Sequence[int],
     spacing: float = 1.0,
     ell: int | None = None,
+    workers: int = 1,
+    cache: ResultCache | None = None,
 ) -> list[dict[str, Any]]:
     """T1-row3: ``AGrid`` makespan vs ``xi_ell`` on beaded paths.
 
@@ -129,30 +144,37 @@ def agrid_xi_sweep(
     the ``makespan/xi`` column should be roughly flat, and ``max_energy``
     must stay below the ``Θ(ell^2)`` budget.
     """
-    rows: list[dict[str, Any]] = []
-    for n in lengths:
-        inst = beaded_path(n=n, spacing=spacing)
-        run = run_agrid(inst, ell=ell)
-        xi = inst.xi(run.ell)
-        rows.append(
-            {
-                "n": n,
-                "xi": xi,
-                "ell": run.ell,
-                "makespan": run.makespan,
-                "makespan/xi": run.makespan / xi,
-                "max_energy": run.max_energy,
-                "energy_budget": agrid_energy_budget(run.ell),
-                "woke_all": run.woke_all,
-            }
+    requests = [
+        RunRequest(
+            algorithm="agrid",
+            family="beaded_path",
+            family_kwargs={"n": n, "spacing": spacing},
+            ell=ell,
         )
-    return rows
+        for n in lengths
+    ]
+    records = run_requests(requests, workers=workers, cache=cache)
+    return [
+        {
+            "n": record["n"],
+            "xi": record["xi_ell"],
+            "ell": record["ell"],
+            "makespan": record["makespan"],
+            "makespan/xi": record["makespan"] / record["xi_ell"],
+            "max_energy": record["max_energy"],
+            "energy_budget": agrid_energy_budget(record["ell"]),
+            "woke_all": record["woke_all"],
+        }
+        for record in records
+    ]
 
 
 def awave_vs_agrid(
     lengths: Sequence[int],
     spacing: float,
     ell: int,
+    workers: int = 1,
+    cache: ResultCache | None = None,
 ) -> list[dict[str, Any]]:
     """T1-row4: ``AWave`` vs ``AGrid`` on the same corridors.
 
@@ -160,27 +182,34 @@ def awave_vs_agrid(
     (xi/ell))`` beats ``AGrid``'s ``O(ell * xi)`` — the rows expose the
     measured ratio and each algorithm's energy usage against its budget.
     """
+    requests = [
+        RunRequest(
+            algorithm=algorithm,
+            family="beaded_path",
+            family_kwargs={"n": n, "spacing": spacing},
+            ell=ell,
+        )
+        for n in lengths
+        for algorithm in ("agrid", "awave")
+    ]
+    records = run_requests(requests, workers=workers, cache=cache)
     rows: list[dict[str, Any]] = []
-    for n in lengths:
-        inst = beaded_path(n=n, spacing=spacing)
-        grid_run = run_agrid(inst, ell=ell)
-        wave_run = run_awave(inst, ell=ell)
-        xi = inst.xi(ell)
+    for n, (grid, wave) in zip(lengths, zip(records[::2], records[1::2])):
         rows.append(
             {
                 "n": n,
-                "xi": xi,
+                "xi": grid["xi_ell"],
                 "ell": ell,
-                "agrid_makespan": grid_run.makespan,
-                "awave_makespan": wave_run.makespan,
-                "awave/agrid": wave_run.makespan / grid_run.makespan
-                if grid_run.makespan > 0
+                "agrid_makespan": grid["makespan"],
+                "awave_makespan": wave["makespan"],
+                "awave/agrid": wave["makespan"] / grid["makespan"]
+                if grid["makespan"] > 0
                 else math.inf,
-                "agrid_maxE": grid_run.max_energy,
-                "awave_maxE": wave_run.max_energy,
+                "agrid_maxE": grid["max_energy"],
+                "awave_maxE": wave["max_energy"],
                 "agrid_budget": agrid_energy_budget(ell),
                 "awave_budget": awave_energy_budget(ell),
-                "both_woke": grid_run.woke_all and wave_run.woke_all,
+                "both_woke": grid["woke_all"] and wave["woke_all"],
             }
         )
     return rows

@@ -84,10 +84,16 @@ class GridHash:
     def query_ball(
         self, center: Point, radius: float, tol: float = EPS
     ) -> list[tuple[Hashable, Point]]:
-        """All ``(key, position)`` with ``|position - center| <= radius + tol``.
+        """All ``(key, position)`` with ``distance(position, center) <= radius + tol``.
 
-        Hot path for every snapshot; the loop is deliberately inlined
-        (no helper calls, squared-distance comparison).
+        The membership predicate is *exactly* the closed Euclidean ball of
+        radius ``radius + tol`` as measured by :func:`~repro.geometry.points.
+        distance` (``math.hypot``) — callers can use that as a brute-force
+        oracle.  Hot path for every snapshot, so the loop is inlined and
+        compares squared distances; points within a relative margin of the
+        boundary are re-checked with ``math.hypot``, since squaring can
+        round (or underflow to zero for subnormal offsets) and silently
+        flip a boundary decision.
         """
         if radius < 0:
             return []
@@ -101,6 +107,9 @@ class GridHash:
         cells = self._cells
         positions = self._positions
         limit_sq = limit * limit
+        # Fast accept below / reject above this band; exact check inside.
+        lo = limit_sq * (1.0 - 1e-12)
+        hi = limit_sq * (1.0 + 1e-12)
         found: list[tuple[Hashable, Point]] = []
         for ix in range(cx - reach, cx + reach + 1):
             for iy in range(cy - reach, cy + reach + 1):
@@ -111,7 +120,8 @@ class GridHash:
                     pos = positions[key]
                     dx = pos[0] - x0
                     dy = pos[1] - y0
-                    if dx * dx + dy * dy <= limit_sq:
+                    d_sq = dx * dx + dy * dy
+                    if d_sq < lo or (d_sq <= hi and math.hypot(dx, dy) <= limit):
                         found.append((key, pos))
         return found
 

@@ -9,11 +9,14 @@ from .adversary import (
     record_look_positions,
 )
 from .families import (
+    FAMILIES,
     annulus,
     beaded_path,
     clusters,
     connected_walk,
+    family_accepts_seed,
     grid_lattice,
+    make_instance,
     spiral,
     two_clusters_bridge,
     uniform_disk,
@@ -30,8 +33,11 @@ from .lower_bounds import (
 from .spec import Instance
 
 __all__ = [
+    "FAMILIES",
     "Instance",
     "annulus",
+    "family_accepts_seed",
+    "make_instance",
     "beaded_path",
     "clusters",
     "connected_walk",

@@ -19,8 +19,9 @@ instance is reproducible from its arguments.
 
 from __future__ import annotations
 
+import inspect
 import math
-from typing import Iterable
+from typing import Callable, Iterable
 
 import numpy as np
 
@@ -28,6 +29,9 @@ from ..geometry import Point
 from .spec import Instance
 
 __all__ = [
+    "FAMILIES",
+    "family_accepts_seed",
+    "make_instance",
     "uniform_disk",
     "uniform_square",
     "clusters",
@@ -194,3 +198,37 @@ def two_clusters_bridge(
         xs.append(gap + rng.normal(0.0, 1.0))
         ys.append(rng.normal(0.0, 1.0))
     return _finish(xs, ys, f"two_clusters_bridge(n={n},gap={gap},seed={seed})")
+
+
+#: Name -> generator registry.  The single source of truth for every layer
+#: that builds instances from declarative data (the CLI's ``--family``
+#: flag, sweep-spec files, pickled harness jobs).
+FAMILIES: dict[str, Callable[..., Instance]] = {
+    "uniform_disk": uniform_disk,
+    "uniform_square": uniform_square,
+    "clusters": clusters,
+    "annulus": annulus,
+    "beaded_path": beaded_path,
+    "spiral": spiral,
+    "grid_lattice": grid_lattice,
+    "connected_walk": connected_walk,
+    "two_clusters_bridge": two_clusters_bridge,
+}
+
+
+def family_accepts_seed(family: str) -> bool:
+    """Whether the family's generator takes a ``seed`` (deterministic
+    families like ``spiral`` and ``grid_lattice`` do not)."""
+    fn = FAMILIES[family]
+    return "seed" in inspect.signature(fn).parameters
+
+
+def make_instance(family: str, **kwargs) -> Instance:
+    """Build an instance from a family name and generator kwargs."""
+    try:
+        fn = FAMILIES[family]
+    except KeyError:
+        raise ValueError(
+            f"unknown family {family!r}; choose from {sorted(FAMILIES)}"
+        ) from None
+    return fn(**kwargs)

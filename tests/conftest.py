@@ -23,7 +23,5 @@ def origin():
     return Point(0.0, 0.0)
 
 
-def pytest_configure(config):
-    config.addinivalue_line(
-        "markers", "slow: long-running integration scenario"
-    )
+# The ``slow`` marker is registered in pyproject.toml ([tool.pytest.ini_options])
+# and enforced with --strict-markers; ``-m "not slow"`` is the fast CI tier.

@@ -43,6 +43,7 @@ class TestArithmetic:
 
 
 class TestSingleCell:
+    @pytest.mark.slow
     def test_single_cell_instance(self):
         """All robots in the source cell: round 0 wakes everyone, the wave
         dies at round 1 (team gathers, may or may not proceed)."""

@@ -19,6 +19,9 @@ from repro.geometry import Point
 from repro.instances import Instance
 from repro.sim import Trace
 
+# Heavy hypothesis suites: the fast CI tier skips them (-m "not slow").
+pytestmark = pytest.mark.slow
+
 
 @st.composite
 def random_walk_swarms(draw):

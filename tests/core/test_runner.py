@@ -50,10 +50,12 @@ class TestBudgetEnforcement:
         run = run_agrid(small_disk, enforce_budget=True)
         assert run.woke_all
 
+    @pytest.mark.slow
     def test_awave_enforced_budget_completes_single_cell(self, small_disk):
         run = run_awave(small_disk, ell=4, enforce_budget=True)
         assert run.woke_all
 
+    @pytest.mark.slow
     def test_algorithms_agree_on_who_wakes(self, small_disk):
         """All three algorithms wake the same swarm (everyone)."""
         runs = [

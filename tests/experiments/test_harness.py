@@ -1,0 +1,181 @@
+"""Sweep harness: spec expansion, parallel determinism, result caching."""
+
+import json
+
+import pytest
+
+from repro.core.runner import RunRequest
+from repro.experiments import (
+    FamilySweep,
+    ResultCache,
+    SweepSpec,
+    aggregate_records,
+    request_key,
+    run_requests,
+    run_sweep,
+)
+
+TINY_SPEC = SweepSpec(
+    name="tiny",
+    algorithms=("aseparator", "agrid", "awave"),
+    families=(
+        FamilySweep("uniform_disk", {"n": [12], "rho": [4.0]}),
+        FamilySweep("beaded_path", {"n": [6], "spacing": [1.0]}),
+        FamilySweep("grid_lattice", {"side": [3], "spacing": [1.0]}),
+    ),
+    seeds=(0, 1),
+)
+
+
+class TestExpansion:
+    def test_cross_product_counts(self):
+        requests = TINY_SPEC.expand()
+        # 3 algorithms x (2 seeded families x 2 seeds + 1 deterministic family).
+        assert len(requests) == 3 * (2 * 2 + 1)
+        assert len({request_key(r) for r in requests}) == len(requests)
+
+    def test_deterministic_families_ignore_seeds(self):
+        lattice = [r for r in TINY_SPEC.expand() if r.family == "grid_lattice"]
+        assert len(lattice) == 3  # one per algorithm, not per seed
+        assert all("seed" not in r.family_kwargs for r in lattice)
+
+    def test_param_grid(self):
+        sweep = FamilySweep("uniform_disk", {"n": [10, 20], "rho": [4.0, 8.0]})
+        assert len(sweep.grid()) == 4
+
+    def test_algorithm_params_cross(self):
+        spec = SweepSpec(
+            name="p",
+            algorithms=("agrid",),
+            families=(FamilySweep("beaded_path", {"n": [6], "spacing": [1.0]}),),
+            seeds=(0,),
+            algorithm_params={"ell": [1, 2]},
+        )
+        assert [r.ell for r in spec.expand()] == [1, 2]
+
+    def test_rejects_unknown_names(self):
+        with pytest.raises(ValueError, match="unknown family"):
+            FamilySweep("nope", {})
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            SweepSpec(name="x", algorithms=("magic",), families=(FamilySweep("spiral"),))
+        with pytest.raises(ValueError, match="must be a list"):
+            FamilySweep("uniform_disk", {"n": 12})
+        with pytest.raises(ValueError, match="no parameter 'count'"):
+            FamilySweep("beaded_path", {"count": [5]})
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown spec fields"):
+            SweepSpec.from_dict({"name": "x", "algorithms": ["agrid"],
+                                 "families": [], "typo": 1})
+        with pytest.raises(ValueError, match="needs a 'family' key"):
+            SweepSpec.from_dict({"name": "x", "algorithms": ["agrid"],
+                                 "families": [{"params": {"n": [5]}}]})
+
+    def test_from_file_roundtrip(self, tmp_path):
+        payload = {
+            "name": "f",
+            "algorithms": ["aseparator"],
+            "families": [{"family": "beaded_path", "params": {"n": [4], "spacing": [1.0]}}],
+        }
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(payload))
+        spec = SweepSpec.from_file(path)
+        assert spec.name == "f"
+        assert len(spec.expand()) == 1
+
+
+class TestDeterminism:
+    def test_workers_1_vs_4_byte_identical(self):
+        serial = run_sweep(TINY_SPEC, workers=1)
+        parallel = run_sweep(TINY_SPEC, workers=4)
+        assert json.dumps(serial.records) == json.dumps(parallel.records)
+        assert serial.records  # sanity: the sweep actually ran
+
+    def test_records_follow_request_order(self):
+        requests = TINY_SPEC.expand()
+        records = run_requests(requests, workers=4)
+        for request, record in zip(requests, records):
+            assert record["family"] == request.family
+            algorithms = {"aseparator": "ASeparator", "agrid": "AGrid", "awave": "AWave"}
+            assert record["algorithm"].startswith(algorithms[request.algorithm])
+
+
+class TestCache:
+    def test_hit_miss_and_incremental_rerun(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cold = run_sweep(TINY_SPEC, workers=2, cache=cache)
+        assert cold.executed == cold.total and cold.cached == 0
+        warm = run_sweep(TINY_SPEC, workers=2, cache=cache)
+        assert warm.cached == warm.total and warm.executed == 0
+        assert json.dumps(cold.records) == json.dumps(warm.records)
+
+    def test_spec_change_invalidates(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        base = RunRequest("agrid", "beaded_path", {"n": 6, "spacing": 1.0})
+        changed = RunRequest("agrid", "beaded_path", {"n": 7, "spacing": 1.0})
+        run_requests([base], cache=cache)
+        assert cache.load(base) is not None
+        assert cache.load(changed) is None
+        assert request_key(base) != request_key(changed)
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        request = RunRequest("agrid", "beaded_path", {"n": 6, "spacing": 1.0})
+        run_requests([request], cache=cache)
+        for path in (tmp_path / "cache").glob("*.json"):
+            path.write_text("{not json")
+        assert cache.load(request) is None
+
+    def test_cached_equals_fresh(self, tmp_path):
+        request = RunRequest("aseparator", "uniform_disk", {"n": 12, "rho": 4.0, "seed": 0})
+        fresh = run_requests([request])
+        cache = ResultCache(tmp_path / "cache")
+        run_requests([request], cache=cache)
+        cached = run_requests([request], cache=cache)
+        assert json.dumps(fresh) == json.dumps(cached)
+
+
+class TestRecords:
+    def test_phase_collection(self):
+        request = RunRequest(
+            "aseparator", "uniform_disk",
+            {"n": 30, "rho": 8.0, "seed": 1}, collect="phases",
+        )
+        [record] = run_requests([request])
+        assert record["woke_all"]
+        assert any(p["label"] == "asep:init" for p in record["phases"])
+        assert all(p["end"] >= p["start"] for p in record["phases"])
+        assert record["phase_events"], "annotate markers should be captured"
+
+    def test_aggregate_rows(self):
+        records = run_requests(
+            [
+                RunRequest("agrid", "beaded_path", {"n": 6, "spacing": 1.0}),
+                RunRequest("agrid", "beaded_path", {"n": 8, "spacing": 1.0}),
+            ]
+        )
+        [row] = aggregate_records(records)
+        assert row["runs"] == 2
+        assert row["all_woke"]
+        assert row["max_makespan"] >= row["mean_makespan"]
+
+    def test_invalid_requests_rejected(self):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            RunRequest("magic", "uniform_disk", {})
+        with pytest.raises(ValueError, match="solver overrides"):
+            RunRequest("agrid", "uniform_disk", {}, solver="greedy")
+        with pytest.raises(ValueError, match="rho input only applies"):
+            RunRequest("agrid", "uniform_disk", {}, rho=5.0)
+        with pytest.raises(ValueError, match="collect"):
+            RunRequest("agrid", "uniform_disk", {}, collect="everything")
+
+    def test_solver_variants_run(self):
+        requests = [
+            RunRequest("aseparator", "uniform_disk",
+                       {"n": 12, "rho": 4.0, "seed": 3}, solver=solver)
+            for solver in ("quadtree", "greedy")
+        ]
+        quadtree, greedy = run_requests(requests)
+        assert quadtree["algorithm"] == "ASeparator[quadtree]"
+        assert greedy["algorithm"] == "ASeparator[greedy]"
+        assert quadtree["woke_all"] and greedy["woke_all"]

@@ -64,6 +64,17 @@ class TestQueryBall:
         g.insert("edge", Point(1.0, 0.0))
         assert g.query_keys(Point(0, 0), 1.0) == ["edge"]
 
+    def test_subnormal_offset_respects_boundary(self):
+        # Regression: 5e-324**2 underflows to 0.0, so the squared-distance
+        # fast path alone would leak this point into a radius-0 query.
+        g = GridHash(1.3)
+        g.insert("off", Point(5e-324, 0.0))
+        assert g.query_ball(Point(0.0, 0.0), 0.0, tol=0.0) == []
+        assert distance(Point(5e-324, 0.0), Point(0.0, 0.0)) > 0.0
+        # The exact center still matches a radius-0 closed ball.
+        g.insert("hit", Point(0.0, 0.0))
+        assert g.query_keys(Point(0.0, 0.0), 0.0, tol=0.0) == ["hit"]
+
     def test_negative_radius(self):
         g = GridHash(1.0)
         g.insert(0, Point(0, 0))

@@ -1,5 +1,7 @@
 """CLI: argument parsing and end-to-end command execution."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -61,3 +63,62 @@ class TestCommands:
         out = capsys.readouterr().out
         assert code == 0
         assert "Lemma 1" in out
+
+
+class TestSweep:
+    SPEC = {
+        "name": "cli-smoke",
+        "algorithms": ["aseparator", "agrid"],
+        "seeds": [0],
+        "families": [
+            {"family": "beaded_path", "params": {"n": [5], "spacing": [1.0]}},
+        ],
+    }
+
+    def _write_spec(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(self.SPEC))
+        return str(path)
+
+    def test_sweep_runs_and_caches(self, tmp_path, capsys):
+        spec = self._write_spec(tmp_path)
+        cache_dir = str(tmp_path / "cache")
+        code = main(["sweep", spec, "--cache-dir", cache_dir, "--quiet"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "SWEEP 'cli-smoke': 2 runs" in out
+        assert "2 executed, 0 cached" in out
+        code = main(["sweep", spec, "--cache-dir", cache_dir, "--quiet"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 executed, 2 cached" in out
+
+    def test_sweep_csv_and_progress(self, tmp_path, capsys):
+        spec = self._write_spec(tmp_path)
+        csv_path = tmp_path / "records.csv"
+        code = main(["sweep", spec, "--csv", str(csv_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "[1/2]" in out  # progress lines
+        lines = csv_path.read_text().strip().splitlines()
+        assert len(lines) == 3  # header + 2 records
+        assert lines[0].startswith("algorithm,")
+
+    def test_sweep_bad_spec_fails(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"name": "x", "algorithms": [], "families": []}))
+        with pytest.raises(SystemExit, match="invalid sweep spec"):
+            main(["sweep", str(path)])
+
+    def test_sweep_missing_spec_fails(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot read sweep spec"):
+            main(["sweep", str(tmp_path / "nope.json")])
+
+    def test_sweep_expansion_error_fails_cleanly(self, tmp_path):
+        # Parses fine but fails at job expansion: solver on a non-aseparator.
+        spec = dict(self.SPEC, algorithms=["agrid"],
+                    algorithm_params={"solver": ["greedy"]})
+        path = tmp_path / "solver.json"
+        path.write_text(json.dumps(spec))
+        with pytest.raises(SystemExit, match="invalid sweep spec"):
+            main(["sweep", str(path)])
