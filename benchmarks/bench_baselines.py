@@ -1,0 +1,75 @@
+"""Centralized baselines through the harness (registry adapters).
+
+The Table 1 story is distributed-vs-clairvoyant: every ``kind ==
+"centralized"`` registration runs through the schedule→program adapter,
+so its makespan and energy are *executed* by the same engine as the
+distributed algorithms.  This bench keeps the perf trajectory covering
+those adapters:
+
+* the full baseline head-to-head (greedy / quadtree / chain /
+  online_greedy vs an ``AGrid`` reference) on identical seeded
+  instances, enumerated from the registry — a new baseline registration
+  joins the comparison with no benchmark edit;
+* the exact branch-and-bound optimum on a micro-instance, certifying
+  the heuristic baselines' approximation ratios end-to-end.
+"""
+
+from repro.core.registry import algorithm_names, get_algorithm
+from repro.core.runner import RunRequest
+from repro.experiments import (
+    centralized_baseline_sweep,
+    print_table,
+    run_requests,
+)
+
+
+def test_bench_baseline_head_to_head(once):
+    rows = once(centralized_baseline_sweep, n=24, rho=6.0, seeds=(0, 1))
+    print_table(rows, "\nBASELINES: engine-executed centralized vs AGrid")
+    assert all(r["all_woke"] for r in rows)
+    by_name = {r["algorithm"]: r for r in rows}
+    # Every registered centralized baseline the instance admits is here
+    # (`exact` sits out: n=24 exceeds its registered max_n).
+    for name in algorithm_names(kind="centralized"):
+        spec = get_algorithm(name)
+        assert (name in by_name) == (spec.max_n is None or spec.max_n >= 24)
+    # Clairvoyance pays: the schedule solvers with a makespan guarantee
+    # beat the distributed reference, which must pay for discovery.
+    assert by_name["quadtree"]["vs_reference"] < 1.0
+    assert by_name["greedy"]["vs_reference"] < 1.0
+    # The no-branching chain is the straw man — worst of the baselines.
+    chain = by_name["chain"]["mean_makespan"]
+    assert chain >= max(
+        by_name[n]["mean_makespan"] for n in ("greedy", "quadtree")
+    )
+
+
+def test_bench_exact_certifies_heuristics(once):
+    """On a micro-instance the exact adapter bounds the heuristics."""
+    requests = [
+        RunRequest(
+            algorithm=name,
+            family="uniform_disk",
+            family_kwargs={"n": 8, "rho": 5.0, "seed": 3},
+        )
+        for name in ("exact", "greedy", "quadtree")
+    ]
+
+    exact, greedy, quadtree = once(run_requests, requests)
+    rows = [
+        {
+            "algorithm": r["algorithm"],
+            "makespan": r["makespan"],
+            "vs_exact": r["makespan"] / exact["makespan"],
+            "woke_all": r["woke_all"],
+        }
+        for r in (exact, greedy, quadtree)
+    ]
+    print_table(rows, "\nBASELINES: heuristics vs the exact optimum (n=8)")
+    assert all(r["woke_all"] for r in rows)
+    # The optimum is a true lower bound, executed through the engine.
+    assert exact["makespan"] <= greedy["makespan"] + 1e-9
+    assert exact["makespan"] <= quadtree["makespan"] + 1e-9
+    # And the heuristics stay within their observed approximation range.
+    assert greedy["makespan"] <= 3.0 * exact["makespan"]
+    assert quadtree["makespan"] <= 4.0 * exact["makespan"]

@@ -9,7 +9,7 @@ Reproduces the optimal-energy row of Table 1 on corridor instances where
   ``Θ(ell^2)`` budget.
 """
 
-from repro.core.agrid import agrid_energy_budget
+from repro.core.registry import get_algorithm
 from repro.core.runner import RunRequest
 from repro.experiments import agrid_xi_sweep, print_table, run_requests
 from repro.metrics import fit_power_law
@@ -30,7 +30,7 @@ def test_bench_agrid_xi_scaling(once):
     assert 0.85 <= slope <= 1.15
     # Energy: flat in xi and within the Theorem 4 budget.
     energies = [r["max_energy"] for r in rows]
-    assert max(energies) <= agrid_energy_budget(rows[0]["ell"])
+    assert max(energies) <= get_algorithm("agrid").energy_budget(rows[0]["ell"])
     assert max(energies) <= 2.0 * min(energies) + 10.0
 
 
@@ -54,7 +54,7 @@ def test_bench_agrid_ell_energy(once):
                 "xi": r["xi_ell"],
                 "makespan": r["makespan"],
                 "max_energy": r["max_energy"],
-                "energy_budget": agrid_energy_budget(r["ell"]),
+                "energy_budget": get_algorithm("agrid").energy_budget(r["ell"]),
                 "woke_all": r["woke_all"],
             }
             for r in run_requests(requests)

@@ -8,16 +8,26 @@ experiment harness reproducing every table and figure of the paper.
 
 Quickstart::
 
-    from repro import Instance, uniform_disk, run_aseparator
+    from repro import Instance, uniform_disk, run_algorithm, run_aseparator
 
     inst = uniform_disk(n=60, rho=12.0, seed=7)
-    result = run_aseparator(inst)
-    print(result.summary())
+    print(run_aseparator(inst).summary())
+    # any registered algorithm — distributed or centralized baseline:
+    print(run_algorithm("greedy", inst).summary())
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-from .core import AlgorithmRun, run_agrid, run_aseparator, run_awave
+from .core import (
+    AlgorithmRun,
+    algorithm_names,
+    get_algorithm,
+    register_algorithm,
+    run_agrid,
+    run_algorithm,
+    run_aseparator,
+    run_awave,
+)
 from .geometry import Point
 from .instances import (
     Instance,
@@ -33,7 +43,11 @@ __all__ = [
     "Point",
     "Instance",
     "AlgorithmRun",
+    "algorithm_names",
+    "get_algorithm",
+    "register_algorithm",
     "run_agrid",
+    "run_algorithm",
     "run_aseparator",
     "run_awave",
     "beaded_path",

@@ -27,6 +27,7 @@ from .online import (
     competitive_ratio,
     offline_reference_makespan,
     online_greedy,
+    online_greedy_schedule,
 )
 from .quadtree import QUADTREE_MAKESPAN_FACTOR, quadtree_schedule
 from .schedule import ROOT, ScheduleEvaluation, WakeupSchedule
@@ -38,6 +39,7 @@ __all__ = [
     "competitive_ratio",
     "offline_reference_makespan",
     "online_greedy",
+    "online_greedy_schedule",
     "ROOT",
     "WakeupSchedule",
     "ScheduleEvaluation",

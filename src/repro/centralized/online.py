@@ -26,11 +26,13 @@ from typing import List, Sequence
 
 from ..geometry import Point, distance
 from .exact import exact_makespan
+from .schedule import ROOT, WakeupSchedule
 
 __all__ = [
     "OnlineRequest",
     "OnlineOutcome",
     "online_greedy",
+    "online_greedy_schedule",
     "offline_reference_makespan",
     "competitive_ratio",
 ]
@@ -101,6 +103,27 @@ def online_greedy(
         makespan=max(wake_times, default=0.0),
         waker_of=waker_of,
     )
+
+
+def online_greedy_schedule(
+    root: Point, positions: Sequence[Point], region=None
+) -> WakeupSchedule:
+    """The :func:`online_greedy` strategy replayed as a wake-up schedule.
+
+    All release times are zero, which makes the online dispatcher a plain
+    (if myopic) offline baseline; the per-waker target sequences follow
+    the order the strategy actually served them, so the schedule's
+    evaluated makespan equals the online outcome's.  ``region`` is
+    accepted (and ignored) to satisfy the Lemma 2 solver signature.
+    """
+    outcome = online_greedy(root, [OnlineRequest(p, 0.0) for p in positions])
+    orders: dict[int, list[int]] = {}
+    for target in sorted(
+        range(len(positions)), key=lambda i: (outcome.wake_times[i], i)
+    ):
+        waker = outcome.waker_of[target]
+        orders.setdefault(ROOT if waker == -1 else waker, []).append(target)
+    return WakeupSchedule.build(root, positions, orders)
 
 
 def offline_reference_makespan(

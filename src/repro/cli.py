@@ -2,8 +2,11 @@
 
 Commands:
 
-* ``run``    — run one algorithm on a generated instance and print the
-  summary, the wake-time map and the wake histogram;
+* ``run``    — run any registered algorithm (distributed or centralized
+  baseline) on a generated instance and print the summary, the wake-time
+  map and the wake histogram;
+* ``algorithms`` — list the algorithm registry: names, labels, capability
+  flags and parameter schemas;
 * ``params`` — compute an instance's ``(rho*, ell*, xi_ell)``;
 * ``sweep``  — run a declarative sweep-spec file on a worker pool with
   incremental result caching (the batch harness);
@@ -14,8 +17,10 @@ Commands:
 Examples::
 
     freezetag run --algorithm aseparator --family uniform_disk --n 80 --rho 15
-    freezetag run --algorithm agrid --family beaded_path --n 40 --spacing 1.0
-    freezetag sweep examples/sweep_quick.json --workers 4 --cache-dir .sweep-cache
+    freezetag run --algorithm greedy --family uniform_disk --n 80 --rho 15
+    freezetag run --algorithm aseparator --param solver=greedy --n 40
+    freezetag algorithms
+    freezetag sweep examples/sweep_baselines.json --workers 4 --cache-dir .sweep-cache
     freezetag table1 --experiment rho --scale small
 """
 
@@ -26,7 +31,7 @@ import json
 import sys
 from typing import Any, Callable
 
-from .core.runner import run_agrid, run_aseparator, run_awave
+from .core.registry import algorithm_names, get_algorithm, iter_algorithms
 from .experiments import (
     ResultCache,
     SweepSpec,
@@ -49,12 +54,6 @@ from .metrics import summarize
 from .viz import render_wake_times, wake_histogram
 
 __all__ = ["main", "build_parser"]
-
-_ALGORITHMS: dict[str, Callable[..., Any]] = {
-    "aseparator": run_aseparator,
-    "agrid": run_agrid,
-    "awave": run_awave,
-}
 
 #: Family name -> generator kwargs from the shared CLI flags.
 _FAMILY_CLI_KWARGS: dict[str, Callable[[argparse.Namespace], dict[str, Any]]] = {
@@ -86,13 +85,28 @@ def _make_instance(args: argparse.Namespace) -> Instance:
     return make_instance(args.family, **kwargs)
 
 
+def _parse_param(text: str) -> tuple[str, Any]:
+    """Parse one ``--param name=value`` (value via JSON, else raw string)."""
+    name, sep, raw = text.partition("=")
+    if not sep or not name:
+        raise SystemExit(f"--param expects name=value, got {text!r}")
+    try:
+        value: Any = json.loads(raw)
+    except json.JSONDecodeError:
+        value = raw  # bare strings, e.g. solver=greedy
+    return name, value
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     instance = _make_instance(args)
-    runner = _ALGORITHMS[args.algorithm]
-    kwargs: dict[str, Any] = {}
+    spec = get_algorithm(args.algorithm)
+    params: dict[str, Any] = dict(_parse_param(p) for p in args.param or ())
     if args.ell is not None:
-        kwargs["ell"] = args.ell
-    run = runner(instance, **kwargs)
+        params.setdefault("ell", args.ell)
+    try:
+        run = spec.run(instance, params)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
     summary = summarize(run)
     print(run.summary())
     print(
@@ -104,6 +118,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print()
         print(wake_histogram(run.result.wake_times))
     return 0 if run.woke_all else 1
+
+
+def _cmd_algorithms(args: argparse.Namespace) -> int:
+    """List the algorithm registry (one line per registered spec)."""
+    specs = iter_algorithms(kind=args.kind)
+    header = f"{'name':<16} {'label':<24} {'flags':<28} params"
+    print(header)
+    print("-" * len(header))
+    for spec in specs:
+        print(spec.describe())
+    if args.verbose:
+        print()
+        for spec in specs:
+            print(f"{spec.name}: {spec.description or spec.label}")
+    return 0
 
 
 def _cmd_params(args: argparse.Namespace) -> int:
@@ -214,11 +243,30 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--ell", type=int, default=None)
 
-    p_run = sub.add_parser("run", help="run one algorithm on an instance")
+    p_run = sub.add_parser("run", help="run one registered algorithm on an instance")
     add_instance_args(p_run)
-    p_run.add_argument("--algorithm", choices=sorted(_ALGORITHMS), default="aseparator")
+    p_run.add_argument(
+        "--algorithm", choices=sorted(algorithm_names()), default="aseparator",
+        help="any registered algorithm (see 'freezetag algorithms')",
+    )
+    p_run.add_argument(
+        "--param", action="append", metavar="NAME=VALUE",
+        help="algorithm parameter (repeatable), e.g. --param solver=greedy",
+    )
     p_run.add_argument("--draw", action="store_true", help="ASCII wake map")
     p_run.set_defaults(handler=_cmd_run)
+
+    p_algos = sub.add_parser(
+        "algorithms", help="list the algorithm registry (names, flags, schemas)"
+    )
+    p_algos.add_argument(
+        "--kind", choices=("distributed", "centralized"), default=None,
+        help="only list algorithms of this kind",
+    )
+    p_algos.add_argument(
+        "--verbose", action="store_true", help="also print one-line descriptions"
+    )
+    p_algos.set_defaults(handler=_cmd_algorithms)
 
     p_params = sub.add_parser("params", help="compute instance parameters")
     add_instance_args(p_params)

@@ -1,11 +1,15 @@
 """The paper's algorithms and building blocks.
 
-* building blocks: :mod:`explore` (Lemma 1), :mod:`wakeup` (Algorithm 1),
-  :mod:`dfsampling` (Lemma 5), :mod:`knowledge`;
+* building blocks: :mod:`explore` (Lemma 1), :mod:`wakeup` (Algorithm 1
+  plus the schedule→program adapter), :mod:`dfsampling` (Lemma 5),
+  :mod:`knowledge`;
 * algorithms: :mod:`aseparator` (Thm 1), :mod:`agrid` (Thm 4),
   :mod:`awave` (Thm 5), :mod:`radius_estimation` (Section 5);
-* entry points: :mod:`runner` (``run_aseparator`` / ``run_agrid`` /
-  ``run_awave``).
+* the algorithm registry: :mod:`registry` (``AlgorithmSpec`` +
+  ``register_algorithm``) with the built-in entries in :mod:`catalog` —
+  distributed algorithms and centralized baselines behind one API;
+* entry points: :mod:`runner` (``run_algorithm`` and the legacy
+  ``run_aseparator`` / ``run_agrid`` / ``run_awave`` wrappers).
 """
 
 from .dfsampling import SamplingOutcome, dfsampling
@@ -18,13 +22,31 @@ from .explore import (
     explore_rect_team,
 )
 from .knowledge import TeamKnowledge
-from .runner import AlgorithmRun, run_agrid, run_aseparator, run_awave, run_program
+from .registry import (
+    AlgorithmSpec,
+    ParamSpec,
+    RunSetup,
+    algorithm_names,
+    get_algorithm,
+    iter_algorithms,
+    register_algorithm,
+    unregister_algorithm,
+)
+from .runner import (
+    AlgorithmRun,
+    run_agrid,
+    run_algorithm,
+    run_aseparator,
+    run_awave,
+    run_program,
+)
 from .spiral import SpiralFind, spiral_search, spiral_stops, spiral_time_bound
 from .wakeup import (
     WakePlan,
     execute_wake_plan,
     plan_from_schedule,
     propagation_program,
+    schedule_program,
 )
 
 __all__ = [
@@ -41,8 +63,18 @@ __all__ = [
     "execute_wake_plan",
     "plan_from_schedule",
     "propagation_program",
+    "schedule_program",
     "AlgorithmRun",
+    "AlgorithmSpec",
+    "ParamSpec",
+    "RunSetup",
+    "algorithm_names",
+    "get_algorithm",
+    "iter_algorithms",
+    "register_algorithm",
+    "unregister_algorithm",
     "run_program",
+    "run_algorithm",
     "run_aseparator",
     "run_agrid",
     "run_awave",

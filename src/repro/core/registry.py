@@ -1,0 +1,332 @@
+"""Algorithm registry: one pluggable run API for every wake-up strategy.
+
+The paper's headline comparison pits the *distributed* algorithms
+(``ASeparator``/``AGrid``/``AWave``) against *centralized* clairvoyant
+schedules.  To make that comparison a one-line sweep spec — and to give
+future backends a single extension point — every runnable algorithm is a
+registered :class:`AlgorithmSpec`:
+
+* a canonical ``name`` (the key used by :class:`~repro.core.runner.RunRequest`,
+  sweep specs, the CLI and the cache),
+* a typed parameter schema (:class:`ParamSpec`) with defaults, validated
+  before any simulation starts,
+* a ``build`` factory producing a :class:`RunSetup` — the program the
+  engine executes plus the resolved ``(ell, rho, budget)`` inputs,
+* capability flags (``kind``, ``needs_rho``, ``supports_budget``,
+  ``max_n``) and an optional ``energy_budget`` function so tools can
+  reason about an algorithm without special-casing its name.
+
+Built-in algorithms register themselves in :mod:`repro.core.catalog`
+(imported lazily on first lookup); external code adds new ones with the
+:func:`register_algorithm` decorator::
+
+    @register_algorithm(
+        name="mywave", label="MyWave", kind="distributed",
+        params=(ParamSpec("ell", int),),
+    )
+    def _build_mywave(instance, params):
+        ell = params.get("ell", instance.default_inputs()[0])
+        return RunSetup(program=mywave_program(ell=ell), label="MyWave",
+                        ell=ell, rho=float(instance.default_inputs()[1]))
+
+After registration the algorithm is immediately sweepable, cacheable and
+listed by ``freezetag algorithms`` — no engine, harness or CLI changes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..instances import Instance
+    from ..sim import Trace
+    from ..sim.actions import Program
+    from .runner import AlgorithmRun
+
+__all__ = [
+    "ParamSpec",
+    "RunSetup",
+    "AlgorithmSpec",
+    "register_algorithm",
+    "unregister_algorithm",
+    "get_algorithm",
+    "algorithm_names",
+    "iter_algorithms",
+]
+
+#: Algorithm kinds: distributed programs discover the swarm through the
+#: Look-Compute-Move model; centralized baselines are clairvoyant — they
+#: read the instance positions up front and only *execute* through the
+#: engine (so makespan/energy are measured identically).
+KINDS = ("distributed", "centralized")
+
+
+def _type_ok(value: Any, expected: type) -> bool:
+    """Schema type check with the two practical affordances: ints are
+    acceptable floats, and bools are *not* acceptable ints."""
+    if expected is float:
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if expected is int:
+        return isinstance(value, int) and not isinstance(value, bool)
+    if expected is bool:
+        return isinstance(value, bool)
+    return isinstance(value, expected)
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    """One typed algorithm parameter.
+
+    ``default=None`` means "derived from the instance at build time" (the
+    paper's convention: the tightest admissible value, see
+    :meth:`repro.instances.Instance.default_inputs`).
+    """
+
+    name: str
+    type: type
+    default: Any = None
+    choices: tuple[Any, ...] | None = None
+    doc: str = ""
+
+    def validate(self, value: Any, algorithm: str) -> Any:
+        """Check ``value`` against the schema; ``None`` always passes
+        (it means *unset*, resolved to the default at build time)."""
+        if value is None:
+            return None
+        if not _type_ok(value, self.type):
+            raise ValueError(
+                f"parameter {self.name!r} of algorithm {algorithm!r} expects "
+                f"{self.type.__name__}, got {value!r} ({type(value).__name__})"
+            )
+        if self.choices is not None and value not in self.choices:
+            raise ValueError(
+                f"parameter {self.name!r} of algorithm {algorithm!r} must be "
+                f"one of {sorted(map(str, self.choices))}, got {value!r}"
+            )
+        return value
+
+    def describe(self) -> str:
+        spec = f"{self.name}:{self.type.__name__}"
+        if self.choices is not None:
+            spec += "{" + "|".join(map(str, self.choices)) + "}"
+        if self.default is not None:
+            spec += f"={self.default}"
+        return spec
+
+
+@dataclass(frozen=True)
+class RunSetup:
+    """What a spec's ``build`` factory hands the engine: the source
+    program plus the resolved run inputs recorded on the result."""
+
+    program: "Program"
+    label: str                 # human label, e.g. "ASeparator[greedy]"
+    ell: int
+    rho: float
+    budget: float = math.inf   # per-robot energy budget (inf = unconstrained)
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """A registered algorithm: schema, factory, and capability flags."""
+
+    name: str
+    label: str
+    kind: str                  # "distributed" | "centralized"
+    build: Callable[["Instance", Mapping[str, Any]], RunSetup]
+    params: tuple[ParamSpec, ...] = ()
+    energy_budget: Callable[[int], float] | None = None
+    needs_rho: bool = False    # takes the paper's rho input (ASeparator)
+    supports_budget: bool = False  # can enforce its Theorem energy budget
+    max_n: int | None = None   # hard instance-size limit (exact solver)
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown algorithm kind {self.kind!r}; choose from {KINDS}")
+        names = [p.name for p in self.params]
+        if len(names) != len(set(names)):
+            raise ValueError(f"algorithm {self.name!r} has duplicate parameter names")
+
+    # -- schema ------------------------------------------------------------
+    @property
+    def param_names(self) -> tuple[str, ...]:
+        return tuple(p.name for p in self.params)
+
+    def param(self, name: str) -> ParamSpec:
+        for p in self.params:
+            if p.name == name:
+                return p
+        raise ValueError(
+            f"algorithm {self.name!r} has no parameter {name!r}; "
+            f"choose from {sorted(self.param_names) or '(none)'}"
+        )
+
+    def validate_params(self, params: Mapping[str, Any]) -> dict[str, Any]:
+        """Validate ``params`` against the schema.
+
+        Unknown names and type/choice mismatches raise ``ValueError``;
+        ``None`` values (unset) are dropped.  Defaults are *not* filled in
+        — that happens at build time against the concrete instance, so a
+        request's identity (and cache key) only reflects what the caller
+        actually pinned.
+        """
+        resolved: dict[str, Any] = {}
+        for name in sorted(params):
+            value = self.param(name).validate(params[name], self.name)
+            if value is not None:
+                resolved[name] = value
+        return resolved
+
+    # -- execution ---------------------------------------------------------
+    def run(
+        self,
+        instance: "Instance",
+        params: Mapping[str, Any] | None = None,
+        trace: "Trace | None" = None,
+    ) -> "AlgorithmRun":
+        """Validate ``params``, build the program, run it to quiescence."""
+        from .runner import run_program
+
+        resolved = self.validate_params(params or {})
+        if self.max_n is not None and instance.n > self.max_n:
+            raise ValueError(
+                f"algorithm {self.name!r} is limited to n <= {self.max_n} "
+                f"(got n={instance.n})"
+            )
+        setup = self.build(instance, resolved)
+        return run_program(
+            instance,
+            setup.program,
+            algorithm=setup.label,
+            ell=setup.ell,
+            rho=setup.rho,
+            budget=setup.budget,
+            trace=trace,
+        )
+
+    # -- listing -----------------------------------------------------------
+    def describe(self) -> str:
+        """One line for the ``freezetag algorithms`` listing."""
+        schema = ", ".join(p.describe() for p in self.params) or "-"
+        flags = [self.kind]
+        if self.needs_rho:
+            flags.append("needs-rho")
+        if self.supports_budget:
+            flags.append("budget")
+        if self.max_n is not None:
+            flags.append(f"n<={self.max_n}")
+        return f"{self.name:<16} {self.label:<24} {','.join(flags):<28} {schema}"
+
+
+# ---------------------------------------------------------------------------
+# The registry
+# ---------------------------------------------------------------------------
+
+_REGISTRY: dict[str, AlgorithmSpec] = {}
+_builtins_loaded = False
+_builtins_loading = False
+
+
+def _ensure_builtins() -> None:
+    """Load the built-in registrations exactly once, lazily.
+
+    Lookup functions call this so ``import repro.core.registry`` stays
+    cheap and cycle-free; :mod:`repro.core.catalog` registers the shipped
+    algorithms on first use.  The loaded flag is only set on *success*:
+    if the catalog import fails, its partial registrations are rolled
+    back (Python evicts the half-imported module, so a later lookup
+    retries the import cleanly instead of reporting a near-empty
+    registry — or "already registered" — and masking the root cause).
+    """
+    global _builtins_loaded, _builtins_loading
+    if _builtins_loaded or _builtins_loading:
+        return
+    _builtins_loading = True
+    before = set(_REGISTRY)
+    try:
+        from . import catalog  # noqa: F401  (imported for its registrations)
+    except BaseException:
+        for name in set(_REGISTRY) - before:
+            del _REGISTRY[name]
+        raise
+    finally:
+        _builtins_loading = False
+    _builtins_loaded = True
+
+
+def register_algorithm(
+    *,
+    name: str,
+    label: str,
+    kind: str,
+    params: tuple[ParamSpec, ...] = (),
+    energy_budget: Callable[[int], float] | None = None,
+    needs_rho: bool = False,
+    supports_budget: bool = False,
+    max_n: int | None = None,
+    description: str = "",
+) -> Callable:
+    """Decorator registering a ``build(instance, params) -> RunSetup``
+    factory as algorithm ``name``.  Returns the factory unchanged.
+
+    Duplicate names are rejected — an algorithm's name is its identity in
+    sweep specs and cache keys, so silently replacing one would repoint
+    existing artifacts at different code.
+    """
+
+    def decorator(build: Callable[["Instance", Mapping[str, Any]], RunSetup]):
+        spec = AlgorithmSpec(
+            name=name,
+            label=label,
+            kind=kind,
+            build=build,
+            params=params,
+            energy_budget=energy_budget,
+            needs_rho=needs_rho,
+            supports_budget=supports_budget,
+            max_n=max_n,
+            description=description,
+        )
+        if spec.name in _REGISTRY:
+            raise ValueError(f"algorithm {spec.name!r} is already registered")
+        _REGISTRY[spec.name] = spec
+        return build
+
+    return decorator
+
+
+def unregister_algorithm(name: str) -> None:
+    """Remove a registration (test/plugin teardown hook)."""
+    _REGISTRY.pop(name, None)
+
+
+def get_algorithm(name: str) -> AlgorithmSpec:
+    """Look up a spec by canonical name (``ValueError`` when unknown)."""
+    _ensure_builtins()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown algorithm {name!r}; choose from {algorithm_names()}"
+        ) from None
+
+
+def algorithm_names(kind: str | None = None) -> tuple[str, ...]:
+    """Registered names in registration order, optionally filtered by kind."""
+    _ensure_builtins()
+    return tuple(
+        spec.name
+        for spec in _REGISTRY.values()
+        if kind is None or spec.kind == kind
+    )
+
+
+def iter_algorithms(kind: str | None = None) -> tuple[AlgorithmSpec, ...]:
+    """Registered specs in registration order, optionally filtered by kind."""
+    _ensure_builtins()
+    return tuple(
+        spec for spec in _REGISTRY.values() if kind is None or spec.kind == kind
+    )

@@ -4,6 +4,12 @@ These helpers wrap the full pipeline — build a world, spawn the source
 process with the algorithm's program, run the engine to quiescence — and
 return an :class:`AlgorithmRun` bundling the simulation result with the
 inputs, so metrics and benchmarks have one uniform record type.
+
+Which algorithms exist, what parameters they take and how their programs
+are built all live in the registry (:mod:`repro.core.registry`); this
+module only provides the uniform execution record
+(:class:`AlgorithmRun`), the declarative job (:class:`RunRequest`, which
+dispatches through the registry) and the raw :func:`run_program` plumbing.
 """
 
 from __future__ import annotations
@@ -15,19 +21,31 @@ from typing import Any, Mapping
 from ..instances import Instance, make_instance
 from ..sim import SOURCE_ID, Engine, SimulationResult, Trace
 from ..sim.actions import Program
+from .registry import get_algorithm
 
 __all__ = [
     "ALGORITHMS",
     "AlgorithmRun",
     "RunRequest",
     "run_program",
+    "run_algorithm",
     "run_aseparator",
     "run_agrid",
     "run_awave",
 ]
 
-#: Algorithm names accepted by :class:`RunRequest` and the CLI.
+
+#: Deprecated: the paper's three distributed algorithms.  New code should
+#: enumerate :func:`repro.core.registry.algorithm_names`, which also
+#: covers the centralized baselines and future registrations.
 ALGORITHMS = ("aseparator", "agrid", "awave")
+
+#: The four pre-registry ``RunRequest`` fields, kept as a working compat
+#: shim: they merge into ``params`` and keep their dedicated slots in
+#: :meth:`RunRequest.as_dict`, so pre-redesign sweep JSONs and cache keys
+#: are byte-identical.
+_LEGACY_PARAMS = ("ell", "rho", "enforce_budget", "solver")
+_LEGACY_DEFAULTS = {"ell": None, "rho": None, "enforce_budget": False, "solver": None}
 
 
 @dataclass(frozen=True)
@@ -69,91 +87,93 @@ class RunRequest:
     into a stable cache key (:mod:`repro.experiments.cache`).  Executing
     the same request twice is deterministic: instance generation is seeded
     and the engine is event-ordered.
+
+    Algorithm parameters go in ``params``, validated at construction time
+    against the registered :class:`~repro.core.registry.AlgorithmSpec`
+    schema.  The pre-registry fields ``ell``/``rho``/``enforce_budget``/
+    ``solver`` still work (they merge into the same parameter set) and
+    keep their dedicated slots in :meth:`as_dict`, so existing sweep
+    JSONs and cache keys are unchanged.
     """
 
     algorithm: str
     family: str
     family_kwargs: Mapping[str, Any] = field(default_factory=dict)
-    ell: int | None = None
-    rho: float | None = None
-    enforce_budget: bool = False
-    solver: str | None = None        # ASeparator termination solver name
+    ell: int | None = None           # deprecated: use params["ell"]
+    rho: float | None = None         # deprecated: use params["rho"]
+    enforce_budget: bool = False     # deprecated: use params["enforce_budget"]
+    solver: str | None = None        # deprecated: use params["solver"]
     collect: str = "summary"         # "summary" | "phases"
+    params: Mapping[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
-        if self.algorithm not in ALGORITHMS:
-            raise ValueError(
-                f"unknown algorithm {self.algorithm!r}; choose from {ALGORITHMS}"
-            )
         if self.collect not in ("summary", "phases"):
             raise ValueError(f"unknown collect mode {self.collect!r}")
-        if self.solver is not None and self.algorithm != "aseparator":
-            raise ValueError("solver overrides only apply to 'aseparator'")
-        if self.rho is not None and self.algorithm != "aseparator":
-            # AGrid/AWave take only ell (Section 5); accepting rho here
-            # would silently fork the cache key without changing the run.
-            raise ValueError("the rho input only applies to 'aseparator'")
+        # Resolve the spec (raises on unknown algorithm) and validate the
+        # merged parameters against its schema, so a bad request fails at
+        # construction — before it reaches a worker pool or the cache.
+        self.resolved_params()
+
+    def resolved_params(self) -> dict[str, Any]:
+        """Legacy fields + ``params``, validated against the spec schema.
+
+        Sorted-key dict of everything the caller pinned (``None`` values
+        mean *unset* and are dropped; defaults are applied at build time).
+        A legacy field conflicting with the same key in ``params`` is an
+        error — silently preferring one would fork the cache key.
+        """
+        spec = get_algorithm(self.algorithm)
+        merged = dict(self.params)
+        for name in _LEGACY_PARAMS:
+            value = getattr(self, name)
+            if value == _LEGACY_DEFAULTS[name]:
+                continue
+            if name in merged and merged[name] != value:
+                raise ValueError(
+                    f"parameter {name!r} given twice (field {value!r} vs "
+                    f"params[{name!r}] = {merged[name]!r})"
+                )
+            merged[name] = value
+        return spec.validate_params(merged)
 
     def instance(self) -> Instance:
         return make_instance(self.family, **dict(self.family_kwargs))
 
     def as_dict(self) -> dict[str, Any]:
-        """Plain-data view (stable key order) for hashing and labels."""
-        return {
+        """Plain-data view (stable key order) for hashing and labels.
+
+        The four legacy parameters keep their dedicated keys — byte-stable
+        with pre-registry cache entries; any other algorithm parameter
+        lands under ``"params"`` (absent when empty, so the key of an
+        unchanged request never moves).
+        """
+        merged = self.resolved_params()
+        legacy = {
+            name: merged.pop(name, _LEGACY_DEFAULTS[name])
+            for name in _LEGACY_PARAMS
+        }
+        payload: dict[str, Any] = {
             "algorithm": self.algorithm,
             "family": self.family,
             "family_kwargs": dict(sorted(dict(self.family_kwargs).items())),
-            "ell": self.ell,
-            "rho": self.rho,
-            "enforce_budget": self.enforce_budget,
-            "solver": self.solver,
+            **legacy,
             "collect": self.collect,
         }
+        if merged:
+            payload["params"] = merged
+        return payload
 
     def label(self) -> str:
         kwargs = ",".join(f"{k}={v}" for k, v in sorted(dict(self.family_kwargs).items()))
         extra = "".join(
-            f" {name}={value}"
-            for name, value in (("ell", self.ell), ("rho", self.rho), ("solver", self.solver))
-            if value is not None
+            f" {name}={value}" for name, value in self.resolved_params().items()
         )
         return f"{self.algorithm} {self.family}({kwargs}){extra}"
 
     def execute(self, trace: Trace | None = None) -> AlgorithmRun:
         """Run the request in this process and return the full result."""
-        inst = self.instance()
-        if self.algorithm == "aseparator":
-            if self.solver is not None:
-                from ..centralized import greedy_schedule, quadtree_schedule
-
-                solvers = {"quadtree": quadtree_schedule, "greedy": greedy_schedule}
-                try:
-                    solver_fn = solvers[self.solver]
-                except KeyError:
-                    raise ValueError(
-                        f"unknown solver {self.solver!r}; choose from {sorted(solvers)}"
-                    ) from None
-                from .aseparator import aseparator_program
-
-                d_ell, d_rho = inst.default_inputs()
-                ell = d_ell if self.ell is None else self.ell
-                rho = float(d_rho if self.rho is None else self.rho)
-                return run_program(
-                    inst,
-                    aseparator_program(ell=ell, rho=rho, solver=solver_fn),
-                    algorithm=f"ASeparator[{self.solver}]",
-                    ell=ell,
-                    rho=rho,
-                    trace=trace,
-                )
-            return run_aseparator(inst, ell=self.ell, rho=self.rho, trace=trace)
-        if self.algorithm == "agrid":
-            return run_agrid(
-                inst, ell=self.ell, trace=trace, enforce_budget=self.enforce_budget
-            )
-        return run_awave(
-            inst, ell=self.ell, trace=trace, enforce_budget=self.enforce_budget
-        )
+        spec = get_algorithm(self.algorithm)
+        return spec.run(self.instance(), self.resolved_params(), trace=trace)
 
 
 def run_program(
@@ -179,6 +199,16 @@ def run_program(
     )
 
 
+def run_algorithm(
+    algorithm: str,
+    instance: Instance,
+    params: Mapping[str, Any] | None = None,
+    trace: Trace | None = None,
+) -> AlgorithmRun:
+    """Run any registered algorithm (distributed or centralized baseline)."""
+    return get_algorithm(algorithm).run(instance, params, trace=trace)
+
+
 def run_aseparator(
     instance: Instance,
     ell: int | None = None,
@@ -190,15 +220,8 @@ def run_aseparator(
     Defaults follow the paper's convention: the tightest admissible
     integral upper bounds on the instance's true parameters.
     """
-    from .aseparator import aseparator_program
-
-    d_ell, d_rho = instance.default_inputs()
-    ell = d_ell if ell is None else ell
-    rho = d_rho if rho is None else rho
-    program = aseparator_program(ell=ell, rho=float(rho))
-    return run_program(
-        instance, program, algorithm="ASeparator", ell=ell, rho=float(rho),
-        trace=trace,
+    return run_algorithm(
+        "aseparator", instance, {"ell": ell, "rho": rho}, trace=trace
     )
 
 
@@ -214,15 +237,9 @@ def run_agrid(
     theorem's ``O(ell^2)`` energy budget (with this implementation's
     constant, :func:`repro.core.agrid.agrid_energy_budget`).
     """
-    from .agrid import agrid_energy_budget, agrid_program
-
-    d_ell, d_rho = instance.default_inputs()
-    ell = d_ell if ell is None else ell
-    budget = agrid_energy_budget(ell) if enforce_budget else math.inf
-    program = agrid_program(ell=ell)
-    return run_program(
-        instance, program, algorithm="AGrid", ell=ell, rho=float(d_rho),
-        budget=budget, trace=trace,
+    return run_algorithm(
+        "agrid", instance, {"ell": ell, "enforce_budget": enforce_budget},
+        trace=trace,
     )
 
 
@@ -233,13 +250,7 @@ def run_awave(
     enforce_budget: bool = False,
 ) -> AlgorithmRun:
     """Run ``AWave`` (Theorem 5); only ``ell`` is needed."""
-    from .awave import awave_energy_budget, awave_program
-
-    d_ell, d_rho = instance.default_inputs()
-    ell = d_ell if ell is None else ell
-    budget = awave_energy_budget(ell) if enforce_budget else math.inf
-    program = awave_program(ell=ell)
-    return run_program(
-        instance, program, algorithm="AWave", ell=ell, rho=float(d_rho),
-        budget=budget, trace=trace,
+    return run_algorithm(
+        "awave", instance, {"ell": ell, "enforce_budget": enforce_budget},
+        trace=trace,
     )

@@ -19,11 +19,17 @@ from typing import Callable, Dict, Generator, Mapping, Sequence
 
 from ..centralized import ROOT, WakeupSchedule
 from ..geometry import Point
-from ..sim import Move, Result, Wake
+from ..sim import SOURCE_ID, Move, Result, Wake
 from ..sim.actions import Action, Program
 from ..sim.engine import ProcessView
 
-__all__ = ["WakePlan", "plan_from_schedule", "execute_wake_plan", "propagation_program"]
+__all__ = [
+    "WakePlan",
+    "plan_from_schedule",
+    "execute_wake_plan",
+    "propagation_program",
+    "schedule_program",
+]
 
 #: Ordered wake lists keyed by simulator robot id; ``targets[rid]`` is the
 #: sequence of robot ids that ``rid`` personally wakes, in order.
@@ -94,5 +100,27 @@ def propagation_program(
         continuation = after(robot_id) if after is not None else None
         if continuation is not None:
             yield from continuation(proc)
+
+    return program
+
+
+def schedule_program(schedule: WakeupSchedule) -> Program:
+    """Schedule→program adapter: execute a centralized schedule end-to-end.
+
+    ``schedule`` must be indexed over a world's sleeping positions in
+    generation order (simulator ids ``1..n``, the :class:`~repro.sim.World`
+    convention), rooted at the source.  The returned program runs as the
+    source process and realizes the whole wake forest through the engine,
+    so a clairvoyant baseline produces the same :class:`SimulationResult`
+    record — makespan, per-robot energy, trace — as a distributed run.
+    This is what makes centralized-vs-distributed sweeps head-to-head
+    rather than apples-to-oranges analytic makespans.
+    """
+    schedule.validate()
+    target_ids = list(range(1, len(schedule.positions) + 1))
+    plan, positions = plan_from_schedule(schedule, target_ids, SOURCE_ID)
+
+    def program(proc: ProcessView) -> Generator[Action, Result, None]:
+        yield from execute_wake_plan(proc, plan, positions, SOURCE_ID)
 
     return program

@@ -6,7 +6,12 @@ pool with an incremental on-disk cache.  The table/figure functions are
 thin, named sweeps built on top of it.
 """
 
-from .ablations import distribution_gap, online_competitiveness, solver_choice
+from .ablations import (
+    centralized_baseline_sweep,
+    distribution_gap,
+    online_competitiveness,
+    solver_choice,
+)
 from .cache import ResultCache, request_key
 from .figures import (
     exploration_scaling,
@@ -45,6 +50,7 @@ __all__ = [
     "request_key",
     "run_requests",
     "run_sweep",
+    "centralized_baseline_sweep",
     "distribution_gap",
     "online_competitiveness",
     "solver_choice",

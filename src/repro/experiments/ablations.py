@@ -8,6 +8,10 @@
   vs greedy (no guarantee, better constants) centralized terminations.
 * **Online competitiveness** — the [BW20]-adjacent online extension:
   measured competitive ratios of the event-driven online dispatcher.
+* **Baseline head-to-head** — every registered *centralized* baseline
+  executed through the engine (schedule→program adapter) against a
+  distributed reference, on identical instances and via the same sweep
+  harness and cache.
 """
 
 from __future__ import annotations
@@ -18,15 +22,18 @@ from typing import Any, Sequence
 import numpy as np
 
 from ..centralized import OnlineRequest, competitive_ratio, quadtree_schedule
+from ..core.registry import get_algorithm, iter_algorithms
 from ..core.runner import RunRequest
 from ..geometry import Point
 from ..instances import uniform_disk
+from .cache import ResultCache
 from .harness import run_requests
 
 __all__ = [
     "distribution_gap",
     "solver_choice",
     "online_competitiveness",
+    "centralized_baseline_sweep",
 ]
 
 
@@ -90,6 +97,67 @@ def solver_choice(
                 "quadtree_makespan": quadtree["makespan"],
                 "greedy_makespan": greedy["makespan"],
                 "greedy/quadtree": greedy["makespan"] / quadtree["makespan"],
+            }
+        )
+    return rows
+
+
+def centralized_baseline_sweep(
+    n: int = 24,
+    rho: float = 6.0,
+    seeds: Sequence[int] = (0, 1),
+    reference: str = "agrid",
+    workers: int = 1,
+    cache: ResultCache | None = None,
+) -> list[dict[str, Any]]:
+    """Engine-executed centralized baselines vs one distributed reference.
+
+    Enumerates every ``kind="centralized"`` registration (skipping those
+    whose ``max_n`` the instance exceeds — the exact solver), so newly
+    registered baselines join the comparison automatically.  All runs go
+    through the shared harness/cache; rows report mean makespan over
+    seeds and the ratio to the distributed reference.
+    """
+    algorithms = [reference] + [
+        spec.name
+        for spec in iter_algorithms(kind="centralized")
+        if spec.max_n is None or n <= spec.max_n
+    ]
+    requests = [
+        RunRequest(
+            algorithm=algorithm,
+            family="uniform_disk",
+            family_kwargs={"n": n, "rho": rho, "seed": seed},
+        )
+        for algorithm in algorithms
+        for seed in seeds
+    ]
+    records = run_requests(requests, workers=workers, cache=cache)
+    per_algorithm = [
+        records[i * len(seeds): (i + 1) * len(seeds)]
+        for i in range(len(algorithms))
+    ]
+    reference_mean = float(
+        np.mean([r["makespan"] for r in per_algorithm[0]])
+    )
+    rows: list[dict[str, Any]] = []
+    for algorithm, group in zip(algorithms, per_algorithm):
+        mean_makespan = float(np.mean([r["makespan"] for r in group]))
+        rows.append(
+            {
+                "algorithm": algorithm,
+                "label": get_algorithm(algorithm).label,
+                "kind": get_algorithm(algorithm).kind,
+                "n": n,
+                "runs": len(group),
+                "mean_makespan": mean_makespan,
+                "vs_reference": mean_makespan / reference_mean
+                if reference_mean > 0
+                else float("inf"),
+                "mean_max_energy": float(
+                    np.mean([r["max_energy"] for r in group])
+                ),
+                "all_woke": all(r["woke_all"] for r in group),
             }
         )
     return rows

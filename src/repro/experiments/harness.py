@@ -31,7 +31,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
-from ..core.runner import ALGORITHMS, RunRequest
+from ..core.registry import get_algorithm
+from ..core.runner import RunRequest
 from ..instances import FAMILIES, family_accepts_seed
 from ..metrics import summarize
 from .cache import ResultCache, canonical_json
@@ -105,10 +106,7 @@ class SweepSpec:
 
     def __post_init__(self) -> None:
         for algorithm in self.algorithms:
-            if algorithm not in ALGORITHMS:
-                raise ValueError(
-                    f"unknown algorithm {algorithm!r}; choose from {ALGORITHMS}"
-                )
+            get_algorithm(algorithm)  # raises "unknown algorithm ..." early
         if not self.algorithms or not self.families:
             raise ValueError("a sweep needs at least one algorithm and one family")
 
@@ -145,20 +143,23 @@ class SweepSpec:
         return expand_spec(self)
 
 
+#: ``algorithm_params`` names routed through the dedicated legacy
+#: :class:`RunRequest` fields (cache-key compat shim); everything else
+#: travels via the generic ``params`` mapping.
+_LEGACY_PARAM_NAMES = frozenset({"ell", "rho", "enforce_budget", "solver"})
+
+
 def expand_spec(spec: SweepSpec) -> list[RunRequest]:
     """Expand a spec into its independent jobs, in deterministic order.
 
     Seeds are injected as the generator's ``seed`` kwarg; deterministic
     families (no ``seed`` parameter) are run once per grid point rather
-    than once per seed.  ``algorithm_params`` (``ell``, ``rho``,
-    ``enforce_budget``, ``solver``) is itself a grid and crosses every
-    instance.
+    than once per seed.  ``algorithm_params`` is itself a grid crossing
+    every instance; each name must be accepted by *every* swept
+    algorithm's registered parameter schema — a violation is reported
+    with the offending sweep entry (algorithm, family, grid point).
     """
     param_names = sorted(spec.algorithm_params)
-    allowed = {"ell", "rho", "enforce_budget", "solver"}
-    unknown = set(param_names) - allowed
-    if unknown:
-        raise ValueError(f"unknown algorithm_params: {sorted(unknown)}")
     param_combos = [
         dict(zip(param_names, combo))
         for combo in itertools.product(
@@ -170,7 +171,7 @@ def expand_spec(spec: SweepSpec) -> list[RunRequest]:
     for algorithm in spec.algorithms:
         for family_sweep in spec.families:
             seeded = family_accepts_seed(family_sweep.family)
-            for point in family_sweep.grid():
+            for point_index, point in enumerate(family_sweep.grid()):
                 # A seed pinned in the grid wins; deterministic families
                 # run once per grid point instead of once per seed.
                 one_shot = not seeded or "seed" in point
@@ -180,15 +181,33 @@ def expand_spec(spec: SweepSpec) -> list[RunRequest]:
                     if seed is not None:
                         kwargs["seed"] = seed
                     for params in param_combos:
-                        requests.append(
-                            RunRequest(
-                                algorithm=algorithm,
-                                family=family_sweep.family,
-                                family_kwargs=kwargs,
-                                collect=spec.collect,
-                                **params,
+                        legacy = {
+                            k: v for k, v in params.items()
+                            if k in _LEGACY_PARAM_NAMES
+                        }
+                        extra = {
+                            k: v for k, v in params.items()
+                            if k not in _LEGACY_PARAM_NAMES
+                        }
+                        try:
+                            requests.append(
+                                RunRequest(
+                                    algorithm=algorithm,
+                                    family=family_sweep.family,
+                                    family_kwargs=kwargs,
+                                    collect=spec.collect,
+                                    params=extra,
+                                    **legacy,
+                                )
                             )
-                        )
+                        except ValueError as exc:
+                            raise ValueError(
+                                f"sweep {spec.name!r}, algorithm "
+                                f"{algorithm!r}, family "
+                                f"{family_sweep.family!r}, grid point "
+                                f"#{point_index} {point}, "
+                                f"algorithm_params {params}: {exc}"
+                            ) from exc
     return requests
 
 

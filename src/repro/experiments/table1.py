@@ -18,9 +18,8 @@ from __future__ import annotations
 import math
 from typing import Any, Callable, Sequence
 
-from ..core.agrid import agrid_energy_budget
-from ..core.awave import awave_energy_budget
 from ..core.explore import exploration_stops
+from ..core.registry import get_algorithm
 from ..core.runner import RunRequest
 from ..geometry import Point, distance, square_at_center
 from ..instances import (
@@ -162,7 +161,7 @@ def agrid_xi_sweep(
             "makespan": record["makespan"],
             "makespan/xi": record["makespan"] / record["xi_ell"],
             "max_energy": record["max_energy"],
-            "energy_budget": agrid_energy_budget(record["ell"]),
+            "energy_budget": get_algorithm("agrid").energy_budget(record["ell"]),
             "woke_all": record["woke_all"],
         }
         for record in records
@@ -207,8 +206,8 @@ def awave_vs_agrid(
                 else math.inf,
                 "agrid_maxE": grid["max_energy"],
                 "awave_maxE": wave["max_energy"],
-                "agrid_budget": agrid_energy_budget(ell),
-                "awave_budget": awave_energy_budget(ell),
+                "agrid_budget": get_algorithm("agrid").energy_budget(ell),
+                "awave_budget": get_algorithm("awave").energy_budget(ell),
                 "both_woke": grid["woke_all"] and wave["woke_all"],
             }
         )

@@ -251,10 +251,15 @@ class Engine:
         """Process events until the queue drains (or ``until`` is reached)."""
         self._started = True
         while self._queue:
-            time, _seq, pid, value = heapq.heappop(self._queue)
+            time, seq, pid, value = heapq.heappop(self._queue)
             if until is not None and time > until:
-                # Push back so a subsequent run() can continue.
-                self._schedule(time, pid, value)
+                # Push back so a subsequent run() can continue.  Keep the
+                # original sequence number: re-queuing through _schedule
+                # would allocate a fresh one, letting an equal-time event
+                # scheduled *later* overtake this one after the pause —
+                # a paused-and-resumed run must replay the exact event
+                # order of an uninterrupted run.
+                heapq.heappush(self._queue, (time, seq, pid, value))
                 break
             self.now = max(self.now, time)
             proc = self._processes.get(pid)

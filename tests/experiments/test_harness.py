@@ -63,6 +63,50 @@ class TestExpansion:
         with pytest.raises(ValueError, match="no parameter 'count'"):
             FamilySweep("beaded_path", {"count": [5]})
 
+    def test_expansion_error_names_offending_entry(self):
+        # `solver` is an aseparator-only parameter: expanding it against
+        # agrid must identify the sweep entry, not just the bad value.
+        spec = SweepSpec(
+            name="ctx",
+            algorithms=("aseparator", "agrid"),
+            families=(FamilySweep("beaded_path", {"n": [4], "spacing": [1.0]}),),
+            seeds=(0,),
+            algorithm_params={"solver": ["greedy"]},
+        )
+        with pytest.raises(ValueError) as excinfo:
+            spec.expand()
+        message = str(excinfo.value)
+        assert "sweep 'ctx'" in message
+        assert "algorithm 'agrid'" in message
+        assert "family 'beaded_path'" in message
+        assert "grid point #0" in message
+        assert "no parameter 'solver'" in message
+
+    def test_enforce_budget_crosses_all_three_algorithms(self):
+        # Pre-registry sweeps could cross enforce_budget over the full
+        # distributed trio (aseparator silently ignored it) — they must
+        # keep expanding, with the flag still in each request's key.
+        spec = SweepSpec(
+            name="budget",
+            algorithms=("aseparator", "agrid", "awave"),
+            families=(FamilySweep("beaded_path", {"n": [4], "spacing": [1.0]}),),
+            seeds=(0,),
+            algorithm_params={"enforce_budget": [True]},
+        )
+        requests = spec.expand()
+        assert [r.algorithm for r in requests] == ["aseparator", "agrid", "awave"]
+        assert all(r.enforce_budget for r in requests)
+
+    def test_generic_params_route_through_sweep(self):
+        spec = SweepSpec(
+            name="generic",
+            algorithms=("aseparator",),
+            families=(FamilySweep("beaded_path", {"n": [4], "spacing": [1.0]}),),
+            seeds=(0,),
+            algorithm_params={"solver": ["quadtree", "greedy"]},
+        )
+        assert [r.solver for r in spec.expand()] == ["quadtree", "greedy"]
+
     def test_from_dict_rejects_unknown_fields(self):
         with pytest.raises(ValueError, match="unknown spec fields"):
             SweepSpec.from_dict({"name": "x", "algorithms": ["agrid"],
@@ -135,6 +179,52 @@ class TestCache:
         assert json.dumps(fresh) == json.dumps(cached)
 
 
+class TestMixedKinds:
+    """Centralized baselines and distributed algorithms in one sweep."""
+
+    MIXED_SPEC = SweepSpec(
+        name="mixed",
+        algorithms=("agrid", "greedy", "quadtree"),
+        families=(FamilySweep("uniform_disk", {"n": [12], "rho": [4.0]}),),
+        seeds=(0, 1),
+    )
+
+    def test_mixed_sweep_shares_one_cache(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cold = run_sweep(self.MIXED_SPEC, workers=2, cache=cache)
+        assert cold.executed == 6 and cold.cached == 0
+        warm = run_sweep(self.MIXED_SPEC, workers=2, cache=cache)
+        assert warm.cached == 6 and warm.executed == 0
+        assert json.dumps(cold.records) == json.dumps(warm.records)
+        labels = {r["algorithm"] for r in cold.records}
+        assert labels == {"AGrid", "Centralized[greedy]", "Centralized[quadtree]"}
+        assert all(r["woke_all"] for r in cold.records)
+
+    def test_baselines_executed_through_engine(self):
+        # The adapter realizes the schedule in the simulator, so energy
+        # and termination accounting match the distributed records.
+        [record] = run_requests(
+            [RunRequest("chain", "uniform_disk", {"n": 10, "rho": 4.0, "seed": 5})]
+        )
+        assert record["woke_all"]
+        # A chain tour is one robot walking everything: its makespan IS
+        # the max per-robot energy, and it dominates everyone else's.
+        assert record["max_energy"] == pytest.approx(record["makespan"])
+        assert record["total_energy"] == pytest.approx(record["makespan"])
+
+    def test_clairvoyant_beats_distributed(self):
+        # Same instance: the informed greedy schedule can't be slower
+        # than the discovery-paying distributed run.
+        kwargs = {"n": 16, "rho": 5.0, "seed": 2}
+        greedy, distributed = run_requests(
+            [
+                RunRequest("greedy", "uniform_disk", kwargs),
+                RunRequest("aseparator", "uniform_disk", kwargs),
+            ]
+        )
+        assert greedy["makespan"] < distributed["makespan"]
+
+
 class TestRecords:
     def test_phase_collection(self):
         request = RunRequest(
@@ -162,12 +252,18 @@ class TestRecords:
     def test_invalid_requests_rejected(self):
         with pytest.raises(ValueError, match="unknown algorithm"):
             RunRequest("magic", "uniform_disk", {})
-        with pytest.raises(ValueError, match="solver overrides"):
+        with pytest.raises(ValueError, match="no parameter 'solver'"):
             RunRequest("agrid", "uniform_disk", {}, solver="greedy")
-        with pytest.raises(ValueError, match="rho input only applies"):
+        with pytest.raises(ValueError, match="no parameter 'rho'"):
             RunRequest("agrid", "uniform_disk", {}, rho=5.0)
         with pytest.raises(ValueError, match="collect"):
             RunRequest("agrid", "uniform_disk", {}, collect="everything")
+        with pytest.raises(ValueError, match="expects int"):
+            RunRequest("agrid", "uniform_disk", {}, params={"ell": "two"})
+        with pytest.raises(ValueError, match="must be one of"):
+            RunRequest("aseparator", "uniform_disk", {}, solver="magic")
+        with pytest.raises(ValueError, match="given twice"):
+            RunRequest("agrid", "uniform_disk", {}, ell=2, params={"ell": 3})
 
     def test_solver_variants_run(self):
         requests = [

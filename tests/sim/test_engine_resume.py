@@ -1,0 +1,73 @@
+"""Pause/resume determinism: ``run(until=...)`` must not reorder events.
+
+Regression for the pushed-back event bug: pausing used to re-queue the
+first beyond-``until`` event with a *fresh* sequence number, letting an
+equal-time event that was scheduled later overtake it after the resume.
+A paused-and-resumed execution must replay the identical trace of an
+uninterrupted run.
+"""
+
+import pytest
+
+from repro.geometry import Point
+from repro.sim import SOURCE_ID, Annotate, Engine, Trace, Wait, WaitUntil, Wake, World
+
+
+def _program_b(proc):
+    yield WaitUntil(5.0)
+    yield Annotate("B")
+    yield Wait(1.0)
+    yield Annotate("B2")
+
+
+def _program_a(proc):
+    # Wake the co-located sleeper into its own process, then race it to
+    # the same absolute times.  A's timed events are always scheduled
+    # before B's, so A must stay first at every tie.
+    yield Wake(1, program=_program_b)
+    yield WaitUntil(5.0)
+    yield Annotate("A")
+    yield Wait(1.0)
+    yield Annotate("A2")
+
+
+def _run(pauses=()):
+    world = World(source=Point(0, 0), positions=[Point(0, 0)])
+    trace = Trace()
+    engine = Engine(world, trace=trace)
+    engine.spawn(_program_a, robot_ids=[SOURCE_ID])
+    for until in pauses:
+        engine.run(until=until)
+    result = engine.run()
+    labels = [e.data["label"] for e in trace.of_kind("phase")]
+    return labels, result
+
+
+@pytest.mark.parametrize(
+    "pauses",
+    [
+        (3.0,),            # pause strictly before the tied events
+        (5.0,),            # pause exactly at the tie
+        (3.0, 5.5),        # pause twice, straddling both ties
+        (0.0, 3.0, 5.0, 5.5, 6.0),  # pathological stutter
+    ],
+)
+def test_paused_run_replays_uninterrupted_order(pauses):
+    baseline_labels, baseline = _run()
+    paused_labels, paused = _run(pauses)
+    assert baseline_labels == ["A", "B", "A2", "B2"]
+    assert paused_labels == baseline_labels
+    assert paused.termination_time == baseline.termination_time
+    assert paused.makespan == baseline.makespan
+
+
+def test_pause_is_observable_midway():
+    world = World(source=Point(0, 0), positions=[Point(0, 0)])
+    engine = Engine(world, trace=Trace())
+    engine.spawn(_program_a, robot_ids=[SOURCE_ID])
+    partial = engine.run(until=3.0)
+    # Both processes are blocked on their WaitUntil(5.0): nothing has
+    # been annotated yet, but the wake already happened at time 0.
+    assert partial.awake_count == 2
+    final = engine.run()
+    assert final.termination_time == pytest.approx(6.0)

@@ -48,6 +48,48 @@ class TestCommands:
         assert code == 0
         assert "InstanceParameters" in out
 
+    def test_run_centralized_baseline(self, capsys):
+        code = main(
+            ["run", "--algorithm", "greedy", "--family", "uniform_disk",
+             "--n", "12", "--rho", "4", "--seed", "0"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Centralized[greedy]" in out
+
+    def test_run_with_param_override(self, capsys):
+        code = main(
+            ["run", "--algorithm", "aseparator", "--param", "solver=greedy",
+             "--family", "uniform_disk", "--n", "12", "--rho", "4"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ASeparator[greedy]" in out
+
+    def test_run_bad_param_fails(self):
+        with pytest.raises(SystemExit, match="no parameter"):
+            main(["run", "--algorithm", "agrid", "--param", "solver=greedy",
+                  "--family", "beaded_path", "--n", "5"])
+        with pytest.raises(SystemExit, match="name=value"):
+            main(["run", "--param", "oops"])
+
+    def test_algorithms_listing(self, capsys):
+        code = main(["algorithms"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for name in ("aseparator", "agrid", "awave",
+                     "greedy", "quadtree", "chain", "exact", "online_greedy"):
+            assert name in out
+        assert "distributed" in out and "centralized" in out
+
+    def test_algorithms_kind_filter(self, capsys):
+        code = main(["algorithms", "--kind", "centralized", "--verbose"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "aseparator" not in out
+        assert "quadtree" in out
+        assert "clairvoyant baseline" in out
+
     def test_unknown_family_fails(self):
         with pytest.raises(SystemExit):
             main(["run", "--family", "nope"])
