@@ -1,0 +1,95 @@
+"""Scenario robustness: makespan degradation vs slow-robot fraction.
+
+The scenario registry's whole point is asking robustness questions as
+sweeps: here we sweep the ``slow_fraction`` world knob over the same
+seeded instance and chart how each algorithm's *executed* makespan
+degrades as more of the swarm moves at half speed.
+
+* ``greedy`` (clairvoyant) degrades gracefully: only tours through slow
+  robots stretch, bounded by the ``1/slow_speed`` worst case;
+* ``agrid`` (distributed) degrades by design in steps: its window
+  arithmetic re-certifies against the world's speed *floor*, so any
+  non-zero slow fraction stretches every window by ``1/slow_speed``.
+
+A crash-on-wake column rides along, covering the waker-inherits-subtree
+failure path end-to-end.
+"""
+
+from repro.core.runner import RunRequest
+from repro.experiments import print_table, run_requests
+
+SLOW_FRACTIONS = (0.0, 0.25, 0.5, 1.0)
+SLOW_SPEED = 0.5
+KWARGS = {"n": 24, "rho": 5.0, "seed": 2}
+
+
+def _slow_requests(algorithm):
+    return [
+        RunRequest(
+            algorithm,
+            scenario="slow_swarm",
+            family_kwargs=KWARGS,
+            world_params={"slow_fraction": fraction, "slow_speed": SLOW_SPEED},
+        )
+        for fraction in SLOW_FRACTIONS
+    ]
+
+
+def test_bench_makespan_vs_slow_fraction(once):
+    requests = _slow_requests("greedy") + _slow_requests("agrid")
+    records = once(run_requests, requests, 2)
+    rows = [
+        {
+            "algorithm": record["algorithm"],
+            "slow_fraction": request.world_params["slow_fraction"],
+            "makespan": record["makespan"],
+            "vs_healthy": record["makespan"] / baseline["makespan"],
+            "woke_all": record["woke_all"],
+        }
+        for request, record, baseline in zip(
+            requests, records, [records[0]] * 4 + [records[4]] * 4
+        )
+    ]
+    print_table(rows, "\nSCENARIOS: makespan degradation vs slow-robot fraction")
+    assert all(r["woke_all"] for r in rows)
+    greedy, agrid = rows[:4], rows[4:]
+    # Monotone degradation for the clairvoyant tourer, capped at the
+    # full-slowdown worst case.
+    for earlier, later in zip(greedy, greedy[1:]):
+        assert later["makespan"] >= earlier["makespan"] - 1e-9
+    assert greedy[-1]["vs_healthy"] <= 1.0 / SLOW_SPEED + 1e-9
+    # The distributed wave pays the window stretch as soon as anyone is
+    # slow: a step from 1x to ~1/slow_speed, then flat.
+    assert agrid[0]["vs_healthy"] == 1.0
+    for row in agrid[1:]:
+        assert 1.0 < row["vs_healthy"] <= 1.0 / SLOW_SPEED + 1e-9
+
+
+def test_bench_crash_on_wake_inheritance(once):
+    """Crashed helpers shrink a clairvoyant forest but never strand a
+    sleeper: the schedule is one wake plan, and wake plans are inherited
+    in full (round-based algorithms only guarantee this per cell)."""
+    fractions = (0.0, 0.25, 0.5)
+    requests = [
+        RunRequest(
+            "greedy",
+            scenario="fragile_swarm",
+            family_kwargs=KWARGS,
+            world_params={"crash_on_wake": p},
+        )
+        for p in fractions
+    ]
+    records = once(run_requests, requests, 2)
+    rows = [
+        {
+            "crash_on_wake": p,
+            "makespan": record["makespan"],
+            "vs_healthy": record["makespan"] / records[0]["makespan"],
+            "woke_all": record["woke_all"],
+        }
+        for p, record in zip(fractions, records)
+    ]
+    print_table(rows, "\nSCENARIOS: greedy under crash-on-wake (inherited duties)")
+    # Completeness under failures is the contract; the price is makespan.
+    assert all(r["woke_all"] for r in rows)
+    assert rows[-1]["makespan"] >= rows[0]["makespan"]

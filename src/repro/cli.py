@@ -3,10 +3,13 @@
 Commands:
 
 * ``run``    — run any registered algorithm (distributed or centralized
-  baseline) on a generated instance and print the summary, the wake-time
+  baseline) on a generated instance — a classic family or a registered
+  scenario with its world model — and print the summary, the wake-time
   map and the wake histogram;
 * ``algorithms`` — list the algorithm registry: names, labels, capability
   flags and parameter schemas;
+* ``scenarios`` — list the scenario registry: names, labels, world models
+  and generator schemas;
 * ``params`` — compute an instance's ``(rho*, ell*, xi_ell)``;
 * ``sweep``  — run a declarative sweep-spec file on a worker pool with
   incremental result caching (the batch harness);
@@ -19,8 +22,11 @@ Examples::
     freezetag run --algorithm aseparator --family uniform_disk --n 80 --rho 15
     freezetag run --algorithm greedy --family uniform_disk --n 80 --rho 15
     freezetag run --algorithm aseparator --param solver=greedy --n 40
+    freezetag run --algorithm agrid --scenario slow_swarm --n 30 \\
+        --world-param slow_fraction=0.4
     freezetag algorithms
-    freezetag sweep examples/sweep_baselines.json --workers 4 --cache-dir .sweep-cache
+    freezetag scenarios --verbose
+    freezetag sweep examples/sweep_heterogeneous.json --workers 4
     freezetag table1 --experiment rho --scale small
 """
 
@@ -49,11 +55,21 @@ from .experiments import (
     run_sweep,
     write_csv,
 )
-from .instances import Instance, make_instance, uniform_disk
+from .instances import (
+    Instance,
+    get_scenario,
+    iter_scenarios,
+    make_instance,
+    uniform_disk,
+)
 from .metrics import summarize
 from .viz import render_wake_times, wake_histogram
 
 __all__ = ["main", "build_parser"]
+
+#: The ``--family`` flag default; also the sentinel telling ``run`` that
+#: the user did not name a family alongside ``--scenario``.
+_DEFAULT_FAMILY = "uniform_disk"
 
 #: Family name -> generator kwargs from the shared CLI flags.
 _FAMILY_CLI_KWARGS: dict[str, Callable[[argparse.Namespace], dict[str, Any]]] = {
@@ -98,13 +114,43 @@ def _parse_param(text: str) -> tuple[str, Any]:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    instance = _make_instance(args)
+    world = None
+    if args.scenario:
+        if args.family != _DEFAULT_FAMILY:
+            raise SystemExit(
+                "name the workload once: pass --scenario or --family, not both"
+            )
+        try:
+            scenario = get_scenario(args.scenario)
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from None
+        flags = _FAMILY_CLI_KWARGS.get(scenario.family)
+        if flags is None:
+            raise SystemExit(
+                f"scenario {args.scenario!r} wraps generator "
+                f"{scenario.family!r}, which has no CLI flag mapping; "
+                "run it through a sweep spec instead"
+            )
+        kwargs = {
+            k: v for k, v in flags(args).items() if k in scenario.param_names
+        }
+        overrides = dict(_parse_param(p) for p in args.world_param or ())
+        try:
+            instance = scenario.make(**kwargs)
+            world = scenario.world_config(overrides)
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from None
+        print(f"scenario {scenario.name}: world[{world.describe()}]")
+    elif args.world_param:
+        raise SystemExit("--world-param requires --scenario")
+    else:
+        instance = _make_instance(args)
     spec = get_algorithm(args.algorithm)
     params: dict[str, Any] = dict(_parse_param(p) for p in args.param or ())
     if args.ell is not None:
         params.setdefault("ell", args.ell)
     try:
-        run = spec.run(instance, params)
+        run = spec.run(instance, params, world=world)
     except ValueError as exc:
         raise SystemExit(str(exc)) from None
     summary = summarize(run)
@@ -135,6 +181,25 @@ def _cmd_algorithms(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    """List the scenario registry (one line per registered spec)."""
+    specs = iter_scenarios()
+    header = f"{'name':<20} {'label':<26} {'world':<34} params"
+    print(header)
+    print("-" * len(header))
+    for spec in specs:
+        print(spec.describe())
+    if args.verbose:
+        print()
+        for spec in specs:
+            print(f"{spec.name}: {spec.description or spec.label}")
+            print(f"  generator: {spec.family}")
+            for param in spec.params:
+                doc = f"  — {param.doc}" if param.doc else ""
+                print(f"  param {param.describe()}{doc}")
+    return 0
+
+
 def _cmd_params(args: argparse.Namespace) -> int:
     instance = _make_instance(args)
     params = instance.parameters(args.ell)
@@ -160,7 +225,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         "algorithm", "instance", "n", "ell", "rho_star", "ell_star",
         "xi_ell", "makespan", "half_wake_time", "max_energy", "woke_all",
     ]
-    rows = [{k: record[k] for k in scalar_keys} for record in result.records]
+    # Scenario runs carry two extra identifying columns; surface them for
+    # every row (blank on family runs) as soon as any run has them.
+    if any("scenario" in record for record in result.records):
+        scalar_keys[1:1] = ["scenario", "world_params"]
+    rows = [
+        {k: record.get(k, "") for k in scalar_keys} for record in result.records
+    ]
     print()
     print_table(rows, f"SWEEP {spec.name!r}: {result.total} runs")
     print()
@@ -235,7 +306,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_instance_args(p: argparse.ArgumentParser) -> None:
-        p.add_argument("--family", default="uniform_disk")
+        p.add_argument("--family", default=_DEFAULT_FAMILY)
         p.add_argument("--n", type=int, default=50)
         p.add_argument("--rho", type=float, default=12.0)
         p.add_argument("--spacing", type=float, default=1.0)
@@ -253,6 +324,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--param", action="append", metavar="NAME=VALUE",
         help="algorithm parameter (repeatable), e.g. --param solver=greedy",
     )
+    p_run.add_argument(
+        "--scenario", default=None,
+        help="run a registered scenario instead of --family "
+             "(see 'freezetag scenarios')",
+    )
+    p_run.add_argument(
+        "--world-param", action="append", metavar="NAME=VALUE",
+        help="world-model override (repeatable, requires --scenario), "
+             "e.g. --world-param slow_fraction=0.4",
+    )
     p_run.add_argument("--draw", action="store_true", help="ASCII wake map")
     p_run.set_defaults(handler=_cmd_run)
 
@@ -267,6 +348,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose", action="store_true", help="also print one-line descriptions"
     )
     p_algos.set_defaults(handler=_cmd_algorithms)
+
+    p_scen = sub.add_parser(
+        "scenarios", help="list the scenario registry (names, worlds, schemas)"
+    )
+    p_scen.add_argument(
+        "--verbose", action="store_true",
+        help="also dump descriptions and full parameter schemas",
+    )
+    p_scen.set_defaults(handler=_cmd_scenarios)
 
     p_params = sub.add_parser("params", help="compute instance parameters")
     add_instance_args(p_params)

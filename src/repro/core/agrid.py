@@ -28,8 +28,8 @@ import math
 from typing import Callable, Generator
 
 from ..centralized import QUADTREE_MAKESPAN_FACTOR, quadtree_schedule
-from ..geometry import Point, Rect, square
-from ..sim import Annotate, Move, Result, WaitUntil
+from ..geometry import Point, Rect, close_to, square
+from ..sim import CO_LOCATION_TOL, Annotate, Look, Move, Result, WaitUntil
 from ..sim.actions import Action, Program
 from ..sim.engine import ProcessView
 from ..sim.errors import ProtocolError
@@ -116,20 +116,28 @@ def agrid_window(ell: int) -> float:
     return explore + propagate + moves + 4.0
 
 
-def agrid_round_start(ell: int, k: int) -> float:
+def agrid_round_start(ell: int, k: int, speed_floor: float = 1.0) -> float:
     """Absolute start time of round ``k >= 1`` (round 0 fits in one window).
 
     Each round spans nine windows: participants gather during the first
     (the paper's "wait until ``t_k + (t(ell)+sqrt(2)R)*i``" places window
     ``i``'s action at ``t_k + i*W``), then act in windows 1..8.
+
+    ``speed_floor`` is a lower bound on any robot's speed (the world
+    model's :meth:`~repro.sim.WorldConfig.min_speed`): every activity in a
+    window is a distance bound divided by a speed, so stretching the
+    unit-speed window by ``1/speed_floor`` re-certifies the calibration
+    for heterogeneous-speed worlds.
     """
-    w = agrid_window(ell)
+    w = agrid_window(ell) / speed_floor
     return w + (k - 1) * 9.0 * w
 
 
-def agrid_window_start(ell: int, k: int, i: int) -> float:
+def agrid_window_start(
+    ell: int, k: int, i: int, speed_floor: float = 1.0
+) -> float:
     """Start of the action in window ``i`` (1..8) of round ``k``."""
-    return agrid_round_start(ell, k) + i * agrid_window(ell)
+    return agrid_round_start(ell, k, speed_floor) + i * agrid_window(ell) / speed_floor
 
 
 def agrid_energy_budget(ell: int) -> float:
@@ -141,33 +149,56 @@ def agrid_energy_budget(ell: int) -> float:
 # programs
 # ---------------------------------------------------------------------------
 
-def agrid_program(ell: int) -> Program:
-    """Source program for ``AGrid`` (only ``ell`` is required, Section 5)."""
+def agrid_program(
+    ell: int, speed_floor: float = 1.0, crash_aware: bool = False
+) -> Program:
+    """Source program for ``AGrid`` (only ``ell`` is required, Section 5).
+
+    ``speed_floor`` stretches the window arithmetic for worlds whose
+    robots move slower than unit speed (see :func:`agrid_round_start`);
+    ``crash_aware`` adds a snapshot-based leader election at each round
+    start so a cohort survives crash-on-wake members (a crashed leader
+    would otherwise silently strand its 8 neighbor cells).  Both default
+    to the paper's world, where they change nothing.
+    """
     if ell < 1:
         raise ValueError("ell must be a positive integer")
+    if speed_floor <= 0:
+        raise ValueError("speed_floor must be positive")
 
     def program(proc: ProcessView) -> Generator[Action, Result, None]:
         grid = CellGrid(source=proc.position, width=2.0 * ell)
         cell = (0, 0)
         yield Annotate("agrid:round0", {"cell": cell})
         cohort = yield from _explore_and_wake_cell(
-            proc, grid, ell, cell, next_round=1, extra_cohort=(proc.robot_ids[0],)
+            proc, grid, ell, cell, next_round=1, extra_cohort=(proc.robot_ids[0],),
+            speed_floor=speed_floor, crash_aware=crash_aware,
         )
         # The source joins round 1 as a participant of its own cell: this
         # closes the measure-zero gap where the nearest robot sits exactly
         # on the cell boundary and cell (0,0) is otherwise empty.
         yield from _participate(
-            proc, grid, ell, cell, k=1, cohort=cohort, my_id=proc.robot_ids[0]
+            proc, grid, ell, cell, k=1, cohort=cohort, my_id=proc.robot_ids[0],
+            speed_floor=speed_floor, crash_aware=crash_aware,
         )
 
     return program
 
 
 def _participant_program(
-    grid: CellGrid, ell: int, cell: Cell, k: int, cohort: tuple[int, ...], my_id: int
+    grid: CellGrid,
+    ell: int,
+    cell: Cell,
+    k: int,
+    cohort: tuple[int, ...],
+    my_id: int,
+    speed_floor: float,
+    crash_aware: bool,
 ) -> Program:
     def program(proc: ProcessView) -> Generator[Action, Result, None]:
-        yield from _participate(proc, grid, ell, cell, k, cohort, my_id)
+        yield from _participate(
+            proc, grid, ell, cell, k, cohort, my_id, speed_floor, crash_aware
+        )
 
     return program
 
@@ -180,25 +211,45 @@ def _participate(
     k: int,
     cohort: tuple[int, ...],
     my_id: int,
+    speed_floor: float = 1.0,
+    crash_aware: bool = False,
 ) -> Generator[Action, Result, None]:
     """Round-``k`` participation for a robot woken in round ``k-1`` in
     ``cell``: tour the 8 adjacent cells; the cohort leader explores each."""
-    leader = my_id == min(cohort)
     corner = grid.rect(cell).lower_left
     yield Move(corner)
-    t_round = agrid_round_start(ell, k)
+    t_round = agrid_round_start(ell, k, speed_floor)
     _assert_on_time(proc, t_round, "agrid round start")
     yield WaitUntil(t_round)
+    if crash_aware:
+        # Leader election among the members actually standing at the
+        # corner: the wake-time cohort may contain crashed robots (parked
+        # at their wake positions, never gathering).  Every present member
+        # snapshots the same co-located set at the round start, so the
+        # minimum present id is a consistent choice.
+        snap = (yield Look()).value
+        cohort_set = set(cohort)
+        present = [
+            view.robot_id
+            for view in snap.robots
+            if view.awake
+            and view.robot_id in cohort_set
+            and close_to(view.position, corner, CO_LOCATION_TOL)
+        ]
+        leader = my_id == min(present)
+    else:
+        leader = my_id == min(cohort)
     for i in range(1, 9):
         target = grid.neighbor(cell, i)
         yield Move(grid.rect(target).lower_left)
-        start = agrid_window_start(ell, k, i)
+        start = agrid_window_start(ell, k, i, speed_floor)
         _assert_on_time(proc, start, f"agrid window {i}")
         yield WaitUntil(start)
         if leader:
             yield Annotate("agrid:window", {"cell": target, "round": k, "i": i})
             yield from _explore_and_wake_cell(
-                proc, grid, ell, target, next_round=k + 1
+                proc, grid, ell, target, next_round=k + 1,
+                speed_floor=speed_floor, crash_aware=crash_aware,
             )
     # Participation over; the robot parks where it stands.
 
@@ -210,6 +261,8 @@ def _explore_and_wake_cell(
     cell: Cell,
     next_round: int,
     extra_cohort: tuple[int, ...] = (),
+    speed_floor: float = 1.0,
+    crash_aware: bool = False,
 ) -> Generator[Action, Result, tuple[int, ...]]:
     """Corollary 1 for one cell: explore it, then wake every sleeper found
     (scoped to the cell) with a centralized schedule; woken robots become
@@ -231,7 +284,9 @@ def _explore_and_wake_cell(
     plan, posmap = plan_from_schedule(schedule, target_ids, root_id=-1)
 
     def after(rid: int) -> Program:
-        return _participant_program(grid, ell, cell, next_round, cohort, rid)
+        return _participant_program(
+            grid, ell, cell, next_round, cohort, rid, speed_floor, crash_aware
+        )
 
     yield from execute_wake_plan(proc, plan, posmap, my_id=-1, after=after)
     return cohort

@@ -96,15 +96,22 @@ def awave_window(ell: int) -> float:
     return embedded_duration_bound(R, ell) + 4.0 * SQRT2 * R + 16.0
 
 
-def awave_round_start(ell: int, r: int) -> float:
-    """Gather time of wave round ``r >= 1`` (round 0 fits in one window)."""
-    w = awave_window(ell)
+def awave_round_start(ell: int, r: int, speed_floor: float = 1.0) -> float:
+    """Gather time of wave round ``r >= 1`` (round 0 fits in one window).
+
+    ``speed_floor`` stretches the unit-speed window by ``1/speed_floor``
+    for heterogeneous-speed worlds, exactly as in
+    :func:`repro.core.agrid.agrid_round_start`.
+    """
+    w = awave_window(ell) / speed_floor
     return w + (r - 1) * 9.0 * w
 
 
-def awave_window_start(ell: int, r: int, i: int) -> float:
+def awave_window_start(
+    ell: int, r: int, i: int, speed_floor: float = 1.0
+) -> float:
     """Start of window ``i`` (1..8) of wave round ``r``."""
-    return awave_round_start(ell, r) + i * awave_window(ell)
+    return awave_round_start(ell, r, speed_floor) + i * awave_window(ell) / speed_floor
 
 
 def awave_energy_budget(ell: int) -> float:
@@ -121,10 +128,16 @@ def awave_energy_budget(ell: int) -> float:
 # programs
 # ---------------------------------------------------------------------------
 
-def awave_program(ell: int) -> Program:
-    """Source program for ``AWave`` (only ``ell`` is required)."""
+def awave_program(ell: int, speed_floor: float = 1.0) -> Program:
+    """Source program for ``AWave`` (only ``ell`` is required).
+
+    ``speed_floor`` re-certifies the window arithmetic for worlds whose
+    robots move slower than unit speed (see :func:`awave_round_start`).
+    """
     if ell < 1:
         raise ValueError("ell must be a positive integer")
+    if speed_floor <= 0:
+        raise ValueError("speed_floor must be positive")
     e = effective_ell(ell)
 
     def program(proc: ProcessView) -> Generator[Action, Result, None]:
@@ -135,7 +148,7 @@ def awave_program(ell: int) -> Program:
         inner = aseparator_program(
             ell=e,
             rho=R,  # unused when root_square is given
-            after=_participant_factory(grid, e, 1),
+            after=_participant_factory(grid, e, 1, speed_floor),
             key_base=("awave", 0),
             root_square=grid.rect(cell0),
             owns=grid.owns(cell0),
@@ -147,13 +160,15 @@ def awave_program(ell: int) -> Program:
     return program
 
 
-def _participant_factory(grid: CellGrid, e: int, r: int):
+def _participant_factory(
+    grid: CellGrid, e: int, r: int, speed_floor: float = 1.0
+):
     """``after`` continuation: a robot woken in round ``r-1`` becomes a
     round-``r`` participant of the cell it stands in."""
 
     def factory(rid: int) -> Program:
         def program(proc: ProcessView) -> Generator[Action, Result, None]:
-            yield from _participate(proc, grid, e, rid, r)
+            yield from _participate(proc, grid, e, rid, r, speed_floor)
 
         return program
 
@@ -166,12 +181,13 @@ def _participate(
     e: int,
     rid: int,
     r: int,
+    speed_floor: float = 1.0,
 ) -> Generator[Action, Result, None]:
     """Gather, elect, and (as leader) drive the window chain."""
     cell = grid.cell_of(proc.position)
     corner = grid.rect(cell).lower_left
     yield Move(corner)
-    gather = awave_round_start(e, r)
+    gather = awave_round_start(e, r, speed_floor)
     _assert_on_time(proc, gather, f"awave round {r} gather")
     yield WaitUntil(gather)
     snap = (yield Look()).value
@@ -188,7 +204,7 @@ def _participate(
     yield Annotate("awave:team", {"cell": cell, "round": r, "team": len(team)})
     yield Wait(0.0)
     yield Absorb([x for x in team if x != rid])
-    yield from _window_step(proc, grid, e, r, cell, 1, tuple(team))
+    yield from _window_step(proc, grid, e, r, cell, 1, tuple(team), speed_floor)
 
 
 def _window_step(
@@ -199,13 +215,14 @@ def _window_step(
     cell: Cell,
     i: int,
     imports: tuple[int, ...],
+    speed_floor: float = 1.0,
 ) -> Generator[Action, Result, None]:
     """Window ``i``: move the team to neighbor ``i`` and run ``ASeparator``
     there.  The embedded run consumes the process; imports regroup through
     their release continuations."""
     target = grid.neighbor(cell, i)
     yield Move(grid.rect(target).lower_left)
-    start = awave_window_start(e, r, i)
+    start = awave_window_start(e, r, i, speed_floor)
     _assert_on_time(proc, start, f"awave round {r} window {i}")
     yield WaitUntil(start)
     yield Annotate("awave:window", {"round": r, "cell": target, "i": i})
@@ -213,8 +230,8 @@ def _window_step(
         ell=e,
         key_base=("awave", r, cell, i),
         imports=frozenset(imports),
-        after=_participant_factory(grid, e, r + 1),
-        on_release=_regroup_factory(grid, e, r, cell, i, imports),
+        after=_participant_factory(grid, e, r + 1, speed_floor),
+        on_release=_regroup_factory(grid, e, r, cell, i, imports, speed_floor),
     )
     yield from embedded_entry(ctx, grid.rect(target), grid.owns(target))(proc)
     # Whatever robots this process still owns were already routed through
@@ -228,6 +245,7 @@ def _regroup_factory(
     cell: Cell,
     i: int,
     imports: tuple[int, ...],
+    speed_floor: float = 1.0,
 ):
     """``on_release`` continuation for imports of window ``i``: walk to the
     next window's corner; the minimum import id re-absorbs the team."""
@@ -241,12 +259,14 @@ def _regroup_factory(
             yield Move(grid.rect(next_target).lower_left)
             if rid != min(imports):
                 return  # idle at the corner until absorbed
-            start = awave_window_start(e, r, i + 1)
+            start = awave_window_start(e, r, i + 1, speed_floor)
             _assert_on_time(proc, start, f"awave regroup round {r} window {i + 1}")
             yield WaitUntil(start)
             yield Wait(0.0)
             yield Absorb([x for x in imports if x != rid])
-            yield from _window_step(proc, grid, e, r, cell, i + 1, imports)
+            yield from _window_step(
+                proc, grid, e, r, cell, i + 1, imports, speed_floor
+            )
 
         return program
 

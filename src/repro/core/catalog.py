@@ -33,6 +33,7 @@ from ..centralized import (
 )
 from ..geometry import Point
 from ..instances import Instance
+from ..sim import WorldConfig
 from .registry import ParamSpec, RunSetup, register_algorithm
 
 __all__ = ["SCHEDULE_SOLVERS", "ASEPARATOR_SOLVERS"]
@@ -118,15 +119,27 @@ def _build_aseparator(instance: Instance, params: Mapping[str, Any]) -> RunSetup
     params=(_ELL, _ENFORCE),
     energy_budget=_agrid_budget,
     supports_budget=True,
+    world_aware=True,
     description="Thm 4: makespan O(ell * xi), optimal Θ(ell^2) energy",
 )
-def _build_agrid(instance: Instance, params: Mapping[str, Any]) -> RunSetup:
+def _build_agrid(
+    instance: Instance,
+    params: Mapping[str, Any],
+    world: "WorldConfig | None" = None,
+) -> RunSetup:
     from .agrid import agrid_energy_budget, agrid_program
 
     ell, rho = _default_inputs(instance, params)
     budget = agrid_energy_budget(ell) if params.get("enforce_budget") else float("inf")
+    # World-aware calibration: stretch the windows by the world's speed
+    # floor, and elect leaders by presence when wakes can crash.
+    speed_floor = 1.0 if world is None else world.min_speed()
+    crash_aware = world is not None and world.crash_on_wake > 0.0
     return RunSetup(
-        program=agrid_program(ell=ell), label="AGrid",
+        program=agrid_program(
+            ell=ell, speed_floor=speed_floor, crash_aware=crash_aware
+        ),
+        label="AGrid",
         ell=ell, rho=rho, budget=budget,
     )
 
@@ -138,15 +151,21 @@ def _build_agrid(instance: Instance, params: Mapping[str, Any]) -> RunSetup:
     params=(_ELL, _ENFORCE),
     energy_budget=_awave_budget,
     supports_budget=True,
+    world_aware=True,
     description="Thm 5: makespan O(xi + ell^2 log(xi/ell)), Θ(ell^2 log ell) energy",
 )
-def _build_awave(instance: Instance, params: Mapping[str, Any]) -> RunSetup:
+def _build_awave(
+    instance: Instance,
+    params: Mapping[str, Any],
+    world: "WorldConfig | None" = None,
+) -> RunSetup:
     from .awave import awave_energy_budget, awave_program
 
     ell, rho = _default_inputs(instance, params)
     budget = awave_energy_budget(ell) if params.get("enforce_budget") else float("inf")
+    speed_floor = 1.0 if world is None else world.min_speed()
     return RunSetup(
-        program=awave_program(ell=ell), label="AWave",
+        program=awave_program(ell=ell, speed_floor=speed_floor), label="AWave",
         ell=ell, rho=rho, budget=budget,
     )
 

@@ -39,9 +39,11 @@ import math
 from dataclasses import dataclass
 from typing import Any, Callable, Mapping, TYPE_CHECKING
 
+from ..params import ParamSpec, lookup_param, validate_param_mapping
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..instances import Instance
-    from ..sim import Trace
+    from ..sim import Trace, WorldConfig
     from ..sim.actions import Program
     from .runner import AlgorithmRun
 
@@ -63,59 +65,6 @@ __all__ = [
 KINDS = ("distributed", "centralized")
 
 
-def _type_ok(value: Any, expected: type) -> bool:
-    """Schema type check with the two practical affordances: ints are
-    acceptable floats, and bools are *not* acceptable ints."""
-    if expected is float:
-        return isinstance(value, (int, float)) and not isinstance(value, bool)
-    if expected is int:
-        return isinstance(value, int) and not isinstance(value, bool)
-    if expected is bool:
-        return isinstance(value, bool)
-    return isinstance(value, expected)
-
-
-@dataclass(frozen=True)
-class ParamSpec:
-    """One typed algorithm parameter.
-
-    ``default=None`` means "derived from the instance at build time" (the
-    paper's convention: the tightest admissible value, see
-    :meth:`repro.instances.Instance.default_inputs`).
-    """
-
-    name: str
-    type: type
-    default: Any = None
-    choices: tuple[Any, ...] | None = None
-    doc: str = ""
-
-    def validate(self, value: Any, algorithm: str) -> Any:
-        """Check ``value`` against the schema; ``None`` always passes
-        (it means *unset*, resolved to the default at build time)."""
-        if value is None:
-            return None
-        if not _type_ok(value, self.type):
-            raise ValueError(
-                f"parameter {self.name!r} of algorithm {algorithm!r} expects "
-                f"{self.type.__name__}, got {value!r} ({type(value).__name__})"
-            )
-        if self.choices is not None and value not in self.choices:
-            raise ValueError(
-                f"parameter {self.name!r} of algorithm {algorithm!r} must be "
-                f"one of {sorted(map(str, self.choices))}, got {value!r}"
-            )
-        return value
-
-    def describe(self) -> str:
-        spec = f"{self.name}:{self.type.__name__}"
-        if self.choices is not None:
-            spec += "{" + "|".join(map(str, self.choices)) + "}"
-        if self.default is not None:
-            spec += f"={self.default}"
-        return spec
-
-
 @dataclass(frozen=True)
 class RunSetup:
     """What a spec's ``build`` factory hands the engine: the source
@@ -135,12 +84,13 @@ class AlgorithmSpec:
     name: str
     label: str
     kind: str                  # "distributed" | "centralized"
-    build: Callable[["Instance", Mapping[str, Any]], RunSetup]
+    build: Callable[..., RunSetup]
     params: tuple[ParamSpec, ...] = ()
     energy_budget: Callable[[int], float] | None = None
     needs_rho: bool = False    # takes the paper's rho input (ASeparator)
     supports_budget: bool = False  # can enforce its Theorem energy budget
     max_n: int | None = None   # hard instance-size limit (exact solver)
+    world_aware: bool = False  # build takes (instance, params, world)
     description: str = ""
 
     def __post_init__(self) -> None:
@@ -156,13 +106,7 @@ class AlgorithmSpec:
         return tuple(p.name for p in self.params)
 
     def param(self, name: str) -> ParamSpec:
-        for p in self.params:
-            if p.name == name:
-                return p
-        raise ValueError(
-            f"algorithm {self.name!r} has no parameter {name!r}; "
-            f"choose from {sorted(self.param_names) or '(none)'}"
-        )
+        return lookup_param(self.params, name, f"algorithm {self.name!r}")
 
     def validate_params(self, params: Mapping[str, Any]) -> dict[str, Any]:
         """Validate ``params`` against the schema.
@@ -173,21 +117,26 @@ class AlgorithmSpec:
         request's identity (and cache key) only reflects what the caller
         actually pinned.
         """
-        resolved: dict[str, Any] = {}
-        for name in sorted(params):
-            value = self.param(name).validate(params[name], self.name)
-            if value is not None:
-                resolved[name] = value
-        return resolved
+        return validate_param_mapping(
+            self.params, params, f"algorithm {self.name!r}"
+        )
 
     # -- execution ---------------------------------------------------------
     def run(
         self,
         instance: "Instance",
         params: Mapping[str, Any] | None = None,
+        world: "WorldConfig | None" = None,
         trace: "Trace | None" = None,
     ) -> "AlgorithmRun":
-        """Validate ``params``, build the program, run it to quiescence."""
+        """Validate ``params``, build the program, run it to quiescence.
+
+        ``world`` is the scenario's world model (``None`` means the
+        paper's default world).  ``world_aware`` factories receive it as a
+        third argument so they can calibrate against it — e.g. scale time
+        windows by the world's speed floor; other factories keep the
+        two-argument contract.
+        """
         from .runner import run_program
 
         resolved = self.validate_params(params or {})
@@ -196,7 +145,10 @@ class AlgorithmSpec:
                 f"algorithm {self.name!r} is limited to n <= {self.max_n} "
                 f"(got n={instance.n})"
             )
-        setup = self.build(instance, resolved)
+        if self.world_aware:
+            setup = self.build(instance, resolved, world)
+        else:
+            setup = self.build(instance, resolved)
         return run_program(
             instance,
             setup.program,
@@ -205,6 +157,7 @@ class AlgorithmSpec:
             rho=setup.rho,
             budget=setup.budget,
             trace=trace,
+            world=world,
         )
 
     # -- listing -----------------------------------------------------------
@@ -267,17 +220,23 @@ def register_algorithm(
     needs_rho: bool = False,
     supports_budget: bool = False,
     max_n: int | None = None,
+    world_aware: bool = False,
     description: str = "",
 ) -> Callable:
     """Decorator registering a ``build(instance, params) -> RunSetup``
     factory as algorithm ``name``.  Returns the factory unchanged.
+
+    With ``world_aware=True`` the factory is instead called as
+    ``build(instance, params, world)`` where ``world`` is the run's
+    :class:`~repro.sim.WorldConfig` (or ``None`` for the default world) —
+    declared metadata, so the registry never sniffs signatures.
 
     Duplicate names are rejected — an algorithm's name is its identity in
     sweep specs and cache keys, so silently replacing one would repoint
     existing artifacts at different code.
     """
 
-    def decorator(build: Callable[["Instance", Mapping[str, Any]], RunSetup]):
+    def decorator(build: Callable[..., RunSetup]):
         spec = AlgorithmSpec(
             name=name,
             label=label,
@@ -288,6 +247,7 @@ def register_algorithm(
             needs_rho=needs_rho,
             supports_budget=supports_budget,
             max_n=max_n,
+            world_aware=world_aware,
             description=description,
         )
         if spec.name in _REGISTRY:

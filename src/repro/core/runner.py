@@ -15,11 +15,12 @@ dispatches through the registry) and the raw :func:`run_program` plumbing.
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
-from ..instances import Instance, make_instance
-from ..sim import SOURCE_ID, Engine, SimulationResult, Trace
+from ..instances import Instance, get_scenario, make_instance
+from ..sim import SOURCE_ID, Engine, SimulationResult, Trace, WorldConfig
 from ..sim.actions import Program
 from .registry import get_algorithm
 
@@ -35,10 +36,24 @@ __all__ = [
 ]
 
 
-#: Deprecated: the paper's three distributed algorithms.  New code should
-#: enumerate :func:`repro.core.registry.algorithm_names`, which also
-#: covers the centralized baselines and future registrations.
-ALGORITHMS = ("aseparator", "agrid", "awave")
+#: Deprecated: the paper's three distributed algorithms, served through a
+#: module ``__getattr__`` so any access warns.  New code should enumerate
+#: :func:`repro.core.registry.algorithm_names`, which also covers the
+#: centralized baselines and future registrations.
+_LEGACY_ALGORITHMS = ("aseparator", "agrid", "awave")
+
+
+def __getattr__(name: str) -> Any:
+    if name == "ALGORITHMS":
+        warnings.warn(
+            "repro.core.runner.ALGORITHMS is deprecated (it predates the "
+            "registry and omits the centralized baselines); enumerate "
+            "repro.core.registry.algorithm_names() instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return _LEGACY_ALGORITHMS
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 #: The four pre-registry ``RunRequest`` fields, kept as a working compat
 #: shim: they merge into ``params`` and keep their dedicated slots in
@@ -81,23 +96,34 @@ class AlgorithmRun:
 class RunRequest:
     """Declarative, picklable description of one algorithm run.
 
-    A request carries only plain data — algorithm and family *names* plus
-    keyword arguments — so it can cross process boundaries (the sweep
+    A request carries only plain data — algorithm and workload *names*
+    plus keyword arguments — so it can cross process boundaries (the sweep
     harness ships requests to ``multiprocessing`` workers) and be hashed
     into a stable cache key (:mod:`repro.experiments.cache`).  Executing
-    the same request twice is deterministic: instance generation is seeded
-    and the engine is event-ordered.
+    the same request twice is deterministic: instance generation is
+    seeded, world-model assignment is seeded, and the engine is
+    event-ordered.
+
+    The workload is named one of two ways:
+
+    * ``scenario=`` — a registered
+      :class:`~repro.instances.ScenarioSpec`: ``family_kwargs`` holds the
+      generator arguments (validated against the scenario's declared
+      schema) and ``world_params`` optionally overrides fields of the
+      scenario's :class:`~repro.sim.WorldConfig`;
+    * ``family=`` — the pre-scenario compat shim: the classic generator
+      under the default (paper) world, with :meth:`as_dict` and cache
+      keys byte-identical to pre-redesign requests.
 
     Algorithm parameters go in ``params``, validated at construction time
     against the registered :class:`~repro.core.registry.AlgorithmSpec`
     schema.  The pre-registry fields ``ell``/``rho``/``enforce_budget``/
     ``solver`` still work (they merge into the same parameter set) and
-    keep their dedicated slots in :meth:`as_dict`, so existing sweep
-    JSONs and cache keys are unchanged.
+    keep their dedicated slots in :meth:`as_dict`.
     """
 
     algorithm: str
-    family: str
+    family: str = ""
     family_kwargs: Mapping[str, Any] = field(default_factory=dict)
     ell: int | None = None           # deprecated: use params["ell"]
     rho: float | None = None         # deprecated: use params["rho"]
@@ -105,10 +131,32 @@ class RunRequest:
     solver: str | None = None        # deprecated: use params["solver"]
     collect: str = "summary"         # "summary" | "phases"
     params: Mapping[str, Any] = field(default_factory=dict)
+    scenario: str | None = None
+    world_params: Mapping[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.collect not in ("summary", "phases"):
             raise ValueError(f"unknown collect mode {self.collect!r}")
+        if self.scenario is not None:
+            if self.family:
+                raise ValueError(
+                    "a request names its workload once: pass scenario= or "
+                    "family=, not both"
+                )
+            # Resolve the scenario (raises on unknown name), validate the
+            # generator kwargs against its declared schema and the world
+            # overrides against WorldConfig's fields.
+            spec = get_scenario(self.scenario)
+            spec.validate_params(self.family_kwargs)
+            spec.world_config(self.world_params)
+        else:
+            if not self.family:
+                raise ValueError("a request needs a scenario= or family= workload")
+            if self.world_params:
+                raise ValueError(
+                    "world_params requires scenario=; the family= compat "
+                    "path always runs the default world"
+                )
         # Resolve the spec (raises on unknown algorithm) and validate the
         # merged parameters against its schema, so a bad request fails at
         # construction — before it reaches a worker pool or the cache.
@@ -136,23 +184,51 @@ class RunRequest:
             merged[name] = value
         return spec.validate_params(merged)
 
+    @property
+    def workload(self) -> str:
+        """The workload name: the scenario when set, else the family."""
+        return self.scenario if self.scenario is not None else self.family
+
     def instance(self) -> Instance:
+        if self.scenario is not None:
+            return get_scenario(self.scenario).make(**dict(self.family_kwargs))
         return make_instance(self.family, **dict(self.family_kwargs))
+
+    def world_config(self) -> WorldConfig | None:
+        """The run's world model: the scenario's config with this
+        request's overrides, or ``None`` (default world) for family runs."""
+        if self.scenario is None:
+            return None
+        return get_scenario(self.scenario).world_config(self.world_params)
 
     def as_dict(self) -> dict[str, Any]:
         """Plain-data view (stable key order) for hashing and labels.
 
-        The four legacy parameters keep their dedicated keys — byte-stable
-        with pre-registry cache entries; any other algorithm parameter
-        lands under ``"params"`` (absent when empty, so the key of an
-        unchanged request never moves).
+        Family requests keep the exact pre-redesign layout: the four
+        legacy parameters hold their dedicated keys — byte-stable with
+        pre-registry cache entries; any other algorithm parameter lands
+        under ``"params"`` (absent when empty, so the key of an unchanged
+        request never moves).  Scenario requests use a fresh layout (no
+        legacy slots: everything pinned sits under ``"params"``) — a new
+        cache namespace with nothing to stay compatible with.
         """
         merged = self.resolved_params()
+        if self.scenario is not None:
+            payload: dict[str, Any] = {
+                "algorithm": self.algorithm,
+                "scenario": self.scenario,
+                "scenario_kwargs": dict(sorted(dict(self.family_kwargs).items())),
+                "world_params": dict(sorted(dict(self.world_params).items())),
+                "collect": self.collect,
+            }
+            if merged:
+                payload["params"] = merged
+            return payload
         legacy = {
             name: merged.pop(name, _LEGACY_DEFAULTS[name])
             for name in _LEGACY_PARAMS
         }
-        payload: dict[str, Any] = {
+        payload = {
             "algorithm": self.algorithm,
             "family": self.family,
             "family_kwargs": dict(sorted(dict(self.family_kwargs).items())),
@@ -165,15 +241,24 @@ class RunRequest:
 
     def label(self) -> str:
         kwargs = ",".join(f"{k}={v}" for k, v in sorted(dict(self.family_kwargs).items()))
+        world = ",".join(
+            f"{k}={v}" for k, v in sorted(dict(self.world_params).items())
+        )
         extra = "".join(
             f" {name}={value}" for name, value in self.resolved_params().items()
         )
-        return f"{self.algorithm} {self.family}({kwargs}){extra}"
+        tail = f" world[{world}]" if world else ""
+        return f"{self.algorithm} {self.workload}({kwargs}){tail}{extra}"
 
     def execute(self, trace: Trace | None = None) -> AlgorithmRun:
         """Run the request in this process and return the full result."""
         spec = get_algorithm(self.algorithm)
-        return spec.run(self.instance(), self.resolved_params(), trace=trace)
+        return spec.run(
+            self.instance(),
+            self.resolved_params(),
+            world=self.world_config(),
+            trace=trace,
+        )
 
 
 def run_program(
@@ -184,10 +269,19 @@ def run_program(
     rho: float,
     budget: float = math.inf,
     trace: Trace | None = None,
+    world: WorldConfig | None = None,
 ) -> AlgorithmRun:
-    """Run ``program`` as the source process on a fresh world."""
-    world = instance.world(budget=budget)
-    engine = Engine(world, trace=trace)
+    """Run ``program`` as the source process on a fresh world.
+
+    ``world`` selects the world model (speeds, visibility, failure
+    injection); ``budget`` is the algorithm's enforced per-robot cap and
+    composes with the model's own budgets (both apply).
+    """
+    if world is None:
+        sim_world = instance.world(budget=budget)
+    else:
+        sim_world = instance.world(config=world.with_budget_cap(budget))
+    engine = Engine(sim_world, trace=trace)
     engine.spawn(program, robot_ids=[SOURCE_ID])
     result = engine.run()
     return AlgorithmRun(

@@ -80,10 +80,28 @@ def execute_wake_plan(
     The executing process should contain only the waker robot: the whole
     process moves, so teammates would be dragged along (callers park
     teammates first — see ``ASeparator``'s termination phase).
+
+    Failure tolerance: a robot that crashes the instant it is woken
+    (:class:`~repro.sim.WorldConfig` ``crash_on_wake``) never runs its
+    propagation program — the engine signals this by returning ``None``
+    instead of a process id, and the waker *inherits* the crashed robot's
+    wake list, walking it before resuming its own.  Every robot of the
+    *plan* is therefore woken under any crash pattern, at the price of a
+    longer (sequential) tour — exactly the makespan degradation the
+    robustness sweeps measure.  Note the guarantee is per plan: for a
+    centralized schedule (one clairvoyant wake forest) that is full
+    completeness, while the round-based algorithms wake each explored
+    cell completely but can still lose *coverage* if an entire cell
+    cohort crashes and no survivor carries the wave onward (the same
+    wave-dies semantics ``AWave`` has under team starvation).
     """
     for target in plan.get(my_id, ()):
         yield Move(positions[target])
-        yield Wake(target, program=propagation_program(plan, positions, target, after))
+        outcome = yield Wake(
+            target, program=propagation_program(plan, positions, target, after)
+        )
+        if outcome.value is None:
+            yield from execute_wake_plan(proc, plan, positions, target, after)
 
 
 def propagation_program(

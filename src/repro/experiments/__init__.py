@@ -21,6 +21,7 @@ from .figures import (
 )
 from .harness import (
     FamilySweep,
+    ScenarioSweep,
     SweepProgress,
     SweepResult,
     SweepSpec,
@@ -41,6 +42,7 @@ from .table1 import (
 
 __all__ = [
     "FamilySweep",
+    "ScenarioSweep",
     "ResultCache",
     "SweepProgress",
     "SweepResult",

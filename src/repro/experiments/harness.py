@@ -1,28 +1,33 @@
 """Batch sweep harness: declarative specs, parallel execution, caching.
 
 The paper's experimental claims are all *sweeps* — an algorithm family
-crossed with instance families, sizes, seeds and inputs.  This module
-turns such a sweep into data:
+crossed with workloads, sizes, seeds and inputs.  This module turns such
+a sweep into data:
 
-* :class:`FamilySweep` — one instance family plus a grid of generator
-  kwargs (every combination is expanded);
-* :class:`SweepSpec` — algorithms x family sweeps x seeds x algorithm
+* :class:`FamilySweep` — one classic instance family plus a grid of
+  generator kwargs (every combination is expanded, default world);
+* :class:`ScenarioSweep` — one registered scenario plus grids of
+  generator kwargs *and* world-model overrides, so "AGrid vs greedy
+  under 20% slow robots on an annulus" is one spec entry;
+* :class:`SweepSpec` — algorithms x workloads x seeds x algorithm
   params, loadable from a JSON file (``freezetag sweep spec.json``);
 * :func:`run_requests` / :func:`run_sweep` — execute the expanded
   :class:`~repro.core.runner.RunRequest` jobs on a ``multiprocessing``
   pool with an optional :class:`~repro.experiments.cache.ResultCache`.
 
+Workload validation runs against the scenario registry's *declared*
+schemas (:mod:`repro.instances.registry`) — no signature sniffing.
+
 Determinism contract: every job is independent and seeded through its
-request (instance generation) while the engine itself is event-ordered,
-so a record depends only on its request — never on scheduling.  Records
-are normalised through canonical JSON and returned in spec-expansion
-order, which makes sweep output **byte-identical for any worker count**
-and for cached vs fresh runs.
+request (instance generation and world-model assignment) while the
+engine itself is event-ordered, so a record depends only on its request
+— never on scheduling.  Records are normalised through canonical JSON
+and returned in spec-expansion order, which makes sweep output
+**byte-identical for any worker count** and for cached vs fresh runs.
 """
 
 from __future__ import annotations
 
-import inspect
 import itertools
 import json
 import multiprocessing
@@ -33,12 +38,14 @@ from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from ..core.registry import get_algorithm
 from ..core.runner import RunRequest
-from ..instances import FAMILIES, family_accepts_seed
+from ..instances import FAMILIES, get_scenario
 from ..metrics import summarize
+from ..sim import WorldConfig
 from .cache import ResultCache, canonical_json
 
 __all__ = [
     "FamilySweep",
+    "ScenarioSweep",
     "SweepSpec",
     "SweepProgress",
     "SweepResult",
@@ -47,6 +54,22 @@ __all__ = [
     "run_sweep",
     "aggregate_records",
 ]
+
+
+def _grid(params: Mapping[str, Sequence[Any]]) -> list[dict[str, Any]]:
+    """Every kwarg combination of a name->values grid, in stable
+    (sorted-key) order."""
+    names = sorted(params)
+    combos = itertools.product(*(params[name] for name in names))
+    return [dict(zip(names, combo)) for combo in combos]
+
+
+def _check_grid_values(owner: str, name: str, values: Any) -> None:
+    if isinstance(values, (str, bytes)) or not isinstance(values, Sequence):
+        raise ValueError(
+            f"param {name!r} of {owner} must be a list of values to "
+            f"sweep, got {values!r}"
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -73,47 +96,96 @@ class FamilySweep:
             raise ValueError(
                 f"unknown family {self.family!r}; choose from {sorted(FAMILIES)}"
             )
-        accepted = set(inspect.signature(FAMILIES[self.family]).parameters)
+        # Validate against the registered scenario's declared schema (the
+        # classic families all register under their own name).
+        spec = get_scenario(self.family)
         for name, values in self.params.items():
-            if name not in accepted:
-                raise ValueError(
-                    f"family {self.family!r} has no parameter {name!r}; "
-                    f"choose from {sorted(accepted)}"
-                )
-            if isinstance(values, (str, bytes)) or not isinstance(values, Sequence):
-                raise ValueError(
-                    f"param {name!r} of family {self.family!r} must be a list "
-                    f"of values to sweep, got {values!r}"
-                )
+            spec.param(name)  # raises "... has no parameter ..." if unknown
+            _check_grid_values(f"family {self.family!r}", name, values)
 
     def grid(self) -> list[dict[str, Any]]:
         """Every kwarg combination, in stable (sorted-key) order."""
-        names = sorted(self.params)
-        combos = itertools.product(*(self.params[name] for name in names))
-        return [dict(zip(names, combo)) for combo in combos]
+        return _grid(self.params)
+
+
+@dataclass(frozen=True)
+class ScenarioSweep:
+    """One registered scenario with generator *and* world-model grids.
+
+    ``params`` sweeps the scenario's generator kwargs exactly like
+    :class:`FamilySweep`; ``world`` sweeps overrides of the scenario's
+    :class:`~repro.sim.WorldConfig` fields.  Example::
+
+        ScenarioSweep(
+            "slow_annulus",
+            {"n": [40], "r_inner": [3.0], "r_outer": [8.0]},
+            world={"slow_fraction": [0.0, 0.2, 0.4]},
+        )
+
+    expands to three world variants per (algorithm, seed) combination.
+    """
+
+    scenario: str
+    params: Mapping[str, Sequence[Any]] = field(default_factory=dict)
+    world: Mapping[str, Sequence[Any]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        spec = get_scenario(self.scenario)  # raises "unknown scenario ..."
+        for name, values in self.params.items():
+            spec.param(name)
+            _check_grid_values(f"scenario {self.scenario!r}", name, values)
+        known = WorldConfig.field_names()
+        for name, values in self.world.items():
+            if name not in known:
+                raise ValueError(
+                    f"scenario {self.scenario!r} world grid: unknown world "
+                    f"parameter {name!r}; choose from {sorted(known)}"
+                )
+            _check_grid_values(f"scenario {self.scenario!r} world", name, values)
+
+    def grid(self) -> list[dict[str, Any]]:
+        """Every generator-kwarg combination, in stable order."""
+        return _grid(self.params)
+
+    def world_grid(self) -> list[dict[str, Any]]:
+        """Every world-override combination (one empty dict when unset)."""
+        return _grid(self.world)
 
 
 @dataclass(frozen=True)
 class SweepSpec:
-    """A full sweep: algorithms x families x seeds x algorithm params."""
+    """A full sweep: algorithms x workloads x seeds x algorithm params.
+
+    Workloads come in two flavors, enumerated exactly alike: classic
+    ``families`` (default world) and registered ``scenarios`` (their own
+    world model, optionally swept through ``world`` override grids).
+    """
 
     name: str
     algorithms: Sequence[str]
-    families: Sequence[FamilySweep]
+    families: Sequence[FamilySweep] = ()
     seeds: Sequence[int] = (0,)
     algorithm_params: Mapping[str, Sequence[Any]] = field(default_factory=dict)
     collect: str = "summary"
+    scenarios: Sequence[ScenarioSweep] = ()
 
     def __post_init__(self) -> None:
         for algorithm in self.algorithms:
             get_algorithm(algorithm)  # raises "unknown algorithm ..." early
-        if not self.algorithms or not self.families:
-            raise ValueError("a sweep needs at least one algorithm and one family")
+        if not self.algorithms or not (self.families or self.scenarios):
+            raise ValueError(
+                "a sweep needs at least one algorithm and one workload "
+                "(family or scenario)"
+            )
 
     @staticmethod
     def from_dict(payload: Mapping[str, Any]) -> "SweepSpec":
-        """Build a spec from parsed JSON (see ``examples/sweep_quick.json``)."""
-        known = {"name", "algorithms", "families", "seeds", "algorithm_params", "collect"}
+        """Build a spec from parsed JSON (see ``examples/sweep_quick.json``
+        and ``examples/sweep_heterogeneous.json``)."""
+        known = {
+            "name", "algorithms", "families", "scenarios", "seeds",
+            "algorithm_params", "collect",
+        }
         unknown = set(payload) - known
         if unknown:
             raise ValueError(f"unknown spec fields: {sorted(unknown)}")
@@ -122,9 +194,22 @@ class SweepSpec:
                 raise ValueError(
                     f"each families entry needs a 'family' key, got {entry!r}"
                 )
+        for entry in payload.get("scenarios", ()):
+            if not isinstance(entry, Mapping) or "scenario" not in entry:
+                raise ValueError(
+                    f"each scenarios entry needs a 'scenario' key, got {entry!r}"
+                )
         families = tuple(
             FamilySweep(family=f["family"], params=dict(f.get("params", {})))
             for f in payload.get("families", ())
+        )
+        scenarios = tuple(
+            ScenarioSweep(
+                scenario=s["scenario"],
+                params=dict(s.get("params", {})),
+                world=dict(s.get("world", {})),
+            )
+            for s in payload.get("scenarios", ())
         )
         return SweepSpec(
             name=str(payload.get("name", "sweep")),
@@ -133,6 +218,7 @@ class SweepSpec:
             seeds=tuple(payload.get("seeds", (0,))),
             algorithm_params=dict(payload.get("algorithm_params", {})),
             collect=str(payload.get("collect", "summary")),
+            scenarios=scenarios,
         )
 
     @staticmethod
@@ -153,11 +239,13 @@ def expand_spec(spec: SweepSpec) -> list[RunRequest]:
     """Expand a spec into its independent jobs, in deterministic order.
 
     Seeds are injected as the generator's ``seed`` kwarg; deterministic
-    families (no ``seed`` parameter) are run once per grid point rather
-    than once per seed.  ``algorithm_params`` is itself a grid crossing
-    every instance; each name must be accepted by *every* swept
-    algorithm's registered parameter schema — a violation is reported
-    with the offending sweep entry (algorithm, family, grid point).
+    workloads (no ``seed`` in the declared schema) are run once per grid
+    point rather than once per seed.  ``algorithm_params`` is itself a
+    grid crossing every instance; each name must be accepted by *every*
+    swept algorithm's registered parameter schema — a violation is
+    reported with the offending sweep entry (algorithm, workload, grid
+    point).  Per algorithm, all family jobs come before all scenario
+    jobs, so pre-scenario specs expand in their original order.
     """
     param_names = sorted(spec.algorithm_params)
     param_combos = [
@@ -167,47 +255,77 @@ def expand_spec(spec: SweepSpec) -> list[RunRequest]:
         )
     ] or [{}]
 
+    def seeded_kwargs(
+        workload: str, point: Mapping[str, Any]
+    ) -> list[dict[str, Any]]:
+        # A seed pinned in the grid wins; deterministic workloads run
+        # once per grid point instead of once per seed.
+        one_shot = not get_scenario(workload).accepts_seed or "seed" in point
+        seeds: Sequence[int | None] = (None,) if one_shot else spec.seeds
+        variants = []
+        for seed in seeds:
+            kwargs = dict(point)
+            if seed is not None:
+                kwargs["seed"] = seed
+            variants.append(kwargs)
+        return variants
+
+    def build_request(
+        algorithm: str,
+        params: Mapping[str, Any],
+        context: str,
+        **request_kwargs: Any,
+    ) -> RunRequest:
+        legacy = {k: v for k, v in params.items() if k in _LEGACY_PARAM_NAMES}
+        extra = {k: v for k, v in params.items() if k not in _LEGACY_PARAM_NAMES}
+        try:
+            return RunRequest(
+                algorithm=algorithm,
+                collect=spec.collect,
+                params=extra,
+                **legacy,
+                **request_kwargs,
+            )
+        except ValueError as exc:
+            raise ValueError(
+                f"sweep {spec.name!r}, algorithm {algorithm!r}, {context}, "
+                f"algorithm_params {dict(params)}: {exc}"
+            ) from exc
+
     requests: list[RunRequest] = []
     for algorithm in spec.algorithms:
         for family_sweep in spec.families:
-            seeded = family_accepts_seed(family_sweep.family)
             for point_index, point in enumerate(family_sweep.grid()):
-                # A seed pinned in the grid wins; deterministic families
-                # run once per grid point instead of once per seed.
-                one_shot = not seeded or "seed" in point
-                seeds: Sequence[int | None] = (None,) if one_shot else spec.seeds
-                for seed in seeds:
-                    kwargs = dict(point)
-                    if seed is not None:
-                        kwargs["seed"] = seed
+                for kwargs in seeded_kwargs(family_sweep.family, point):
                     for params in param_combos:
-                        legacy = {
-                            k: v for k, v in params.items()
-                            if k in _LEGACY_PARAM_NAMES
-                        }
-                        extra = {
-                            k: v for k, v in params.items()
-                            if k not in _LEGACY_PARAM_NAMES
-                        }
-                        try:
+                        requests.append(
+                            build_request(
+                                algorithm,
+                                params,
+                                f"family {family_sweep.family!r}, "
+                                f"grid point #{point_index} {point}",
+                                family=family_sweep.family,
+                                family_kwargs=kwargs,
+                            )
+                        )
+        for scenario_sweep in spec.scenarios:
+            world_points = scenario_sweep.world_grid()
+            for point_index, point in enumerate(scenario_sweep.grid()):
+                for kwargs in seeded_kwargs(scenario_sweep.scenario, point):
+                    for world_point in world_points:
+                        for params in param_combos:
                             requests.append(
-                                RunRequest(
-                                    algorithm=algorithm,
-                                    family=family_sweep.family,
+                                build_request(
+                                    algorithm,
+                                    params,
+                                    f"scenario {scenario_sweep.scenario!r}, "
+                                    f"grid point #{point_index} {point}, "
+                                    f"world {world_point}",
+                                    scenario=scenario_sweep.scenario,
                                     family_kwargs=kwargs,
-                                    collect=spec.collect,
-                                    params=extra,
-                                    **legacy,
+                                    world_params=world_point,
                                 )
                             )
-                        except ValueError as exc:
-                            raise ValueError(
-                                f"sweep {spec.name!r}, algorithm "
-                                f"{algorithm!r}, family "
-                                f"{family_sweep.family!r}, grid point "
-                                f"#{point_index} {point}, "
-                                f"algorithm_params {params}: {exc}"
-                            ) from exc
     return requests
 
 
@@ -262,9 +380,14 @@ def execute_request(request: RunRequest) -> dict[str, Any]:
     trace = Trace() if request.collect == "phases" else None
     run = request.execute(trace=trace)
     record: dict[str, Any] = summarize(run).as_dict()
-    record["family"] = request.family
+    # The scenario name IS the workload label — two scenarios sharing a
+    # generator (say a slow and a fragile disk) must aggregate separately.
+    record["family"] = request.workload
     record["family_kwargs"] = dict(sorted(dict(request.family_kwargs).items()))
     record["seed"] = dict(request.family_kwargs).get("seed")
+    if request.scenario is not None:
+        record["scenario"] = request.scenario
+        record["world_params"] = dict(sorted(dict(request.world_params).items()))
     if trace is not None:
         record["phases"] = [
             {

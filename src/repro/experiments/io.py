@@ -36,13 +36,18 @@ def print_table(rows: Sequence[Mapping[str, Any]], title: str = "") -> None:
 
 
 def write_csv(path: str | Path, rows: Sequence[Mapping[str, Any]]) -> Path:
-    """Write dict rows to ``path`` (parent directories created)."""
+    """Write dict rows to ``path`` (parent directories created).
+
+    Headers are the union of all row keys in first-appearance order —
+    mixed sweeps (family rows first, scenario rows with extra columns
+    later) must not silently drop the late columns.
+    """
     target = Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
     if not rows:
         target.write_text("")
         return target
-    headers = list(rows[0].keys())
+    headers = list(dict.fromkeys(key for row in rows for key in row))
     with target.open("w", newline="") as handle:
         writer = csv.DictWriter(handle, fieldnames=headers)
         writer.writeheader()

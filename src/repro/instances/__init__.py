@@ -1,4 +1,5 @@
-"""Instance container, workload generators and lower-bound constructions."""
+"""Instance container, workload generators, scenario registry and
+lower-bound constructions."""
 
 from .adversary import (
     CoverageMap,
@@ -22,6 +23,14 @@ from .families import (
     uniform_disk,
     uniform_square,
 )
+from .registry import (
+    ScenarioSpec,
+    get_scenario,
+    iter_scenarios,
+    register_scenario,
+    scenario_names,
+    unregister_scenario,
+)
 from .lower_bounds import (
     GridOfDisks,
     RectilinearPath,
@@ -35,6 +44,12 @@ from .spec import Instance
 __all__ = [
     "FAMILIES",
     "Instance",
+    "ScenarioSpec",
+    "get_scenario",
+    "iter_scenarios",
+    "register_scenario",
+    "scenario_names",
+    "unregister_scenario",
     "annulus",
     "family_accepts_seed",
     "make_instance",

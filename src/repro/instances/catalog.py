@@ -1,0 +1,171 @@
+"""Built-in scenario registrations: classic families + world-model variants.
+
+Loaded lazily by :mod:`repro.instances.registry` on first lookup.  Two
+groups register here:
+
+* every classic instance family (:mod:`repro.instances.families`) under
+  its own name with the default (paper) world — so the legacy
+  ``family=...`` request path and the ``scenario=...`` path name the same
+  workloads;
+* derived scenarios pairing those generators with non-default
+  :class:`~repro.sim.WorldConfig` world models — the robustness workloads
+  the sustainability story asks about (slow cohorts, crash-on-wake,
+  uniformly faster swarms).
+
+The parameter schemas mirror the generator signatures exactly; they are
+the declared metadata that replaced ``inspect.signature`` sniffing.
+"""
+
+from __future__ import annotations
+
+from ..params import ParamSpec
+from ..sim import WorldConfig
+from . import families
+from .registry import register_scenario
+
+__all__: list[str] = []
+
+_N = ParamSpec("n", int, doc="number of sleeping robots")
+_SEED = ParamSpec("seed", int, default=0, doc="instance-generation rng seed")
+_SPACING = ParamSpec("spacing", float, doc="bead pitch")
+_RHO = ParamSpec("rho", float, doc="swarm radius around the source")
+
+
+def _register_families() -> None:
+    """One scenario per classic family, default world, schema == signature."""
+    entries = (
+        (
+            "uniform_disk", "Uniform disk",
+            (_N, _RHO, _SEED),
+            families.uniform_disk,
+            "dense swarm uniform in the radius-rho disk",
+        ),
+        (
+            "uniform_square", "Uniform square",
+            (_N, ParamSpec("half_width", float, doc="square half-width"), _SEED),
+            families.uniform_square,
+            "dense swarm uniform in [-w, w]^2",
+        ),
+        (
+            "clusters", "Gaussian clusters",
+            (
+                _N,
+                ParamSpec("n_clusters", int, doc="cluster count"),
+                _RHO,
+                ParamSpec("spread", float, default=1.0, doc="cluster stddev"),
+                _SEED,
+            ),
+            families.clusters,
+            "multi-scale density; inter-cluster gaps drive ell* up",
+        ),
+        (
+            "annulus", "Annulus",
+            (
+                _N,
+                ParamSpec("r_inner", float, doc="inner radius"),
+                ParamSpec("r_outer", float, doc="outer radius"),
+                _SEED,
+            ),
+            families.annulus,
+            "empty center around the source; stresses separator discovery",
+        ),
+        (
+            "beaded_path", "Beaded path",
+            (
+                _N, _SPACING, _SEED,
+                ParamSpec("wiggle", float, default=0.0, doc="vertical meander"),
+            ),
+            families.beaded_path,
+            "high-eccentricity chain along the x-axis (ell* = spacing)",
+        ),
+        (
+            "spiral", "Archimedean spiral",
+            (_N, _SPACING, ParamSpec("turn", float, default=0.35, doc="turn rate")),
+            families.spiral,
+            "xi_ell grows superlinearly in rho*; the wave algorithms' shape",
+        ),
+        (
+            "grid_lattice", "Grid lattice",
+            (
+                ParamSpec("side", int, doc="lattice side length"),
+                _SPACING,
+            ),
+            families.grid_lattice,
+            "side x side lattice, source at the lower-left corner",
+        ),
+        (
+            "connected_walk", "Connected walk",
+            (
+                _N,
+                ParamSpec("step", float, doc="max consecutive spacing"),
+                _SEED,
+                ParamSpec("jitter", float, default=0.3, doc="heading noise"),
+            ),
+            families.connected_walk,
+            "random walk with ell* <= step by construction",
+        ),
+        (
+            "two_clusters_bridge", "Two clusters + bridge",
+            (
+                _N,
+                ParamSpec("gap", float, doc="blob separation"),
+                _SPACING,
+                _SEED,
+            ),
+            families.two_clusters_bridge,
+            "dense blobs joined by a sparse bead bridge (ell* = spacing)",
+        ),
+    )
+    for name, label, params, build, description in entries:
+        register_scenario(
+            name=name, label=label, params=params, description=description
+        )(build)
+
+
+_register_families()
+
+
+# ---------------------------------------------------------------------------
+# World-model scenarios: the same generators under non-default physics.
+# ---------------------------------------------------------------------------
+
+register_scenario(
+    name="slow_swarm",
+    label="Disk, 25% half-speed",
+    family="uniform_disk",
+    params=(_N, _RHO, _SEED),
+    world=WorldConfig(slow_fraction=0.25, slow_speed=0.5),
+    description="uniform disk where a quarter of the robots move at half speed",
+)(families.uniform_disk)
+
+register_scenario(
+    name="slow_annulus",
+    label="Annulus, 20% half-speed",
+    family="annulus",
+    params=(
+        _N,
+        ParamSpec("r_inner", float, doc="inner radius"),
+        ParamSpec("r_outer", float, doc="outer radius"),
+        _SEED,
+    ),
+    world=WorldConfig(slow_fraction=0.2, slow_speed=0.5),
+    description="annulus where a fifth of the robots move at half speed",
+)(families.annulus)
+
+register_scenario(
+    name="fragile_swarm",
+    label="Disk, 10% crash-on-wake",
+    family="uniform_disk",
+    params=(_N, _RHO, _SEED),
+    world=WorldConfig(crash_on_wake=0.1),
+    description="uniform disk where each woken robot crashes with probability 0.1",
+)(families.uniform_disk)
+
+register_scenario(
+    name="turbo_swarm",
+    label="Disk, uniform 2x speed",
+    family="uniform_disk",
+    params=(_N, _RHO, _SEED),
+    world=WorldConfig(speed=2.0),
+    description="uniform disk with every robot moving at double speed",
+)(families.uniform_disk)

@@ -19,8 +19,8 @@ instance is reproducible from its arguments.
 
 from __future__ import annotations
 
-import inspect
 import math
+import warnings
 from typing import Callable, Iterable
 
 import numpy as np
@@ -218,9 +218,22 @@ FAMILIES: dict[str, Callable[..., Instance]] = {
 
 def family_accepts_seed(family: str) -> bool:
     """Whether the family's generator takes a ``seed`` (deterministic
-    families like ``spiral`` and ``grid_lattice`` do not)."""
-    fn = FAMILIES[family]
-    return "seed" in inspect.signature(fn).parameters
+    families like ``spiral`` and ``grid_lattice`` do not).
+
+    .. deprecated:: superseded by the registered scenario's *declared*
+       schema (``get_scenario(family).accepts_seed``); this wrapper
+       survives for pre-registry callers only.
+    """
+    warnings.warn(
+        "family_accepts_seed() is deprecated; use "
+        "repro.instances.get_scenario(name).accepts_seed (declared schema "
+        "metadata) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from .registry import get_scenario
+
+    return get_scenario(family).accepts_seed
 
 
 def make_instance(family: str, **kwargs) -> Instance:

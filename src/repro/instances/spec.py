@@ -26,7 +26,7 @@ from ..geometry import (
     instance_parameters,
     radius,
 )
-from ..sim import World
+from ..sim import World, WorldConfig
 
 __all__ = ["Instance"]
 
@@ -85,14 +85,24 @@ class Instance:
 
     # -- simulation --------------------------------------------------------
     def world(
-        self, budget: float = math.inf, source_budget: float | None = None
+        self,
+        budget: float = math.inf,
+        source_budget: float | None = None,
+        config: WorldConfig | None = None,
     ) -> World:
-        """A fresh mutable world for one simulation run."""
+        """A fresh mutable world for one simulation run.
+
+        ``config`` is the full world model (speeds, visibility, budgets,
+        failure injection); the legacy ``budget``/``source_budget``
+        arguments cover the common uniform-budget case and cannot be
+        combined with it.
+        """
         return World(
             source=self.source,
             positions=list(self.positions),
             budget=budget,
             source_budget=source_budget,
+            config=config,
         )
 
     # -- misc --------------------------------------------------------------

@@ -1,0 +1,106 @@
+"""Typed parameter schemas shared by the algorithm and scenario registries.
+
+Both registries (:mod:`repro.core.registry` for algorithms,
+:mod:`repro.instances.registry` for scenarios) describe their entries with
+the same primitive: a tuple of :class:`ParamSpec` records declaring each
+parameter's name, type, default and admissible choices.  Declared schemas
+are what make requests validatable at construction time and registries
+introspectable without ``inspect``-based signature sniffing.
+
+This module is dependency-free on purpose: it sits below every other
+layer, so ``instances`` can use it without importing ``core`` (which
+imports ``instances`` back).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["ParamSpec", "lookup_param", "validate_param_mapping"]
+
+
+def _type_ok(value: Any, expected: type) -> bool:
+    """Schema type check with the two practical affordances: ints are
+    acceptable floats, and bools are *not* acceptable ints."""
+    if expected is float:
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if expected is int:
+        return isinstance(value, int) and not isinstance(value, bool)
+    if expected is bool:
+        return isinstance(value, bool)
+    return isinstance(value, expected)
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    """One typed registry parameter.
+
+    ``default=None`` means "derived at build time" — for algorithms, from
+    the instance (the paper's convention of the tightest admissible value,
+    see :meth:`repro.instances.Instance.default_inputs`); for scenario
+    generators, by the generator's own signature default.
+    """
+
+    name: str
+    type: type
+    default: Any = None
+    choices: tuple[Any, ...] | None = None
+    doc: str = ""
+
+    def validate(self, value: Any, owner: str) -> Any:
+        """Check ``value`` against the schema; ``None`` always passes
+        (it means *unset*, resolved to the default at build time)."""
+        if value is None:
+            return None
+        if not _type_ok(value, self.type):
+            raise ValueError(
+                f"parameter {self.name!r} of {owner} expects "
+                f"{self.type.__name__}, got {value!r} ({type(value).__name__})"
+            )
+        if self.choices is not None and value not in self.choices:
+            raise ValueError(
+                f"parameter {self.name!r} of {owner} must be "
+                f"one of {sorted(map(str, self.choices))}, got {value!r}"
+            )
+        return value
+
+    def describe(self) -> str:
+        """Compact ``name:type{choices}=default`` schema cell."""
+        spec = f"{self.name}:{self.type.__name__}"
+        if self.choices is not None:
+            spec += "{" + "|".join(map(str, self.choices)) + "}"
+        if self.default is not None:
+            spec += f"={self.default}"
+        return spec
+
+
+def lookup_param(
+    params: tuple[ParamSpec, ...], name: str, owner: str
+) -> ParamSpec:
+    """The spec named ``name`` in ``params`` (``ValueError`` when absent)."""
+    for p in params:
+        if p.name == name:
+            return p
+    known = sorted(p.name for p in params)
+    raise ValueError(
+        f"{owner} has no parameter {name!r}; choose from {known or '(none)'}"
+    )
+
+
+def validate_param_mapping(
+    params: tuple[ParamSpec, ...], mapping: Any, owner: str
+) -> dict[str, Any]:
+    """Validate a name->value mapping against a schema tuple.
+
+    Unknown names and type/choice mismatches raise ``ValueError``;
+    ``None`` values (unset) are dropped.  Returns a sorted-key dict of
+    what the caller actually pinned — the shared identity discipline of
+    both registries (defaults are applied at build time, never hashed).
+    """
+    resolved: dict[str, Any] = {}
+    for name in sorted(mapping):
+        value = lookup_param(params, name, owner).validate(mapping[name], owner)
+        if value is not None:
+            resolved[name] = value
+    return resolved

@@ -49,7 +49,7 @@ from .errors import (
 )
 from .robot import SOURCE_ID, Robot
 from .trace import PhaseInterval, Trace, TraceEvent
-from .world import CO_LOCATION_TOL, VISIBILITY_RADIUS, World
+from .world import CO_LOCATION_TOL, VISIBILITY_RADIUS, World, WorldConfig
 
 __all__ = [
     "Absorb",
@@ -88,4 +88,5 @@ __all__ = [
     "CO_LOCATION_TOL",
     "VISIBILITY_RADIUS",
     "World",
+    "WorldConfig",
 ]

@@ -54,7 +54,7 @@ from .errors import (
     WakeError,
 )
 from .trace import Trace
-from .world import CO_LOCATION_TOL, VISIBILITY_RADIUS, World
+from .world import CO_LOCATION_TOL, World
 
 __all__ = ["Engine", "ProcessView", "SimulationResult"]
 
@@ -193,14 +193,15 @@ class Engine:
         self.trace = trace if trace is not None else Trace()
         self.now = 0.0
         self.co_location_tol = co_location_tol
+        self.visibility_radius = world.visibility_radius
         self._processes: Dict[int, _Process] = {}
         self._owned: set[int] = set()        # robots owned by a live process
         self._idle_robots: set[int] = set()  # awake robots with no live process
-        self._idle_index = GridHash(cell_size=VISIBILITY_RADIUS)
+        self._idle_index = GridHash(cell_size=self.visibility_radius)
         # Snapshot acceleration: stationary processes are spatially indexed
         # by pid; only the (few) currently-moving processes are scanned
         # linearly with position interpolation.
-        self._stationary = GridHash(cell_size=VISIBILITY_RADIUS)
+        self._stationary = GridHash(cell_size=self.visibility_radius)
         self._moving: set[int] = set()
         self._barriers: Dict[Any, _BarrierState] = {}
         self._queue: list[tuple[float, int, int, Any]] = []
@@ -413,13 +414,17 @@ class Engine:
             self.world.robots[rid].charge(length)
         self._stationary.discard(proc.pid)
         self._moving.add(proc.pid)
+        # A process travels at the speed of its slowest member (the team
+        # moves together); under the default world model this is 1.0 and
+        # travel time equals travel distance, the paper's convention.
+        speed = min(self.world.robots[rid].speed for rid in proc.robot_ids)
         # For interpolation we expose the straight chord of the first..last
         # segment only when the path is a single segment; multi-segment
         # paths are walked segment-by-segment via chained events.
         if len(remaining) == 1:
-            self._begin_segment(proc, remaining[0])
+            self._begin_segment(proc, remaining[0], speed)
         else:
-            self._begin_polyline(proc, remaining)
+            self._begin_polyline(proc, remaining, speed)
         self.trace.record(
             self.now, "move", proc.pid, length=length,
             to=remaining[-1], waypoints=len(remaining),
@@ -427,17 +432,19 @@ class Engine:
         )
         return None
 
-    def _begin_segment(self, proc: _Process, target: Point) -> None:
+    def _begin_segment(self, proc: _Process, target: Point, speed: float) -> None:
         length = distance(proc.position, target)
         proc.state = "moving"
         proc.motion_from = proc.position
         proc.motion_start = self.now
         proc.motion_to = target
-        proc.motion_end = self.now + length
-        proc.motion_bbox = _segment_bbox(proc.position, target)
+        proc.motion_end = self.now + length / speed
+        proc.motion_bbox = _segment_bbox(proc.position, target, self.visibility_radius)
         self._schedule(proc.motion_end, proc.pid, Result(proc.motion_end, None))
 
-    def _begin_polyline(self, proc: _Process, waypoints: Sequence[Point]) -> None:
+    def _begin_polyline(
+        self, proc: _Process, waypoints: Sequence[Point], speed: float
+    ) -> None:
         """Walk a polyline with exact per-segment positions.
 
         Implemented by chaining an internal generator: we wrap the original
@@ -458,8 +465,10 @@ class Engine:
             proc.motion_from = proc.position
             proc.motion_start = self.now
             proc.motion_to = target
-            proc.motion_end = self.now + length
-            proc.motion_bbox = _segment_bbox(proc.position, target)
+            proc.motion_end = self.now + length / speed
+            proc.motion_bbox = _segment_bbox(
+                proc.position, target, self.visibility_radius
+            )
             if segments:
                 self._schedule(
                     proc.motion_end, proc.pid, Result(proc.motion_end, _SegmentCont(advance))
@@ -472,12 +481,13 @@ class Engine:
     # -- instantaneous actions -------------------------------------------
     def _do_look(self, proc: _Process) -> Snapshot:
         center = proc.position
+        radius = self.visibility_radius
         views: list[RobotView] = []
         # Sleeping robots: static index.
-        for robot in self.world.sleeping_within(center, VISIBILITY_RADIUS):
+        for robot in self.world.sleeping_within(center, radius):
             views.append(RobotView(robot.robot_id, robot.position, False))
         # Awake robots: live processes (interpolated) + idle robots.
-        for pid, pos in self._stationary.query_ball(center, VISIBILITY_RADIUS):
+        for pid, pos in self._stationary.query_ball(center, radius):
             for rid in self._processes[pid].robot_ids:
                 views.append(RobotView(rid, pos, True))
         cx, cy = center
@@ -489,10 +499,10 @@ class Engine:
             ):
                 continue
             pos = other.position_at(self.now)
-            if distance(pos, center) <= VISIBILITY_RADIUS + EPS:
+            if distance(pos, center) <= radius + EPS:
                 for rid in other.robot_ids:
                     views.append(RobotView(rid, pos, True))
-        for rid, pos in self._idle_index.query_ball(center, VISIBILITY_RADIUS):
+        for rid, pos in self._idle_index.query_ball(center, radius):
             views.append(RobotView(rid, pos, True))
         views.sort(key=lambda v: v.robot_id)
         self.trace.record(self.now, "look", proc.pid, count=len(views), at=center)
@@ -516,6 +526,15 @@ class Engine:
             self.now, "wake", proc.pid,
             robot=action.robot_id, waker=waker, position=robot.position,
         )
+        if robot.crashed:
+            # Failure injection: the robot is awake (it counts toward the
+            # makespan) but crashes before computing — it parks in place,
+            # joins no process and runs no program.  Returning None tells
+            # wake-plan programs to inherit its pending duties.
+            self._idle_robots.add(action.robot_id)
+            self._idle_index.insert(action.robot_id, robot.position)
+            self.trace.record(self.now, "crash", proc.pid, robot=action.robot_id)
+            return None
         self._owned.add(action.robot_id)
         if action.program is None:
             proc.robot_ids.append(action.robot_id)
@@ -596,6 +615,8 @@ class Engine:
             robot = self.world.robots.get(rid)
             if robot is None or not robot.awake:
                 raise AbsorbError(f"robot {rid} is not an awake robot")
+            if robot.crashed:
+                raise AbsorbError(f"robot {rid} crashed on wake; it cannot rejoin")
             if rid not in self._idle_robots:
                 raise AbsorbError(f"robot {rid} is not idle (still owned)")
             if not close_to(robot.position, proc.position, self.co_location_tol):
@@ -638,9 +659,11 @@ class _SegmentCont:
         self.advance = advance
 
 
-def _segment_bbox(a: Point, b: Point) -> tuple[float, float, float, float]:
+def _segment_bbox(
+    a: Point, b: Point, radius: float
+) -> tuple[float, float, float, float]:
     """Axis bounds of segment ``ab`` expanded by the visibility radius."""
-    pad = VISIBILITY_RADIUS + 1e-9
+    pad = radius + 1e-9
     return (
         min(a[0], b[0]) - pad,
         min(a[1], b[1]) - pad,

@@ -2,9 +2,12 @@
 
 A robot is pure state — identity, position, status, odometer; behaviour
 lives in the *programs* run by engine processes.  The odometer tracks total
-distance travelled, which under unit speed is also total time spent moving;
-the optional ``budget`` is the paper's energy budget ``B`` (Section 1.2):
-"a robot can move for a total distance at most ``B``".
+distance travelled (total time spent moving scales it by ``1/speed``); the
+optional ``budget`` is the paper's energy budget ``B`` (Section 1.2):
+"a robot can move for a total distance at most ``B``".  ``speed`` and
+``crashed`` come from the world model (:class:`~repro.sim.WorldConfig`):
+a process moves at the speed of its slowest member, and a crashed robot
+parks the moment it is woken.
 """
 
 from __future__ import annotations
@@ -33,6 +36,8 @@ class Robot:
     waker_id: int | None = None      # robot that woke it (None for s)
     odometer: float = 0.0            # total distance travelled so far
     budget: float = math.inf         # energy budget B (inf = unconstrained)
+    speed: float = 1.0               # movement speed (distance per unit time)
+    crashed: bool = False            # fails the instant it is woken
 
     @property
     def is_source(self) -> bool:

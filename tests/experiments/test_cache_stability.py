@@ -1,0 +1,149 @@
+"""Cache-key stability across the scenario redesign.
+
+The compat contract: every pre-redesign sweep spec must expand to
+byte-identical ``RunRequest.as_dict()`` payloads — and therefore
+identical cache keys — after the redesign, so existing result caches
+stay warm.  The keys below were recorded by expanding the shipped
+example specs on the pre-redesign tree (PR 2).
+
+The new scenario path has no such legacy; for it we pin the *layout*
+(fresh key namespace) and the determinism contract: heterogeneous-world
+records are byte-identical for any worker count.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.runner import RunRequest
+from repro.experiments import SweepSpec, request_key, run_requests
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+#: request_key() per expanded job, recorded pre-redesign (PR 2 tree).
+PINNED_KEYS = {
+    "sweep_baselines.json": [
+        "706082cd209393e2f93ec19b22129b07", "6cf0faa9d57f991bf32aa883e26b2504",
+        "0b70462450a21a3c846df431129cdb20", "80cc0e80ff99f8b1726ccf3540572751",
+        "41ec93e3ee86180df5b42b1d554c9f98", "5891aa0ebbafbe2d8f67c737347cfff6",
+        "528f5e31eec5d0705cad661bfdb7ca20", "cc6ac105969eb185cbf35d0513b10fac",
+        "5561b62bdebdd757eab623b2ccbf7d67", "c35e8c92111dffea88d8263ff97b6bbe",
+        "0d893d5a1488d08dec13fa74823ee082", "0211a7d441da634392a53ff90cc64948",
+    ],
+    "sweep_quick.json": [
+        "010050a195fb7f7d6c70b3b36e3f508c", "33e870b69cb35cfb77204b2f6a16c455",
+        "74fdce97e6a6b031901553fb9992f114", "bd3878944677e48d0d2f712eb9802625",
+        "f816ac67ac06fe7080caf8ad2b82f30c", "bd96d043e18415584f38ae2a496d601f",
+        "ba1c2ef8d6181e8b56af67af0e0e6779", "706082cd209393e2f93ec19b22129b07",
+        "6cf0faa9d57f991bf32aa883e26b2504", "ea796151ad4e951f9a28a0670710fe77",
+        "4a2245a273e0ea06c67abf8a6c67a6b9", "7386076f34779cfb2db6d15145b0ca04",
+        "72fbde6c38779fb71ea86a0cd2e1e1de", "e32a06d2bd5f5990eb65da69e9936525",
+        "692a923a88c9f9f8d1f4cab72c8ccd66", "d5a839d53b3250280d605c4e9f34e2aa",
+        "26e72a5d72e591a25120378065332d66", "b28b6d6510f4b2177dfc4f5699f3235d",
+        "4e70a623635995e8fe71e10160466774", "7590bd3942cee80c46672f7964d7c003",
+        "a5791710037da44533629803196f961d",
+    ],
+}
+
+
+class TestPreRedesignSpecs:
+    @pytest.mark.parametrize("spec_file", sorted(PINNED_KEYS))
+    def test_example_specs_keep_their_cache_keys(self, spec_file):
+        requests = SweepSpec.from_file(EXAMPLES / spec_file).expand()
+        assert [request_key(r) for r in requests] == PINNED_KEYS[spec_file]
+
+    def test_family_request_dict_layout_frozen(self):
+        payload = RunRequest(
+            "agrid", "uniform_disk", {"n": 20, "rho": 6.0, "seed": 0}
+        ).as_dict()
+        assert list(payload) == [
+            "algorithm", "family", "family_kwargs", "ell", "rho",
+            "enforce_budget", "solver", "collect",
+        ]
+        assert "scenario" not in payload and "world_params" not in payload
+
+
+class TestScenarioNamespace:
+    def test_scenario_request_dict_layout(self):
+        payload = RunRequest(
+            "agrid",
+            scenario="slow_swarm",
+            family_kwargs={"n": 12, "rho": 4.0, "seed": 0},
+            world_params={"slow_fraction": 0.4},
+        ).as_dict()
+        assert list(payload) == [
+            "algorithm", "scenario", "scenario_kwargs", "world_params",
+            "collect",
+        ]
+
+    def test_world_params_fork_the_key(self):
+        base = RunRequest(
+            "greedy", scenario="slow_swarm",
+            family_kwargs={"n": 10, "rho": 4.0, "seed": 0},
+        )
+        tweaked = RunRequest(
+            "greedy", scenario="slow_swarm",
+            family_kwargs={"n": 10, "rho": 4.0, "seed": 0},
+            world_params={"slow_fraction": 0.4},
+        )
+        assert request_key(base) != request_key(tweaked)
+
+    def test_scenario_and_family_keys_disjoint(self):
+        kwargs = {"n": 10, "rho": 4.0, "seed": 0}
+        family = RunRequest("greedy", "uniform_disk", kwargs)
+        scenario = RunRequest("greedy", scenario="uniform_disk", family_kwargs=kwargs)
+        assert request_key(family) != request_key(scenario)
+
+    def test_workload_named_exactly_once(self):
+        with pytest.raises(ValueError, match="not both"):
+            RunRequest("greedy", "uniform_disk", scenario="slow_swarm")
+        with pytest.raises(ValueError, match="needs a scenario= or family="):
+            RunRequest("greedy")
+        with pytest.raises(ValueError, match="requires scenario="):
+            RunRequest("greedy", "uniform_disk", {"n": 5, "rho": 3.0},
+                       world_params={"speed": 2.0})
+
+
+class TestHeterogeneousDeterminism:
+    @pytest.mark.slow
+    def test_workers_1_vs_3_byte_identical(self):
+        spec = SweepSpec.from_file(EXAMPLES / "sweep_heterogeneous.json")
+        requests = spec.expand()
+        assert len(requests) == 6  # 2 algorithms x (2 worlds + 1 scenario)
+        serial = run_requests(requests, workers=1)
+        parallel = run_requests(requests, workers=3)
+        assert json.dumps(serial) == json.dumps(parallel)
+        assert all(r["woke_all"] for r in serial)
+        for record in serial:
+            assert record["scenario"] in ("slow_annulus", "fragile_swarm")
+            assert record["family"] == record["scenario"]
+
+    def test_clairvoyant_schedule_complete_under_total_crash(self):
+        # A centralized schedule is one wake plan, and wake plans are
+        # inherited in full: even when EVERY woken robot crashes, the
+        # source walks the entire forest alone and nobody is stranded.
+        [record] = run_requests([
+            RunRequest(
+                "greedy", scenario="fragile_swarm",
+                family_kwargs={"n": 18, "rho": 5.0, "seed": 3},
+                world_params={"crash_on_wake": 1.0},
+            )
+        ])
+        assert record["woke_all"]
+        # One robot did all the walking: its travel is the whole makespan.
+        assert record["max_energy"] == pytest.approx(record["makespan"])
+
+    def test_crash_worlds_deterministic_across_workers(self):
+        requests = [
+            RunRequest(
+                "greedy", scenario="fragile_swarm",
+                family_kwargs={"n": 14, "rho": 4.0, "seed": s},
+                world_params={"crash_on_wake": 0.5},
+            )
+            for s in (0, 1)
+        ]
+        serial = run_requests(requests, workers=1)
+        parallel = run_requests(requests, workers=2)
+        assert json.dumps(serial) == json.dumps(parallel)
+        assert all(r["woke_all"] for r in serial)

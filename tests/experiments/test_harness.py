@@ -8,6 +8,7 @@ from repro.core.runner import RunRequest
 from repro.experiments import (
     FamilySweep,
     ResultCache,
+    ScenarioSweep,
     SweepSpec,
     aggregate_records,
     request_key,
@@ -126,6 +127,114 @@ class TestExpansion:
         spec = SweepSpec.from_file(path)
         assert spec.name == "f"
         assert len(spec.expand()) == 1
+
+
+class TestScenarioSweeps:
+    """Scenarios enumerate exactly like families — plus world grids."""
+
+    def test_scenarios_expand_after_families_per_algorithm(self):
+        spec = SweepSpec(
+            name="mixed-workloads",
+            algorithms=("greedy", "chain"),
+            families=(FamilySweep("beaded_path", {"n": [4], "spacing": [1.0]}),),
+            scenarios=(ScenarioSweep("slow_swarm", {"n": [6], "rho": [3.0]}),),
+            seeds=(0,),
+        )
+        requests = spec.expand()
+        assert [(r.algorithm, r.workload) for r in requests] == [
+            ("greedy", "beaded_path"), ("greedy", "slow_swarm"),
+            ("chain", "beaded_path"), ("chain", "slow_swarm"),
+        ]
+        assert requests[1].scenario == "slow_swarm"
+        assert requests[1].family == ""
+
+    def test_world_grid_crosses_instances(self):
+        sweep = ScenarioSweep(
+            "slow_annulus",
+            {"n": [8], "r_inner": [2.0], "r_outer": [4.0]},
+            world={"slow_fraction": [0.0, 0.2, 0.4]},
+        )
+        spec = SweepSpec(
+            name="worlds", algorithms=("greedy",), scenarios=(sweep,), seeds=(0,)
+        )
+        requests = spec.expand()
+        assert [r.world_params.get("slow_fraction") for r in requests] == [0.0, 0.2, 0.4]
+        assert len({request_key(r) for r in requests}) == 3
+
+    def test_scenario_seeding_uses_declared_schema(self):
+        spec = SweepSpec(
+            name="seeds",
+            algorithms=("greedy",),
+            scenarios=(
+                ScenarioSweep("slow_swarm", {"n": [6], "rho": [3.0]}),
+                ScenarioSweep("spiral", {"n": [6], "spacing": [1.0]}),
+            ),
+            seeds=(0, 1, 2),
+        )
+        requests = spec.expand()
+        slow = [r for r in requests if r.scenario == "slow_swarm"]
+        spirals = [r for r in requests if r.scenario == "spiral"]
+        assert len(slow) == 3       # seeded: once per seed
+        assert len(spirals) == 1    # deterministic schema: once
+        assert "seed" not in spirals[0].family_kwargs
+
+    def test_rejects_unknown_names(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            ScenarioSweep("atlantis")
+        with pytest.raises(ValueError, match="no parameter 'mass'"):
+            ScenarioSweep("slow_swarm", {"mass": [5]})
+        with pytest.raises(ValueError, match="unknown world parameter"):
+            ScenarioSweep("slow_swarm", world={"gravity": [9.8]})
+        with pytest.raises(ValueError, match="must be a list"):
+            ScenarioSweep("slow_swarm", world={"slow_fraction": 0.2})
+
+    def test_expansion_error_names_offending_scenario_entry(self):
+        spec = SweepSpec(
+            name="ctx2",
+            algorithms=("agrid",),
+            scenarios=(ScenarioSweep("slow_swarm", {"n": [4], "rho": [2.0]}),),
+            seeds=(0,),
+            algorithm_params={"solver": ["greedy"]},
+        )
+        with pytest.raises(ValueError) as excinfo:
+            spec.expand()
+        message = str(excinfo.value)
+        assert "sweep 'ctx2'" in message
+        assert "scenario 'slow_swarm'" in message
+        assert "no parameter 'solver'" in message
+
+    def test_from_dict_parses_scenarios(self):
+        spec = SweepSpec.from_dict({
+            "name": "json",
+            "algorithms": ["greedy"],
+            "scenarios": [
+                {"scenario": "fragile_swarm", "params": {"n": [6], "rho": [3.0]},
+                 "world": {"crash_on_wake": [0.0, 0.5]}},
+            ],
+        })
+        assert len(spec.expand()) == 2
+        with pytest.raises(ValueError, match="needs a 'scenario' key"):
+            SweepSpec.from_dict({"name": "x", "algorithms": ["greedy"],
+                                 "scenarios": [{"params": {}}]})
+
+    def test_scenario_records_carry_world_columns(self):
+        spec = SweepSpec(
+            name="records",
+            algorithms=("greedy",),
+            scenarios=(
+                ScenarioSweep(
+                    "fragile_swarm", {"n": [8], "rho": [3.0]},
+                    world={"crash_on_wake": [0.5]},
+                ),
+            ),
+            seeds=(4,),
+        )
+        [record] = run_sweep(spec).records
+        assert record["scenario"] == "fragile_swarm"
+        assert record["family"] == "fragile_swarm"  # aggregates separately
+        assert record["world_params"] == {"crash_on_wake": 0.5}
+        assert record["seed"] == 4
+        assert record["woke_all"]
 
 
 class TestDeterminism:

@@ -90,6 +90,46 @@ class TestCommands:
         assert "quadtree" in out
         assert "clairvoyant baseline" in out
 
+    def test_scenarios_listing(self, capsys):
+        code = main(["scenarios"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for name in ("uniform_disk", "slow_swarm", "fragile_swarm", "slow_annulus"):
+            assert name in out
+        assert "slow_fraction=0.25" in out  # the world column
+        assert "default" in out            # classic families: paper world
+
+    def test_scenarios_verbose_schema_dump(self, capsys):
+        code = main(["scenarios", "--verbose"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "generator: uniform_disk" in out
+        assert "param n:int" in out
+        assert "param seed:int=0" in out
+
+    def test_run_scenario_with_world_param(self, capsys):
+        code = main(
+            ["run", "--algorithm", "greedy", "--scenario", "slow_swarm",
+             "--n", "10", "--rho", "4", "--world-param", "slow_fraction=0.5"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "scenario slow_swarm" in out
+        assert "slow_fraction=0.5" in out
+        assert "Centralized[greedy]" in out
+
+    def test_run_scenario_rejects_bad_inputs(self):
+        with pytest.raises(SystemExit, match="unknown scenario"):
+            main(["run", "--scenario", "atlantis"])
+        with pytest.raises(SystemExit, match="unknown world parameter"):
+            main(["run", "--scenario", "slow_swarm", "--n", "6",
+                  "--world-param", "gravity=9.8"])
+        with pytest.raises(SystemExit, match="requires --scenario"):
+            main(["run", "--world-param", "speed=2.0"])
+        with pytest.raises(SystemExit, match="not both"):
+            main(["run", "--scenario", "slow_swarm", "--family", "annulus",
+                  "--n", "6"])
+
     def test_unknown_family_fails(self):
         with pytest.raises(SystemExit):
             main(["run", "--family", "nope"])
@@ -164,3 +204,53 @@ class TestSweep:
         path.write_text(json.dumps(spec))
         with pytest.raises(SystemExit, match="invalid sweep spec"):
             main(["sweep", str(path)])
+
+    def test_sweep_scenarios_run_and_cache(self, tmp_path, capsys):
+        spec = {
+            "name": "scn-smoke",
+            "algorithms": ["greedy", "chain"],
+            "seeds": [0],
+            "scenarios": [
+                {"scenario": "slow_swarm", "params": {"n": [8], "rho": [3.0]},
+                 "world": {"slow_fraction": [0.25, 0.5]}},
+            ],
+        }
+        path = tmp_path / "scn.json"
+        path.write_text(json.dumps(spec))
+        cache_dir = str(tmp_path / "cache")
+        code = main(["sweep", str(path), "--cache-dir", cache_dir, "--quiet"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "SWEEP 'scn-smoke': 4 runs" in out
+        assert "slow_swarm" in out
+        code = main(["sweep", str(path), "--cache-dir", cache_dir, "--quiet"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 executed, 4 cached" in out
+
+    def test_mixed_sweep_csv_keeps_scenario_columns(self, tmp_path, capsys):
+        # Family rows come first in expansion order; the scenario columns
+        # must survive into the table and the CSV anyway.
+        spec = {
+            "name": "mixed-csv",
+            "algorithms": ["greedy"],
+            "seeds": [0],
+            "families": [
+                {"family": "beaded_path", "params": {"n": [5], "spacing": [1.0]}},
+            ],
+            "scenarios": [
+                {"scenario": "slow_swarm", "params": {"n": [6], "rho": [3.0]},
+                 "world": {"slow_fraction": [0.5]}},
+            ],
+        }
+        path = tmp_path / "mixed.json"
+        path.write_text(json.dumps(spec))
+        csv_path = tmp_path / "records.csv"
+        code = main(["sweep", str(path), "--csv", str(csv_path), "--quiet"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "slow_fraction" in out  # world column visible in the table
+        lines = csv_path.read_text().strip().splitlines()
+        header = lines[0].split(",")
+        assert "scenario" in header and "world_params" in header
+        assert len(lines) == 3
