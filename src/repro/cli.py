@@ -13,6 +13,9 @@ Commands:
 * ``params`` — compute an instance's ``(rho*, ell*, xi_ell)``;
 * ``sweep``  — run a declarative sweep-spec file on a worker pool with
   incremental result caching (the batch harness);
+* ``bench``  — run the tracked performance suites (engine micro-benches
+  and large-``n`` scale runs), write ``BENCH_<suite>.json`` baselines or
+  check fresh numbers against the committed ones (``--check``);
 * ``table1`` — regenerate the Table 1 experiment rows;
 * ``figures``— regenerate the figure experiments (phases, exploration,
   lower bound).
@@ -35,6 +38,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import Any, Callable
 
 from .core.registry import algorithm_names, get_algorithm, iter_algorithms
@@ -249,6 +253,51 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0 if result.all_woke() else 1
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .experiments.bench import baseline_path, compare, run_suite
+
+    suites = ("engine", "scale") if args.suite == "all" else (args.suite,)
+    failures = 0
+    for suite in suites:
+        report = run_suite(suite, tier=args.tier, progress=print)
+        if args.check:
+            if args.json:
+                # Dump before reading the baseline: the artifact matters
+                # most when the baseline is missing or regressed — it is
+                # what gets committed as the refreshed BENCH_<suite>.json.
+                fresh_path = Path(args.json) / f"BENCH_{suite}.fresh.json"
+                fresh_path.parent.mkdir(parents=True, exist_ok=True)
+                fresh_path.write_text(
+                    json.dumps(report.as_dict(), indent=2, sort_keys=True) + "\n"
+                )
+                print(f"[{suite}] fresh measurements written to {fresh_path}")
+            path = baseline_path(suite, args.out)
+            try:
+                baseline = json.loads(path.read_text())
+            except FileNotFoundError:
+                print(f"[{suite}] MISSING BASELINE: no {path}; commit the "
+                      "fresh measurements (or run 'freezetag bench') to "
+                      "create it")
+                failures += 1
+                continue
+            deltas, ok = compare(baseline, report, tolerance=args.tolerance)
+            print(f"[{suite}] vs {path} (tolerance ±{args.tolerance:.0%}):")
+            for delta in deltas:
+                print(delta.line())
+            if not ok:
+                failures += 1
+        else:
+            path = report.write(args.out)
+            print(f"[{suite}] baseline written to {path}")
+    if failures:
+        print(
+            f"{failures} suite(s) failed the gate (regression beyond the "
+            "tolerance, or missing baseline)"
+        )
+        return 1
+    return 0
+
+
 def _cmd_table1(args: argparse.Namespace) -> int:
     small = args.scale == "small"
     if args.experiment in ("rho", "all"):
@@ -379,6 +428,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress per-job progress lines"
     )
     p_sweep.set_defaults(handler=_cmd_sweep)
+
+    p_bench = sub.add_parser(
+        "bench", help="run/check the tracked performance baselines"
+    )
+    p_bench.add_argument(
+        "--suite", choices=("engine", "scale", "all"), default="all",
+        help="engine micro-benches, large-n scale runs, or both",
+    )
+    p_bench.add_argument(
+        "--tier", choices=("quick", "full"), default="quick",
+        help="quick tier is CI-sized; full adds the 100k-sleeper runs",
+    )
+    p_bench.add_argument(
+        "--out", default=".",
+        help="directory of the BENCH_<suite>.json baselines",
+    )
+    p_bench.add_argument(
+        "--check", action="store_true",
+        help="compare fresh measurements against the committed baselines "
+             "instead of overwriting them (exit 1 beyond tolerance)",
+    )
+    p_bench.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="relative wall-time slack for --check (default 0.25)",
+    )
+    p_bench.add_argument(
+        "--json", default=None, metavar="DIR",
+        help="with --check: also dump fresh measurements to DIR (CI artifact)",
+    )
+    p_bench.set_defaults(handler=_cmd_bench)
 
     p_t1 = sub.add_parser("table1", help="reproduce Table 1 experiments")
     p_t1.add_argument(

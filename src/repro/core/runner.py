@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from typing import Any, Mapping
 
 from ..instances import Instance, get_scenario, make_instance
-from ..sim import SOURCE_ID, Engine, SimulationResult, Trace, WorldConfig
+from ..sim import NullTrace, SOURCE_ID, Engine, SimulationResult, Trace, WorldConfig
 from ..sim.actions import Program
 from .registry import get_algorithm
 
@@ -133,10 +133,31 @@ class RunRequest:
     params: Mapping[str, Any] = field(default_factory=dict)
     scenario: str | None = None
     world_params: Mapping[str, Any] = field(default_factory=dict)
+    #: Trace sink for the run — pure observability, never part of the
+    #: request's identity (excluded from :meth:`as_dict`, so cache keys
+    #: are unchanged for any value):
+    #:
+    #: * ``"auto"``  — counters-only :class:`~repro.sim.NullTrace` for
+    #:   ``collect="summary"`` (the sweep default: summaries only read
+    #:   the snapshot counter), full event trace for ``"phases"``;
+    #: * ``"null"``  — always the counters-only sink;
+    #: * ``"events"``— always a full event trace (no look retention);
+    #: * ``"full"``  — event trace including every ``look`` event.
+    trace: str = "auto"
 
     def __post_init__(self) -> None:
         if self.collect not in ("summary", "phases"):
             raise ValueError(f"unknown collect mode {self.collect!r}")
+        if self.trace not in ("auto", "null", "events", "full"):
+            raise ValueError(
+                f"unknown trace mode {self.trace!r}; choose from "
+                "('auto', 'null', 'events', 'full')"
+            )
+        if self.collect == "phases" and self.trace == "null":
+            raise ValueError(
+                "collect='phases' needs trace events; drop trace='null' "
+                "(the 'auto' default already keeps events for phase runs)"
+            )
         if self.scenario is not None:
             if self.family:
                 raise ValueError(
@@ -250,14 +271,28 @@ class RunRequest:
         tail = f" world[{world}]" if world else ""
         return f"{self.algorithm} {self.workload}({kwargs}){tail}{extra}"
 
+    def make_trace(self) -> Trace:
+        """The trace sink selected by the ``trace`` knob."""
+        if self.trace == "null" or (self.trace == "auto" and self.collect != "phases"):
+            return NullTrace()
+        if self.trace == "full":
+            return Trace(keep_looks=True)
+        return Trace()
+
     def execute(self, trace: Trace | None = None) -> AlgorithmRun:
-        """Run the request in this process and return the full result."""
+        """Run the request in this process and return the full result.
+
+        An explicit ``trace`` argument overrides the request's ``trace``
+        knob; by default the knob picks the sink (counters-only for
+        summary sweeps — the result's trace is reachable via
+        ``run.result.trace``).
+        """
         spec = get_algorithm(self.algorithm)
         return spec.run(
             self.instance(),
             self.resolved_params(),
             world=self.world_config(),
-            trace=trace,
+            trace=trace if trace is not None else self.make_trace(),
         )
 
 

@@ -374,11 +374,13 @@ def execute_request(request: RunRequest) -> dict[str, Any]:
     The record is a :class:`~repro.metrics.summary.RunSummary` row plus
     the request's identifying fields; ``collect="phases"`` additionally
     captures the traced phase intervals and raw phase markers.
-    """
-    from ..sim import Trace
 
-    trace = Trace() if request.collect == "phases" else None
-    run = request.execute(trace=trace)
+    The trace sink comes from the request's ``trace`` knob: summary runs
+    default to the counters-only :class:`~repro.sim.NullTrace` (events
+    would be dropped on the floor), phase runs to a full event trace.
+    """
+    run = request.execute()
+    trace = run.result.trace if request.collect == "phases" else None
     record: dict[str, Any] = summarize(run).as_dict()
     # The scenario name IS the workload label — two scenarios sharing a
     # generator (say a slow and a fragile disk) must aggregate separately.

@@ -13,6 +13,7 @@ Public surface:
 """
 
 from .diskgraph import DiskGraph, bottleneck_connectivity, connected_components
+from .frozen import HAVE_NUMPY, FrozenGridHash
 from .gridhash import GridHash
 from .ordering import boundary_parameter, sort_seeds
 from .parameters import (
@@ -54,6 +55,8 @@ __all__ = [
     "Point",
     "Rect",
     "GridHash",
+    "FrozenGridHash",
+    "HAVE_NUMPY",
     "DiskGraph",
     "Separator",
     "InstanceParameters",

@@ -44,26 +44,85 @@ class GridHash:
         self.cell_size = float(cell_size)
         self._cells: Dict[_Cell, List[Hashable]] = defaultdict(list)
         self._positions: Dict[Hashable, Point] = {}
+        # Bounding box of the populated cells, maintained incrementally so
+        # ``nearest`` never rescans the whole index: grown on insert, marked
+        # stale when a removal empties a boundary cell (recomputed lazily).
+        self._bounds: list[int] | None = None  # [min_ix, min_iy, max_ix, max_iy]
+        self._bounds_dirty = False
 
     # -- mutation -----------------------------------------------------------
+    def _bounds_grow(self, cell: _Cell) -> None:
+        """Extend the populated-cell bounding box to cover ``cell``."""
+        bounds = self._bounds
+        if bounds is None:
+            self._bounds = [cell[0], cell[1], cell[0], cell[1]]
+        else:
+            if cell[0] < bounds[0]:
+                bounds[0] = cell[0]
+            if cell[1] < bounds[1]:
+                bounds[1] = cell[1]
+            if cell[0] > bounds[2]:
+                bounds[2] = cell[0]
+            if cell[1] > bounds[3]:
+                bounds[3] = cell[1]
+
+    def _bucket_shrink(self, cell: _Cell, key: Hashable) -> None:
+        """Drop ``key`` from its bucket; a vacated cell keeps the cell dict
+        populated-only, and a vacated *boundary* cell marks the bounding
+        box stale (an interior one leaves it a valid over-approximation)."""
+        bucket = self._cells[cell]
+        bucket.remove(key)
+        if not bucket:
+            del self._cells[cell]
+            bounds = self._bounds
+            if bounds is not None and (
+                cell[0] == bounds[0]
+                or cell[1] == bounds[1]
+                or cell[0] == bounds[2]
+                or cell[1] == bounds[3]
+            ):
+                self._bounds_dirty = True
+
     def insert(self, key: Hashable, position: Point) -> None:
         """Insert ``key`` at ``position`` (error when the key already exists)."""
         if key in self._positions:
             raise KeyError(f"key {key!r} already present")
         self._positions[key] = position
-        self._cells[self._cell_of(position)].append(key)
+        cell = self._cell_of(position)
+        self._cells[cell].append(key)
+        self._bounds_grow(cell)
 
     def remove(self, key: Hashable) -> Point:
         """Remove ``key`` and return its last position."""
         position = self._positions.pop(key)
-        cell = self._cells[self._cell_of(position)]
-        cell.remove(key)
+        self._bucket_shrink(self._cell_of(position), key)
         return position
 
     def discard(self, key: Hashable) -> None:
         """Remove ``key`` if present, silently otherwise."""
         if key in self._positions:
             self.remove(key)
+
+    def move_key(self, key: Hashable, position: Point) -> None:
+        """Update ``key``'s position (must be present).
+
+        Same-cell moves — the common case for a process drifting less than
+        a cell per segment — only rewrite the position entry; the bucket
+        and bounding box are untouched.
+        """
+        old = self._positions[key]
+        self._positions[key] = position
+        size = self.cell_size
+        oix = int(math.floor(old[0] / size))
+        oiy = int(math.floor(old[1] / size))
+        nix = int(math.floor(position[0] / size))
+        niy = int(math.floor(position[1] / size))
+        if oix == nix and oiy == niy:  # same cell: position entry only
+            return
+        self._bucket_shrink((oix, oiy), key)
+        new_cell = (nix, niy)
+        self._cells[new_cell].append(key)
+        self._bounds_grow(new_cell)
 
     # -- lookup ---------------------------------------------------------
     def __len__(self) -> int:
@@ -95,15 +154,28 @@ class GridHash:
         round (or underflow to zero for subnormal offsets) and silently
         flip a boundary decision.
         """
-        if radius < 0:
+        if radius < 0 or not self._positions:
             return []
         limit = radius + tol
         size = self.cell_size
         x0 = center[0]
         y0 = center[1]
-        reach = int(math.ceil(limit / size))
-        cx = int(math.floor(x0 / size))
-        cy = int(math.floor(y0 / size))
+        # Per-axis cell range of the ball: cell ``ix`` spans
+        # ``[ix*size, (ix+1)*size)``, so only cells whose span intersects
+        # ``[x0 - limit, x0 + limit]`` can hold a member.  (The previous
+        # ``ceil(limit/size)`` reach over-scanned a whole extra ring — a
+        # 5x5 block instead of 3x3 for the standard radius == cell_size
+        # snapshot query.)  The range is padded by ulp-scale guards:
+        # membership is *computed* ``hypot <= limit``, and rounding admits
+        # points a few ulps outside the real interval (e.g. a subnormal
+        # coordinate against ``x0 = radius``), which may sit one cell
+        # before the exact range.
+        sx = limit + limit * 1e-12 + abs(x0) * 1e-15
+        sy = limit + limit * 1e-12 + abs(y0) * 1e-15
+        ix_min = int(math.floor((x0 - sx) / size))
+        ix_max = int(math.floor((x0 + sx) / size))
+        iy_min = int(math.floor((y0 - sy) / size))
+        iy_max = int(math.floor((y0 + sy) / size))
         cells = self._cells
         positions = self._positions
         limit_sq = limit * limit
@@ -111,8 +183,8 @@ class GridHash:
         lo = limit_sq * (1.0 - 1e-12)
         hi = limit_sq * (1.0 + 1e-12)
         found: list[tuple[Hashable, Point]] = []
-        for ix in range(cx - reach, cx + reach + 1):
-            for iy in range(cy - reach, cy + reach + 1):
+        for ix in range(ix_min, ix_max + 1):
+            for iy in range(iy_min, iy_max + 1):
                 bucket = cells.get((ix, iy))
                 if not bucket:
                     continue
@@ -167,11 +239,36 @@ class GridHash:
         )
 
     def _max_ring(self, cx: int, cy: int) -> int:
-        spread = 0
-        for ix, iy in self._cells:
-            if self._cells[(ix, iy)]:
-                spread = max(spread, abs(ix - cx), abs(iy - cy))
+        bounds = self._populated_bounds()
+        if bounds is None:
+            return 0
+        min_ix, min_iy, max_ix, max_iy = bounds
+        spread = max(
+            abs(min_ix - cx), abs(max_ix - cx), abs(min_iy - cy), abs(max_iy - cy)
+        )
         return spread + 1
+
+    def _populated_bounds(self) -> tuple[int, int, int, int] | None:
+        """Bounding box of populated cells; O(1) unless marked stale."""
+        if self._bounds_dirty:
+            self._bounds = None
+            for ix, iy in self._cells:  # only populated cells remain
+                bounds = self._bounds
+                if bounds is None:
+                    self._bounds = [ix, iy, ix, iy]
+                else:
+                    if ix < bounds[0]:
+                        bounds[0] = ix
+                    if iy < bounds[1]:
+                        bounds[1] = iy
+                    if ix > bounds[2]:
+                        bounds[2] = ix
+                    if iy > bounds[3]:
+                        bounds[3] = iy
+            self._bounds_dirty = False
+        if self._bounds is None:
+            return None
+        return tuple(self._bounds)  # type: ignore[return-value]
 
     @staticmethod
     def _ring_cells(cx: int, cy: int, ring: int) -> Iterable[_Cell]:

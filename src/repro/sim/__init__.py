@@ -48,7 +48,7 @@ from .errors import (
     WakeError,
 )
 from .robot import SOURCE_ID, Robot
-from .trace import PhaseInterval, Trace, TraceEvent
+from .trace import NullTrace, PhaseInterval, Trace, TraceEvent
 from .world import CO_LOCATION_TOL, VISIBILITY_RADIUS, World, WorldConfig
 
 __all__ = [
@@ -83,6 +83,7 @@ __all__ = [
     "SOURCE_ID",
     "Robot",
     "PhaseInterval",
+    "NullTrace",
     "Trace",
     "TraceEvent",
     "CO_LOCATION_TOL",

@@ -15,16 +15,40 @@ same instance and programs reproduces the identical trace.
 Makespan accounting follows the paper: the makespan of an execution is the
 time of the last wake; the engine also reports the full termination time
 (last process finishing its moves), which upper-bounds it.
+
+Hot-path design (PR 4): actions dispatch through a type->handler table
+(no isinstance ladder); trace events are guarded at the call site so a
+disabled trace never allocates; each process caches its team speed (the
+slowest member) and its :class:`RobotView` tuple; and snapshots are memoized
+per ``(time, center)`` between world mutations, so the repeated Looks of a
+stationary cohort do not rebuild and re-sort identical views.  All of it is
+observationally invisible: traces, makespans and cache keys are pinned
+byte-identical by ``tests/sim/test_golden_trace.py``.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+import math
+from collections import deque
 from dataclasses import dataclass
-from typing import Any, Dict, Generator, Sequence
+from typing import Any, Callable, Dict, Generator, Sequence
 
-from ..geometry import EPS, GridHash, Point, close_to, convex_combination, distance
+from ..geometry import (
+    EPS,
+    HAVE_NUMPY,
+    GridHash,
+    Point,
+    close_to,
+    convex_combination,
+    distance,
+)
+
+if HAVE_NUMPY:
+    import numpy as _np
+else:  # pragma: no cover - exercised only on numpy-less installs
+    _np = None
 from .actions import (
     Absorb,
     Action,
@@ -63,6 +87,7 @@ __all__ = ["Engine", "ProcessView", "SimulationResult"]
 _MAX_IMMEDIATE_ACTIONS = 2_000_000
 
 
+
 class _Process:
     """Engine-internal process record."""
 
@@ -73,6 +98,10 @@ class _Process:
         "position",
         "state",
         "started",
+        "speed",
+        "views",
+        "sleep_cache",
+        "sleep_fat_off",
         "motion_from",
         "motion_start",
         "motion_to",
@@ -86,6 +115,7 @@ class _Process:
         generator: Generator[Action, Result, None],
         robot_ids: list[int],
         position: Point,
+        speed: float,
     ) -> None:
         self.pid = pid
         self.generator = generator
@@ -93,6 +123,20 @@ class _Process:
         self.position = position
         self.state = "ready"  # ready | moving | waiting | barrier | done
         self.started = False
+        #: Cached team speed: the slowest member (the team moves together).
+        #: Maintained on every membership change instead of rescanned per
+        #: move — robot speeds are fixed at world construction.
+        self.speed = speed
+        #: Cached ``RobotView`` tuple for this process while stationary;
+        #: invalidated on any membership or position change.
+        self.views: tuple[RobotView, ...] | None = None
+        #: Fat-ball sleeping-candidate cache ``[wake_epoch, center,
+        #: candidates, margin, hits]`` — see Engine._do_look.
+        self.sleep_cache: list | None = None
+        #: Learned preference: once a fat cache expires without a single
+        #: hit, this process's looks stride too far for the margin — stop
+        #: paying for fat fetches (sticky for the process's lifetime).
+        self.sleep_fat_off = False
         # Motion state, valid while state == "moving"; lets other processes
         # interpolate this process's position for Look snapshots.
         self.motion_from: Point | None = None
@@ -171,6 +215,9 @@ class SimulationResult:
     snapshots: int
     trace: Trace
     wake_times: dict[int, float]
+    #: Queue events processed to produce this result — the denominator of
+    #: the ``events/sec`` throughput metric in ``freezetag bench``.
+    events_processed: int = 0
 
     def summary(self) -> str:
         status = "all awake" if self.woke_all else f"{self.awake_count}/{self.n + 1} awake"
@@ -203,11 +250,30 @@ class Engine:
         # linearly with position interpolation.
         self._stationary = GridHash(cell_size=self.visibility_radius)
         self._moving: set[int] = set()
+        # Vectorized mover-bbox index, engaged only when many processes
+        # move concurrently (see _MOVER_INDEX_ON); None = plain loop mode.
+        self._movers: _MoverIndex | None = None
+        # Memoized snapshot views per (time, center), flushed on any world
+        # mutation (wake, motion, process lifecycle).  Between mutations
+        # the world is static, so equal probes yield identical views.
+        self._look_cache: dict[tuple[float, Point], tuple[RobotView, ...]] = {}
+        # Sleeping-set version: bumped on every wake; invalidates the
+        # per-process fat-ball candidate caches.
+        self._sleep_epoch = 0
+        # Fat-ball margin: a process's sleeping candidates are fetched for
+        # radius + margin around a reference point and reused (with exact
+        # per-point re-filtering) while the observer stays within the
+        # margin of it — consecutive snapshots of a slowly advancing
+        # explorer then skip the spatial index entirely.
+        self._sleep_fat = 0.5 * self.visibility_radius
         self._barriers: Dict[Any, _BarrierState] = {}
         self._queue: list[tuple[float, int, int, Any]] = []
         self._seq = itertools.count()
         self._pid_counter = itertools.count()
         self._started = False
+        #: Total events popped off the queue — the denominator of the
+        #: ``events/sec`` throughput metric in ``freezetag bench``.
+        self.events_processed = 0
 
     # ------------------------------------------------------------------
     # public API
@@ -226,53 +292,62 @@ class Engine:
         ids = list(robot_ids)
         if not ids:
             raise ProtocolError("a process needs at least one robot")
+        robots = self.world.robots
         for rid in ids:
-            robot = self.world.robots[rid]
+            robot = robots[rid]
             if not robot.awake:
                 raise ProtocolError(f"robot {rid} is asleep; cannot join a process")
             if rid in self._owned:
                 raise ProtocolError(f"robot {rid} is already owned by a process")
-        base = self.world.robots[ids[0]].position if position is None else position
+        base = robots[ids[0]].position if position is None else position
         for rid in ids:
-            if not close_to(self.world.robots[rid].position, base, self.co_location_tol):
+            if not close_to(robots[rid].position, base, self.co_location_tol):
                 raise CoLocationError(f"robot {rid} is not at {base}")
             self._idle_robots.discard(rid)
             self._idle_index.discard(rid)
             self._owned.add(rid)
         pid = next(self._pid_counter)
         generator = program(ProcessView(self, pid))
-        proc = _Process(pid, generator, ids, base)
+        speed = min(robots[rid].speed for rid in ids)
+        proc = _Process(pid, generator, ids, base, speed)
         self._processes[pid] = proc
         self._stationary.insert(pid, base)
+        self._look_cache.clear()
         self._schedule(self.now, pid, Result(self.now, None))
-        self.trace.record(self.now, "process_start", pid, robots=list(ids))
+        trace = self.trace
+        if trace.enabled:
+            trace.append(self.now, "process_start", pid, {"robots": list(ids)})
         return pid
 
     def run(self, until: float | None = None) -> SimulationResult:
         """Process events until the queue drains (or ``until`` is reached)."""
         self._started = True
-        while self._queue:
-            time, seq, pid, value = heapq.heappop(self._queue)
-            if until is not None and time > until:
-                # Push back so a subsequent run() can continue.  Keep the
-                # original sequence number: re-queuing through _schedule
-                # would allocate a fresh one, letting an equal-time event
-                # scheduled *later* overtake this one after the pause —
-                # a paused-and-resumed run must replay the exact event
-                # order of an uninterrupted run.
-                heapq.heappush(self._queue, (time, seq, pid, value))
-                break
-            self.now = max(self.now, time)
-            proc = self._processes.get(pid)
+        queue = self._queue
+        processes = self._processes
+        heappop = heapq.heappop
+        while queue:
+            if until is not None:
+                time, seq, pid, value = queue[0]
+                if time > until:
+                    # Leave the event queued untouched (original sequence
+                    # number included): an equal-time event scheduled
+                    # *later* must not overtake it after the pause — a
+                    # paused-and-resumed run must replay the exact event
+                    # order of an uninterrupted run.
+                    break
+            time, seq, pid, value = heappop(queue)
+            self.events_processed += 1
+            if time > self.now:
+                self.now = time
+            proc = processes.get(pid)
             if proc is None or proc.state == "done":
                 continue
-            if isinstance(value.value, _SegmentCont):
+            if type(value.value) is _SegmentCont:
                 # Intermediate polyline waypoint: sync position, start the
-                # next segment — the generator is not resumed yet.
+                # next segment — the generator is not resumed yet.  (Robot
+                # records are synced lazily — see _finish.)
                 if proc.motion_to is not None:
                     proc.position = proc.motion_to
-                    for rid in proc.robot_ids:
-                        self.world.robots[rid].position = proc.position
                 value.value.advance()
                 continue
             self._resume(proc, value)
@@ -297,28 +372,44 @@ class Engine:
         heapq.heappush(self._queue, (time, next(self._seq), pid, value))
 
     def _resume(self, proc: _Process, value: Result) -> None:
-        # Complete any in-flight motion bookkeeping.
+        # Complete any in-flight motion bookkeeping.  Robot records are
+        # *not* synced here: a process is the single source of truth for
+        # its robots' positions while it owns them, and the engine writes
+        # them back at the observation points (finish, wake, absorb) — a
+        # per-move per-robot sync would be O(team) on every segment.
         if proc.state == "moving" and proc.motion_to is not None:
             proc.position = proc.motion_to
-            for rid in proc.robot_ids:
-                self.world.robots[rid].position = proc.position
             proc.motion_from = proc.motion_to = None
+            proc.views = None
             self._moving.discard(proc.pid)
-            self._stationary.discard(proc.pid)
-            self._stationary.insert(proc.pid, proc.position)
+            movers = self._movers
+            if movers is not None:
+                movers.discard(proc.pid)
+                if len(self._moving) < _MOVER_INDEX_OFF:
+                    self._movers = None
+            self._stationary.move_key(proc.pid, proc.position)
+            self._look_cache.clear()
         proc.state = "ready"
 
+        generator = proc.generator
+        handlers_get = _HANDLERS.get
         for _ in range(_MAX_IMMEDIATE_ACTIONS):
             try:
                 if proc.started:
-                    action = proc.generator.send(value)
+                    action = generator.send(value)
                 else:
                     proc.started = True
-                    action = proc.generator.send(None)
+                    action = generator.send(None)
             except StopIteration:
                 self._finish(proc)
                 return
-            handled = self._dispatch(proc, action)
+            # Inlined _dispatch: one dict probe on the exact type (all
+            # shipped actions are final), isinstance fallback for
+            # subclasses.
+            handler = handlers_get(action.__class__)
+            if handler is None:
+                handler = _resolve_handler(action)
+            handled = handler(self, proc, action)
             if handled is None:
                 return  # process blocked or scheduled for later
             value = handled
@@ -332,50 +423,128 @@ class Engine:
         proc.state = "done"
         self._stationary.discard(proc.pid)
         self._moving.discard(proc.pid)
+        if self._movers is not None:
+            self._movers.discard(proc.pid)
+        position = proc.position
+        robots = self.world.robots
         for rid in proc.robot_ids:
+            robots[rid].position = position  # lazy sync point
             self._idle_robots.add(rid)
-            self._idle_index.insert(rid, self.world.robots[rid].position)
+            self._idle_index.insert(rid, position)
             self._owned.discard(rid)
-        self.trace.record(self.now, "process_end", proc.pid, robots=list(proc.robot_ids))
+        self._look_cache.clear()
+        trace = self.trace
+        if trace.enabled:
+            trace.append(
+                self.now, "process_end", proc.pid, {"robots": list(proc.robot_ids)}
+            )
         del self._processes[proc.pid]
         # Idle robots keep their last (already synced) positions and remain
         # visible to Look via the idle index.
 
-    def _dispatch(self, proc: _Process, action: Action) -> Result | None:
-        """Execute one action.
-
-        Returns a :class:`Result` when the action completed instantly (the
-        caller loop feeds it straight back to the generator) or ``None``
-        when the process was re-scheduled / blocked.
-        """
-        if isinstance(action, Move):
-            return self._do_move(proc, (action.target,))
-        if isinstance(action, MovePath):
-            return self._do_move(proc, action.waypoints)
-        if isinstance(action, Wait):
-            if action.duration < -EPS:
-                raise ProtocolError(f"negative wait: {action.duration}")
-            self._set_waiting(proc, self.now + max(0.0, action.duration))
+    # -- handlers (uniform ``(self, proc, action)`` signature) --------------
+    # Dispatched through the module-level _HANDLERS type table (inlined in
+    # _resume).  A handler returns a Result when the action completed
+    # instantly (fed straight back into the generator) or None when the
+    # process was re-scheduled / blocked.
+    def _handle_move(self, proc: _Process, action: Move) -> None:
+        # Specialized single-segment move: the hottest action, so the
+        # polyline generality (waypoint loop, per-segment chaining) is
+        # skipped and the length is computed exactly once.
+        target = action.target
+        position = proc.position
+        length = math.hypot(position[0] - target[0], position[1] - target[1])
+        robots = self.world.robots
+        for rid in proc.robot_ids:
+            robot = robots[rid]
+            if robot.odometer + length > robot.budget + 1e-9:
+                raise EnergyBudgetExceeded(
+                    rid, robot.odometer + length, robot.budget
+                )
+        if length <= EPS:
+            proc.position = target
+            proc.views = None
+            self._stationary.move_key(proc.pid, target)
+            self._look_cache.clear()
+            self._schedule(self.now, proc.pid, Result(self.now, None))
+            proc.state = "waiting"
             return None
-        if isinstance(action, WaitUntil):
-            self._set_waiting(proc, max(self.now, action.time))
-            return None
-        if isinstance(action, Look):
-            return Result(self.now, self._do_look(proc))
-        if isinstance(action, Wake):
-            return Result(self.now, self._do_wake(proc, action))
-        if isinstance(action, Fork):
-            return Result(self.now, self._do_fork(proc, action))
-        if isinstance(action, Barrier):
-            return self._do_barrier(proc, action)
-        if isinstance(action, Absorb):
-            return Result(self.now, self._do_absorb(proc, action))
-        if isinstance(action, Annotate):
-            self.trace.record(
-                self.now, "phase", proc.pid, label=action.label, data=action.data
+        for rid in proc.robot_ids:
+            robots[rid].odometer += length
+        self._moving.add(proc.pid)
+        self._look_cache.clear()
+        proc.state = "moving"
+        proc.motion_from = position
+        proc.motion_start = self.now
+        proc.motion_to = target
+        end = proc.motion_end = self.now + length / proc.speed
+        movers = self._movers
+        if movers is not None:
+            bbox = proc.motion_bbox = _segment_bbox(
+                position, target, self.visibility_radius
             )
-            return Result(self.now, None)
-        raise ProtocolError(f"unknown action {action!r}")
+            movers.put(proc.pid, bbox)
+        else:
+            proc.motion_bbox = None  # built lazily by the first Look
+        self._schedule(end, proc.pid, Result(end, None))
+        trace = self.trace
+        if trace.enabled:
+            trace.append(
+                self.now, "move", proc.pid,
+                {
+                    "length": length, "to": target,
+                    "waypoints": 1, "robots": len(proc.robot_ids),
+                },
+            )
+        return None
+
+    def _handle_movepath(self, proc: _Process, action: MovePath) -> None:
+        return self._do_move(proc, action.waypoints)
+
+    def _handle_wait(self, proc: _Process, action: Wait) -> None:
+        if action.duration < -EPS:
+            raise ProtocolError(f"negative wait: {action.duration}")
+        self._set_waiting(proc, self.now + max(0.0, action.duration))
+        return None
+
+    def _handle_waituntil(self, proc: _Process, action: WaitUntil) -> None:
+        self._set_waiting(proc, max(self.now, action.time))
+        return None
+
+    # Look dispatches straight to _do_look (which wraps its own Result):
+    # one call frame per snapshot matters at 10^5+ looks per run.
+
+    def _handle_wake(self, proc: _Process, action: Wake) -> Result:
+        return Result(self.now, self._do_wake(proc, action))
+
+    def _handle_fork(self, proc: _Process, action: Fork) -> Result:
+        return Result(self.now, self._do_fork(proc, action))
+
+    def _handle_barrier(self, proc: _Process, action: Barrier) -> None:
+        return self._do_barrier(proc, action)
+
+    def _handle_absorb(self, proc: _Process, action: Absorb) -> Result:
+        return Result(self.now, self._do_absorb(proc, action))
+
+    def _handle_annotate(self, proc: _Process, action: Annotate) -> Result:
+        trace = self.trace
+        if trace.enabled:
+            trace.append(
+                self.now, "phase", proc.pid,
+                {"label": action.label, "data": action.data},
+            )
+        return Result(self.now, None)
+
+    def _note_segment(self, proc: _Process, target: Point) -> None:
+        """Register a fresh motion segment with the mover-scan machinery."""
+        movers = self._movers
+        if movers is not None:
+            bbox = proc.motion_bbox = _segment_bbox(
+                proc.motion_from, target, self.visibility_radius
+            )
+            movers.put(proc.pid, bbox)
+        else:
+            proc.motion_bbox = None  # built lazily by the first Look
 
     # -- timed actions ------------------------------------------------------
     def _set_waiting(self, proc: _Process, wake_at: float) -> None:
@@ -386,50 +555,61 @@ class Engine:
         # Collapse the polyline into successive segments; we schedule the
         # final arrival only, but track the *current* segment for position
         # interpolation by charging segments one at a time.
-        remaining = [w for w in waypoints]
-        if not remaining:
+        if not waypoints:
             raise ProtocolError("empty move")
-        # Filter out zero-length prefixes.
         length = 0.0
         prev = proc.position
-        for w in remaining:
+        for w in waypoints:
             length += distance(prev, w)
             prev = w
+        robots = self.world.robots
         for rid in proc.robot_ids:
-            robot = self.world.robots[rid]
-            if not robot.can_move(length):
+            robot = robots[rid]
+            # Inlined Robot.can_move — the same tolerance, minus two
+            # method calls per robot on every move.
+            if robot.odometer + length > robot.budget + 1e-9:
                 raise EnergyBudgetExceeded(
                     rid, robot.odometer + length, robot.budget
                 )
         if length <= EPS:
             # Zero-length move: stay put, complete immediately by scheduling
             # at the current time (keeps semantics uniform).
-            proc.position = remaining[-1] if remaining else proc.position
-            self._stationary.discard(proc.pid)
-            self._stationary.insert(proc.pid, proc.position)
+            proc.position = waypoints[-1]
+            proc.views = None
+            self._stationary.move_key(proc.pid, proc.position)
+            self._look_cache.clear()
             self._schedule(self.now, proc.pid, Result(self.now, None))
             proc.state = "waiting"
             return None
         for rid in proc.robot_ids:
-            self.world.robots[rid].charge(length)
-        self._stationary.discard(proc.pid)
+            robots[rid].odometer += length
+        # The process keeps its (now stale) slot in the stationary index
+        # while moving; Look skips it there via the _moving set and scans
+        # movers with interpolation instead.  On arrival the slot is
+        # updated in place — a same-cell hop touches no bucket at all.
         self._moving.add(proc.pid)
+        self._look_cache.clear()
         # A process travels at the speed of its slowest member (the team
-        # moves together); under the default world model this is 1.0 and
-        # travel time equals travel distance, the paper's convention.
-        speed = min(self.world.robots[rid].speed for rid in proc.robot_ids)
+        # moves together, cached on the process); under the default world
+        # model this is 1.0 and travel time equals travel distance, the
+        # paper's convention.
+        speed = proc.speed
         # For interpolation we expose the straight chord of the first..last
         # segment only when the path is a single segment; multi-segment
         # paths are walked segment-by-segment via chained events.
-        if len(remaining) == 1:
-            self._begin_segment(proc, remaining[0], speed)
+        if len(waypoints) == 1:
+            self._begin_segment(proc, waypoints[0], speed)
         else:
-            self._begin_polyline(proc, remaining, speed)
-        self.trace.record(
-            self.now, "move", proc.pid, length=length,
-            to=remaining[-1], waypoints=len(remaining),
-            robots=len(proc.robot_ids),
-        )
+            self._begin_polyline(proc, waypoints, speed)
+        trace = self.trace
+        if trace.enabled:
+            trace.append(
+                self.now, "move", proc.pid,
+                {
+                    "length": length, "to": waypoints[-1],
+                    "waypoints": len(waypoints), "robots": len(proc.robot_ids),
+                },
+            )
         return None
 
     def _begin_segment(self, proc: _Process, target: Point, speed: float) -> None:
@@ -439,7 +619,7 @@ class Engine:
         proc.motion_start = self.now
         proc.motion_to = target
         proc.motion_end = self.now + length / speed
-        proc.motion_bbox = _segment_bbox(proc.position, target, self.visibility_radius)
+        self._note_segment(proc, target)
         self._schedule(proc.motion_end, proc.pid, Result(proc.motion_end, None))
 
     def _begin_polyline(
@@ -447,28 +627,25 @@ class Engine:
     ) -> None:
         """Walk a polyline with exact per-segment positions.
 
-        Implemented by chaining an internal generator: we wrap the original
-        generator resume by scheduling intermediate arrivals that only
-        update motion state.  To keep the engine simple the polyline is
-        flattened here into per-segment events carried in the queue value.
+        Implemented by chaining an internal continuation: each intermediate
+        arrival event only updates motion state and starts the next segment
+        (the generator resumes at the final arrival only).  The pending
+        waypoints live in a deque so each step is O(1) — a ``pop(0)`` walk
+        would make a k-segment path O(k^2).
         """
-        # Store pending waypoints on the process by chaining through the
-        # queue: each event updates to the next segment until exhausted.
-        segments = list(waypoints)
+        segments = deque(waypoints)
 
         def advance() -> None:
             if not segments:
                 return
-            target = segments.pop(0)
+            target = segments.popleft()
             length = distance(proc.position, target)
             proc.state = "moving"
             proc.motion_from = proc.position
             proc.motion_start = self.now
             proc.motion_to = target
             proc.motion_end = self.now + length / speed
-            proc.motion_bbox = _segment_bbox(
-                proc.position, target, self.visibility_radius
-            )
+            self._note_segment(proc, target)
             if segments:
                 self._schedule(
                     proc.motion_end, proc.pid, Result(proc.motion_end, _SegmentCont(advance))
@@ -479,34 +656,154 @@ class Engine:
         advance()
 
     # -- instantaneous actions -------------------------------------------
-    def _do_look(self, proc: _Process) -> Snapshot:
+    def _do_look(self, proc: _Process, action: Look | None = None) -> Result:
         center = proc.position
-        radius = self.visibility_radius
-        views: list[RobotView] = []
-        # Sleeping robots: static index.
-        for robot in self.world.sleeping_within(center, radius):
-            views.append(RobotView(robot.robot_id, robot.position, False))
-        # Awake robots: live processes (interpolated) + idle robots.
-        for pid, pos in self._stationary.query_ball(center, radius):
-            for rid in self._processes[pid].robot_ids:
-                views.append(RobotView(rid, pos, True))
-        cx, cy = center
-        for pid in self._moving:
-            other = self._processes[pid]
-            bbox = other.motion_bbox
-            if bbox is not None and not (
-                bbox[0] <= cx <= bbox[2] and bbox[1] <= cy <= bbox[3]
-            ):
-                continue
-            pos = other.position_at(self.now)
-            if distance(pos, center) <= radius + EPS:
-                for rid in other.robot_ids:
-                    views.append(RobotView(rid, pos, True))
-        for rid, pos in self._idle_index.query_ball(center, radius):
-            views.append(RobotView(rid, pos, True))
-        views.sort(key=lambda v: v.robot_id)
-        self.trace.record(self.now, "look", proc.pid, count=len(views), at=center)
-        return Snapshot(self.now, center, tuple(views))
+        trace = self.trace
+        # The (time, center) memo only pays off when several processes can
+        # observe the same spot at the same instant (co-located cohorts);
+        # a lone process never re-probes an identical key.
+        use_memo = len(self._processes) > 1
+        views = None
+        if use_memo:
+            cache_key = (self.now, center)
+            views = self._look_cache.get(cache_key)
+        if views is None:
+            radius = self.visibility_radius
+            build: list[RobotView] = []
+            # Sleeping robots.  A process reuses its fat-ball candidate
+            # list (fetched for radius + margin) while it stays within the
+            # margin of the reference center and no wake has occurred;
+            # membership is re-decided per point with the exact oracle
+            # predicate, so the cache is observationally invisible.  The
+            # margin is adaptive: a cache that expires without a single
+            # hit means the observer's stride outruns it (e.g. the
+            # sqrt(2)-spaced Explore lattice), so the next fetch degrades
+            # to a plain exact query with no fat overhead.
+            cx, cy = center
+            limit = radius + EPS
+            cache = proc.sleep_cache
+            epoch = self._sleep_epoch
+            candidates = None
+            if cache is not None and cache[0] == epoch:
+                if distance(cache[1], center) <= cache[3] - 1e-9:
+                    candidates = cache[2]
+                    cache[4] += 1
+            if candidates is not None:
+                hyp = math.hypot
+                for rid, pos in candidates:
+                    if hyp(pos[0] - cx, pos[1] - cy) <= limit:
+                        build.append(RobotView(rid, pos, False))
+            else:
+                if (
+                    cache is not None
+                    and cache[0] == epoch
+                    and cache[3] > 0.0
+                    and cache[4] == 0
+                ):
+                    # The margin expired by distance without ever being
+                    # reused: this observer strides past it (e.g. the
+                    # sqrt(2)-spaced Explore lattice).
+                    proc.sleep_fat_off = True
+                fat = 0.0 if proc.sleep_fat_off else self._sleep_fat
+                candidates = self.world.sleeping_items(center, radius + fat)
+                proc.sleep_cache = [epoch, center, candidates, fat, 0]
+                if fat > 0.0:
+                    hyp = math.hypot
+                    for rid, pos in candidates:
+                        if hyp(pos[0] - cx, pos[1] - cy) <= limit:
+                            build.append(RobotView(rid, pos, False))
+                else:
+                    # Plain query: candidates *are* the exact ball.
+                    for rid, pos in candidates:
+                        build.append(RobotView(rid, pos, False))
+            # Awake robots: live processes (interpolated) + idle robots.
+            # Movers keep a stale slot in the stationary index and are
+            # skipped there; they are scanned with interpolation below.
+            processes = self._processes
+            moving = self._moving
+            stationary = self._stationary
+            n_stationary = len(stationary)
+            if n_stationary == 1:
+                # Only the observer itself can be indexed (it is looking,
+                # so it is stationary): no query needed.
+                hits = [proc.pid]
+            elif n_stationary <= 6:
+                # Tiny index: a direct closed-ball scan (the oracle
+                # predicate itself) beats the 3x3 cell walk.
+                hits = [
+                    pid
+                    for pid, pos in stationary.items()
+                    if pid not in moving and distance(pos, center) <= limit
+                ]
+            else:
+                hits = [
+                    pid
+                    for pid, _pos in stationary.query_ball(center, radius)
+                    if pid not in moving
+                ]
+            for pid in hits:
+                other = processes[pid]
+                cached = other.views
+                if cached is None:
+                    opos = other.position
+                    cached = other.views = tuple(
+                        RobotView(rid, opos, True) for rid in other.robot_ids
+                    )
+                build.extend(cached)
+            if moving:
+                movers = self._movers
+                if (
+                    movers is None
+                    and _np is not None
+                    and len(moving) > _MOVER_INDEX_ON
+                ):
+                    # Too many concurrent movers for a per-look Python
+                    # scan: build the vectorized bbox index (maintained
+                    # incrementally from here on).
+                    movers = self._movers = _MoverIndex()
+                    for mpid in moving:
+                        other = processes[mpid]
+                        bbox = other.motion_bbox
+                        if bbox is None:
+                            bbox = other.motion_bbox = _segment_bbox(
+                                other.motion_from, other.motion_to, radius
+                            )
+                        movers.put(mpid, bbox)
+                if movers is not None:
+                    mover_hits = movers.candidates(cx, cy)
+                else:
+                    mover_hits = []
+                    for pid in moving:
+                        other = processes[pid]
+                        bbox = other.motion_bbox
+                        if bbox is None:
+                            bbox = other.motion_bbox = _segment_bbox(
+                                other.motion_from, other.motion_to, radius
+                            )
+                        if bbox[0] <= cx <= bbox[2] and bbox[1] <= cy <= bbox[3]:
+                            mover_hits.append(pid)
+                for pid in mover_hits:
+                    other = processes[pid]
+                    pos = other.position_at(self.now)
+                    if distance(pos, center) <= limit:
+                        for rid in other.robot_ids:
+                            build.append(RobotView(rid, pos, True))
+            if self._idle_robots:
+                for rid, pos in self._idle_index.query_ball(center, radius):
+                    build.append(RobotView(rid, pos, True))
+            # Plain tuple sort: robot ids are unique and lead each view,
+            # so natural ordering equals sorting by id — without the
+            # key-extraction pass (positions never get compared).
+            build.sort()
+            views = tuple(build)
+            if use_memo:
+                self._look_cache[cache_key] = views
+        trace._look_count += 1  # inlined Trace.note_look
+        if trace.keep_looks and trace.enabled:
+            trace.append(
+                self.now, "look", proc.pid, {"count": len(views), "at": center}
+            )
+        return Result(self.now, Snapshot(self.now, center, views))
 
     def _do_wake(self, proc: _Process, action: Wake) -> int | None:
         robot = self.world.robots.get(action.robot_id)
@@ -522,10 +819,17 @@ class Engine:
         waker = proc.robot_ids[0]
         self.world.mark_awake(action.robot_id, self.now, waker)
         robot.position = proc.position
-        self.trace.record(
-            self.now, "wake", proc.pid,
-            robot=action.robot_id, waker=waker, position=robot.position,
-        )
+        self._sleep_epoch += 1
+        self._look_cache.clear()
+        trace = self.trace
+        if trace.enabled:
+            trace.append(
+                self.now, "wake", proc.pid,
+                {
+                    "robot": action.robot_id, "waker": waker,
+                    "position": robot.position,
+                },
+            )
         if robot.crashed:
             # Failure injection: the robot is awake (it counts toward the
             # makespan) but crashes before computing — it parks in place,
@@ -533,19 +837,28 @@ class Engine:
             # wake-plan programs to inherit its pending duties.
             self._idle_robots.add(action.robot_id)
             self._idle_index.insert(action.robot_id, robot.position)
-            self.trace.record(self.now, "crash", proc.pid, robot=action.robot_id)
+            if trace.enabled:
+                trace.append(
+                    self.now, "crash", proc.pid, {"robot": action.robot_id}
+                )
             return None
         self._owned.add(action.robot_id)
         if action.program is None:
             proc.robot_ids.append(action.robot_id)
+            proc.views = None
+            if robot.speed < proc.speed:
+                proc.speed = robot.speed
             return None
         pid = next(self._pid_counter)
         generator = action.program(ProcessView(self, pid))
-        child = _Process(pid, generator, [action.robot_id], robot.position)
+        child = _Process(pid, generator, [action.robot_id], robot.position, robot.speed)
         self._processes[pid] = child
         self._stationary.insert(pid, robot.position)
         self._schedule(self.now, pid, Result(self.now, None))
-        self.trace.record(self.now, "process_start", pid, robots=[action.robot_id])
+        if trace.enabled:
+            trace.append(
+                self.now, "process_start", pid, {"robots": [action.robot_id]}
+            )
         return pid
 
     def _do_fork(self, proc: _Process, action: Fork) -> list[int]:
@@ -560,20 +873,30 @@ class Engine:
                 assigned.add(rid)
         if assigned == owned:
             raise ForkError("fork must leave at least one robot with the parent")
+        robots = self.world.robots
+        trace = self.trace
         children: list[int] = []
         for ids, prog in action.assignments:
             if not ids:
                 raise ForkError("empty robot group in fork")
             pid = next(self._pid_counter)
             generator = prog(ProcessView(self, pid))
-            child = _Process(pid, generator, list(ids), proc.position)
+            speed = min(robots[rid].speed for rid in ids)
+            child = _Process(pid, generator, list(ids), proc.position, speed)
             self._processes[pid] = child
             self._stationary.insert(pid, proc.position)
             self._schedule(self.now, pid, Result(self.now, None))
-            self.trace.record(self.now, "process_start", pid, robots=list(ids))
+            if trace.enabled:
+                trace.append(
+                    self.now, "process_start", pid, {"robots": list(ids)}
+                )
             children.append(pid)
         proc.robot_ids = [rid for rid in proc.robot_ids if rid not in assigned]
-        self.trace.record(self.now, "fork", proc.pid, children=children)
+        proc.views = None
+        proc.speed = min(robots[rid].speed for rid in proc.robot_ids)
+        self._look_cache.clear()
+        if trace.enabled:
+            trace.append(self.now, "fork", proc.pid, {"children": children})
         return children
 
     def _do_barrier(self, proc: _Process, action: Barrier) -> None:
@@ -603,9 +926,12 @@ class Engine:
                 )
         state.released = True
         payloads = list(state.payloads)
-        self.trace.record(
-            self.now, "barrier", proc.pid, key=repr(action.key), parties=state.parties
-        )
+        trace = self.trace
+        if trace.enabled:
+            trace.append(
+                self.now, "barrier", proc.pid,
+                {"key": repr(action.key), "parties": state.parties},
+            )
         for pid in state.arrived:
             self._schedule(self.now, pid, Result(self.now, payloads))
         return None
@@ -629,13 +955,22 @@ class Engine:
             self._idle_index.discard(rid)
             self._owned.add(rid)
             proc.robot_ids.append(rid)
-            self.world.robots[rid].position = proc.position
-        self.trace.record(self.now, "absorb", proc.pid, robots=list(action.robot_ids))
+            robot = self.world.robots[rid]
+            robot.position = proc.position
+            if robot.speed < proc.speed:
+                proc.speed = robot.speed
+        proc.views = None
+        self._look_cache.clear()
+        trace = self.trace
+        if trace.enabled:
+            trace.append(
+                self.now, "absorb", proc.pid, {"robots": list(action.robot_ids)}
+            )
         return len(action.robot_ids)
 
     # -- results -------------------------------------------------------------
     def _result(self) -> SimulationResult:
-        awake = sum(1 for r in self.world.robots.values() if r.awake)
+        awake = self.world.awake_count()
         return SimulationResult(
             makespan=self.world.last_wake_time,
             termination_time=self.now,
@@ -647,6 +982,7 @@ class Engine:
             snapshots=self.trace.look_count,
             trace=self.trace,
             wake_times=self.world.wake_times(),
+            events_processed=self.events_processed,
         )
 
 
@@ -657,6 +993,69 @@ class _SegmentCont:
 
     def __init__(self, advance) -> None:
         self.advance = advance
+
+
+#: Mover-count thresholds for switching the Look mover scan between the
+#: plain Python loop (zero bookkeeping, fine for a handful of movers) and
+#: the vectorized bbox index (pays ~1us of upkeep per move, but answers
+#: "which movers could this observer see" with one numpy mask instead of
+#: an O(#movers) Python loop — the difference between O(n) and O(n^2)
+#: total look cost when whole cohorts travel simultaneously at scale).
+_MOVER_INDEX_ON = 32
+_MOVER_INDEX_OFF = 8
+
+
+class _MoverIndex:
+    """Parallel-array bbox index over currently-moving processes.
+
+    Rows are kept dense with swap-removal; a query is four vectorized
+    comparisons over the padded segment bboxes.  Candidate *order* is
+    arbitrary (rows shuffle on removal), which is safe: snapshot views are
+    sorted by robot id downstream.
+    """
+
+    __slots__ = ("pids", "slots", "boxes")
+
+    def __init__(self) -> None:
+        self.pids: list[int] = []
+        self.slots: dict[int, int] = {}
+        self.boxes = _np.empty((64, 4), dtype=_np.float64)
+
+    def put(self, pid: int, bbox: tuple[float, float, float, float]) -> None:
+        """Insert ``pid`` or update its bbox (new polyline segment)."""
+        slot = self.slots.get(pid)
+        if slot is None:
+            slot = len(self.pids)
+            self.slots[pid] = slot
+            self.pids.append(pid)
+            if slot == len(self.boxes):
+                grown = _np.empty((2 * len(self.boxes), 4), dtype=_np.float64)
+                grown[:slot] = self.boxes
+                self.boxes = grown
+        self.boxes[slot] = bbox
+
+    def discard(self, pid: int) -> None:
+        slot = self.slots.pop(pid, None)
+        if slot is None:
+            return
+        last = len(self.pids) - 1
+        if slot != last:
+            last_pid = self.pids[last]
+            self.pids[slot] = last_pid
+            self.boxes[slot] = self.boxes[last]
+            self.slots[last_pid] = slot
+        self.pids.pop()
+
+    def candidates(self, x: float, y: float) -> list[int]:
+        """Pids whose padded segment bbox contains ``(x, y)``."""
+        k = len(self.pids)
+        b = self.boxes
+        mask = (
+            (b[:k, 0] <= x) & (x <= b[:k, 2])
+            & (b[:k, 1] <= y) & (y <= b[:k, 3])
+        )
+        pids = self.pids
+        return [pids[i] for i in _np.nonzero(mask)[0]]
 
 
 def _segment_bbox(
@@ -670,3 +1069,31 @@ def _segment_bbox(
         max(a[0], b[0]) + pad,
         max(a[1], b[1]) + pad,
     )
+
+
+#: Exact-type dispatch table (the common case: all shipped actions are
+#: final).  Subclasses of a known action resolve through the isinstance
+#: fallback below and are memoized here, so they pay the scan once.
+_HANDLERS: dict[type, Callable[[Engine, _Process, Any], Result | None]] = {
+    Move: Engine._handle_move,
+    MovePath: Engine._handle_movepath,
+    Wait: Engine._handle_wait,
+    WaitUntil: Engine._handle_waituntil,
+    Look: Engine._do_look,
+    Wake: Engine._handle_wake,
+    Fork: Engine._handle_fork,
+    Barrier: Engine._handle_barrier,
+    Absorb: Engine._handle_absorb,
+    Annotate: Engine._handle_annotate,
+}
+
+_HANDLER_BASES: tuple[tuple[type, Callable], ...] = tuple(_HANDLERS.items())
+
+
+def _resolve_handler(action: Action) -> Callable[[Engine, _Process, Any], Result | None]:
+    """Isinstance fallback for action subclasses; memoizes the resolution."""
+    for base, handler in _HANDLER_BASES:
+        if isinstance(action, base):
+            _HANDLERS[action.__class__] = handler
+            return handler
+    raise ProtocolError(f"unknown action {action!r}")

@@ -24,9 +24,15 @@ __all__ = ["Robot", "SOURCE_ID"]
 SOURCE_ID = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class Robot:
-    """Mutable state of one robot."""
+    """Mutable state of one robot.
+
+    ``slots=True``: worlds allocate one record per robot and the engine
+    reads/writes ``position``/``odometer`` in its hot loops — slotted
+    attribute access is measurably faster and halves the per-robot
+    memory footprint at 10^5-robot scale.
+    """
 
     robot_id: int
     home: Point                      # initial position (the paper's p_i)

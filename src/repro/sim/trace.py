@@ -9,21 +9,28 @@ for the FIG1/FIG2 phase-duration benches.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Iterator
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, NamedTuple
 
-__all__ = ["TraceEvent", "Trace", "PhaseInterval"]
+__all__ = ["TraceEvent", "Trace", "NullTrace", "PhaseInterval"]
+
+_EMPTY_DATA: dict[str, Any] = {}
 
 
-@dataclass(frozen=True)
-class TraceEvent:
-    """One timestamped event."""
+class TraceEvent(NamedTuple):
+    """One timestamped event.
+
+    A ``NamedTuple`` rather than a dataclass: traces allocate one of these
+    per recorded event, and tuple construction is several times cheaper
+    than a frozen-dataclass ``__init__``.  ``data`` defaults to a shared
+    empty mapping — treat it as read-only.
+    """
 
     time: float
     kind: str           # 'wake' | 'move' | 'look' | 'fork' | 'barrier' |
                         # 'absorb' | 'process_start' | 'process_end' | 'phase'
     process_id: int
-    data: dict[str, Any] = field(default_factory=dict)
+    data: dict[str, Any] = _EMPTY_DATA
 
 
 @dataclass(frozen=True)
@@ -54,12 +61,34 @@ class Trace:
 
     # -- recording (engine only) ------------------------------------------
     def record(self, time: float, kind: str, process_id: int, **data: Any) -> None:
+        """Compatibility entry point: count looks, append when enabled.
+
+        The engine's hot path avoids this method — it calls
+        :meth:`note_look` for counters and :meth:`append` behind an
+        ``enabled`` guard, so a disabled trace costs neither a kwargs
+        dict nor a :class:`TraceEvent` per event.
+        """
         if kind == "look":
             self._look_count += 1
             if not self.keep_looks:
                 return
         if self.enabled:
             self.events.append(TraceEvent(time, kind, process_id, data))
+
+    def note_look(self) -> None:
+        """Count one snapshot without materializing an event."""
+        self._look_count += 1
+
+    def append(
+        self, time: float, kind: str, process_id: int, data: dict[str, Any]
+    ) -> None:
+        """Append one pre-built event unconditionally.
+
+        Callers guard on :attr:`enabled` (and :attr:`keep_looks` for
+        ``look`` events) *before* building ``data``, which is the whole
+        point: a dropped event must not allocate anything.
+        """
+        self.events.append(TraceEvent(time, kind, process_id, data))
 
     # -- queries ---------------------------------------------------------
     @property
@@ -126,3 +155,22 @@ class Trace:
 
     def __len__(self) -> int:
         return len(self.events)
+
+
+class NullTrace(Trace):
+    """Counters-only trace sink: look/event counts, zero retention.
+
+    The default for sweep runs (``RunRequest.trace="auto"`` with
+    ``collect="summary"``): summaries only need the snapshot counter, so
+    storing hundreds of thousands of :class:`TraceEvent` objects is pure
+    overhead.  The engine's guarded call sites never build event kwargs
+    against a disabled trace, so this sink makes tracing free.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(enabled=False)
+
+    def append(
+        self, time: float, kind: str, process_id: int, data: dict[str, Any]
+    ) -> None:  # pragma: no cover - engine guards on ``enabled`` first
+        pass

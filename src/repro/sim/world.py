@@ -30,7 +30,7 @@ import random
 from dataclasses import dataclass
 from typing import Any, Dict, Mapping, Sequence
 
-from ..geometry import EPS, GridHash, Point
+from ..geometry import EPS, HAVE_NUMPY, FrozenGridHash, GridHash, Point
 from .robot import SOURCE_ID, Robot
 
 __all__ = ["World", "WorldConfig", "VISIBILITY_RADIUS", "CO_LOCATION_TOL"]
@@ -171,6 +171,75 @@ class WorldConfig:
         return ",".join(deltas) if deltas else "default"
 
 
+class _RobotRegistry(dict):
+    """``robot_id -> Robot`` mapping with lazy sleeper materialization.
+
+    Worlds are built once per run, and at 10^5 robots the Robot records
+    are the single biggest setup cost — yet a run only ever touches the
+    robots it wakes or owns.  The registry therefore materializes a
+    sleeper's record on first access (``__missing__``); iteration-style
+    APIs (``values``/``items``/``keys``/``__iter__``) materialize
+    everything first, so external inspection (tests, metrics) sees the
+    complete swarm exactly as before.  Internal fast paths that only need
+    the *touched* robots use :meth:`loaded`.
+    """
+
+    __slots__ = ("_factory", "_last_id")
+
+    def __init__(self, factory, last_id: int) -> None:
+        super().__init__()
+        self._factory = factory
+        self._last_id = last_id
+
+    def __missing__(self, key):
+        if isinstance(key, int) and 1 <= key <= self._last_id:
+            robot = self._factory(key)
+            self[key] = robot
+            return robot
+        raise KeyError(key)
+
+    def get(self, key, default=None):
+        try:
+            return self[key]
+        except KeyError:
+            return default
+
+    def __contains__(self, key) -> bool:
+        if dict.__contains__(self, key):
+            return True
+        return isinstance(key, int) and 1 <= key <= self._last_id
+
+    def __len__(self) -> int:
+        return self._last_id + 1  # sleepers 1..last plus the source
+
+    def materialize(self) -> None:
+        if dict.__len__(self) <= self._last_id:  # source is always present
+            for rid in range(1, self._last_id + 1):
+                if not dict.__contains__(self, rid):
+                    self[rid] = self._factory(rid)
+
+    def loaded(self):
+        """Only the materialized records (every robot that ever moved,
+        woke, or was otherwise touched)."""
+        return dict.values(self)
+
+    def __iter__(self):
+        self.materialize()
+        return dict.__iter__(self)
+
+    def keys(self):
+        self.materialize()
+        return dict.keys(self)
+
+    def values(self):
+        self.materialize()
+        return dict.values(self)
+
+    def items(self):
+        self.materialize()
+        return dict.items(self)
+
+
 class World:
     """Ground-truth state of a simulation."""
 
@@ -195,7 +264,24 @@ class World:
             raise ValueError("pass budgets via config, not alongside it")
         self.config = config
         self.visibility_radius = config.visibility_radius
-        self.robots: Dict[int, Robot] = {}
+        speeds, budgets, crashed = self._assign_profiles(config, len(positions))
+        points = list(positions)
+        self._homes = points
+        self._speeds = speeds
+        self._budgets = budgets
+        self._crashed = crashed
+
+        def make_sleeper(i: int) -> Robot:
+            # Positional Robot(...) call — constructing 10^5 records is a
+            # measurable slice of setup; field order is pinned by the
+            # dataclass definition in robot.py.
+            p = points[i - 1]
+            return Robot(i, p, p, False, None, None, 0.0,
+                         budgets[i - 1], speeds[i - 1], crashed[i - 1])
+
+        # Sleeper records materialize on first touch; a run only pays for
+        # the robots it actually reaches (see _RobotRegistry).
+        self.robots: Dict[int, Robot] = _RobotRegistry(make_sleeper, len(points))
         self.robots[SOURCE_ID] = Robot(
             robot_id=SOURCE_ID,
             home=source,
@@ -209,14 +295,20 @@ class World:
             ),
             speed=config.speed,
         )
-        speeds, budgets, crashed = self._assign_profiles(config, len(positions))
-        self._sleeping_index = GridHash(cell_size=self.visibility_radius)
-        for i, p in enumerate(positions, start=1):
-            self.robots[i] = Robot(
-                robot_id=i, home=p, position=p,
-                budget=budgets[i - 1], speed=speeds[i - 1], crashed=crashed[i - 1],
+        # Sleeping robots never move — only disappear as they wake — so the
+        # index is packed once into a vectorized FrozenGridHash (wakes are
+        # O(1) mask flips).  The mutable GridHash remains as a fallback for
+        # installs without numpy; both share closed-ball query semantics.
+        if HAVE_NUMPY:
+            self._sleeping_index = FrozenGridHash(
+                points, cell_size=self.visibility_radius,
+                keys=range(1, len(points) + 1),
             )
-            self._sleeping_index.insert(i, p)
+        else:  # pragma: no cover - exercised only on numpy-less installs
+            index = GridHash(cell_size=self.visibility_radius)
+            for i, p in enumerate(points, start=1):
+                index.insert(i, p)
+            self._sleeping_index = index
         self.last_wake_time = 0.0
         self._wake_order: list[int] = [SOURCE_ID]
 
@@ -260,14 +352,30 @@ class World:
             for rid, _ in self._sleeping_index.query_ball(center, radius, tol=EPS)
         ]
 
+    def sleeping_items(
+        self, center: Point, radius: float
+    ) -> list[tuple[int, Point]]:
+        """``(robot_id, position)`` pairs of sleeping robots in the ball.
+
+        The engine's snapshot hot path: positions come straight from the
+        index (a sleeping robot's indexed position *is* its position), so
+        no :class:`Robot` lookups are needed.
+        """
+        return self._sleeping_index.query_ball(center, radius, tol=EPS)
+
     def sleeping_count(self) -> int:
         return len(self._sleeping_index)
 
     def all_awake(self) -> bool:
         return len(self._sleeping_index) == 0
 
+    def awake_count(self) -> int:
+        """Number of awake robots (the source plus every wake so far)."""
+        return len(self._wake_order)
+
     def awake_robots(self) -> list[Robot]:
-        return [r for r in self.robots.values() if r.awake]
+        # Awake robots are always materialized (waking touches the record).
+        return [r for r in self.robots.loaded() if r.awake]
 
     def wake_order(self) -> list[int]:
         """Robot ids in wake order (source first)."""
@@ -277,21 +385,32 @@ class World:
         """Wake time per awake robot id."""
         return {
             r.robot_id: r.wake_time
-            for r in self.robots.values()
+            for r in self.robots.loaded()
             if r.awake and r.wake_time is not None
         }
 
     def crashed_robots(self) -> list[int]:
         """Ids of robots flagged to crash on wake (whether woken yet or not)."""
-        return [r.robot_id for r in self.robots.values() if r.crashed]
+        return [i for i, flagged in enumerate(self._crashed, start=1) if flagged]
 
     def max_odometer(self) -> float:
-        """Largest per-robot travelled distance (energy usage)."""
-        return max(r.odometer for r in self.robots.values())
+        """Largest per-robot travelled distance (energy usage).
+
+        Only materialized robots can have moved; everyone else sits at
+        odometer 0, which never beats the (always materialized) source.
+        """
+        return max(r.odometer for r in self.robots.loaded())
 
     def total_odometer(self) -> float:
-        """Total distance travelled by the swarm."""
-        return sum(r.odometer for r in self.robots.values())
+        """Total distance travelled by the swarm.
+
+        Summed in robot-id order over the materialized records: identical
+        to the full-swarm sum (untouched robots contribute exactly 0.0),
+        including float rounding — summation order is part of the
+        byte-identical results contract.
+        """
+        touched = sorted(self.robots.loaded(), key=lambda r: r.robot_id)
+        return sum(r.odometer for r in touched)
 
     # -- mutation (engine only) ------------------------------------------
     def mark_awake(self, robot_id: int, time: float, waker_id: int | None) -> Robot:
@@ -310,10 +429,10 @@ class World:
     # -- convenience ---------------------------------------------------------
     def homes(self) -> list[Point]:
         """Initial positions of the initially-asleep robots, in id order."""
-        return [self.robots[i].home for i in range(1, len(self.robots))]
+        return list(self._homes)
 
     def describe(self) -> str:
-        awake = sum(1 for r in self.robots.values() if r.awake)
+        awake = self.awake_count()
         return (
             f"World(n={self.n}, awake={awake}/{len(self.robots)}, "
             f"last_wake={self.last_wake_time:.3f})"

@@ -1,0 +1,82 @@
+"""The RunRequest.trace knob: sink selection without identity changes."""
+
+import pytest
+
+from repro.core.runner import RunRequest
+from repro.experiments.cache import request_key
+from repro.sim import NullTrace, Trace
+
+
+def req(**kwargs):
+    defaults = dict(
+        algorithm="greedy",
+        family="uniform_disk",
+        family_kwargs={"n": 8, "rho": 3.0, "seed": 0},
+    )
+    defaults.update(kwargs)
+    return RunRequest(**defaults)
+
+
+class TestSinkSelection:
+    def test_auto_summary_is_null(self):
+        assert isinstance(req().make_trace(), NullTrace)
+
+    def test_auto_phases_keeps_events(self):
+        trace = req(collect="phases").make_trace()
+        assert isinstance(trace, Trace) and not isinstance(trace, NullTrace)
+        assert trace.enabled and not trace.keep_looks
+
+    def test_full_keeps_looks(self):
+        trace = req(trace="full").make_trace()
+        assert trace.enabled and trace.keep_looks
+
+    def test_explicit_null(self):
+        assert isinstance(req(trace="null").make_trace(), NullTrace)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown trace mode"):
+            req(trace="loud")
+
+    def test_null_with_phases_rejected(self):
+        with pytest.raises(ValueError, match="phases"):
+            req(collect="phases", trace="null")
+
+
+class TestExecution:
+    def test_execute_uses_knob(self):
+        run = req().execute()
+        assert isinstance(run.result.trace, NullTrace)
+        assert len(run.result.trace.events) == 0
+        assert run.result.snapshots == run.result.trace.look_count
+        assert run.woke_all
+
+    def test_execute_full_records_looks(self):
+        run = req(trace="full").execute()
+        looks = [e for e in run.result.trace.events if e.kind == "look"]
+        assert len(looks) == run.result.snapshots
+
+    def test_results_identical_across_sinks(self):
+        null_run = req().execute()
+        full_run = req(trace="full").execute()
+        assert null_run.makespan == full_run.makespan
+        assert null_run.result.total_energy == full_run.result.total_energy
+        assert null_run.result.snapshots == full_run.result.snapshots
+        assert (
+            null_run.result.events_processed == full_run.result.events_processed
+        )
+
+    def test_explicit_trace_argument_wins(self):
+        trace = Trace(keep_looks=True)
+        run = req().execute(trace=trace)
+        assert run.result.trace is trace
+        assert any(e.kind == "wake" for e in trace.events)
+
+
+class TestIdentity:
+    def test_trace_knob_never_in_as_dict(self):
+        for mode in ("auto", "null", "events", "full"):
+            assert "trace" not in req(trace=mode).as_dict()
+
+    def test_cache_key_unchanged_for_any_sink(self):
+        keys = {request_key(req(trace=mode)) for mode in ("auto", "null", "events", "full")}
+        assert len(keys) == 1

@@ -363,8 +363,11 @@ class TestRecords:
             RunRequest("magic", "uniform_disk", {})
         with pytest.raises(ValueError, match="no parameter 'solver'"):
             RunRequest("agrid", "uniform_disk", {}, solver="greedy")
-        with pytest.raises(ValueError, match="no parameter 'rho'"):
-            RunRequest("agrid", "uniform_disk", {}, rho=5.0)
+        # rho is now an accepted (label-only) agrid parameter: pinning it
+        # together with ell skips instance parameter estimation at scale.
+        RunRequest("agrid", "uniform_disk", {}, rho=5.0)
+        with pytest.raises(ValueError, match="no parameter 'gamma'"):
+            RunRequest("agrid", "uniform_disk", {}, params={"gamma": 1})
         with pytest.raises(ValueError, match="collect"):
             RunRequest("agrid", "uniform_disk", {}, collect="everything")
         with pytest.raises(ValueError, match="expects int"):

@@ -1,0 +1,86 @@
+"""Long-polyline regression: MovePath must step segments in O(1).
+
+The original ``_begin_polyline`` popped segments from the head of a list
+(``pop(0)``), turning a k-waypoint path into O(k^2) list shifting.  The
+deque walk must keep exact per-segment semantics: same total length, same
+completion time, exact intermediate interpolation.
+"""
+
+import time
+
+import pytest
+
+from repro.geometry import Point, path_length
+from repro.sim import SOURCE_ID, Engine, Look, MovePath, NullTrace, Wait, World
+
+
+def zigzag(k: int, step: float = 0.01) -> list[Point]:
+    return [Point(step * (i + 1), 0.002 * (i % 5)) for i in range(k)]
+
+
+class TestLongPolyline:
+    def test_exact_length_and_completion_time(self):
+        waypoints = zigzag(1500)
+        expected = path_length([Point(0, 0), *waypoints])
+
+        def program(proc):
+            result = yield MovePath(waypoints)
+            assert result.time == pytest.approx(expected)
+
+        world = World(source=Point(0, 0), positions=[])
+        engine = Engine(world)
+        engine.spawn(program, [SOURCE_ID])
+        outcome = engine.run()
+        assert outcome.termination_time == pytest.approx(expected)
+        assert world.source.odometer == pytest.approx(expected)
+        assert world.source.position == waypoints[-1]
+
+    def test_interpolated_positions_per_segment(self):
+        """An observer sees the walker at exact per-segment positions."""
+        waypoints = [Point(0.2, 0.0), Point(0.2, 0.2), Point(0.4, 0.2)]
+        sightings = []
+
+        def walker(proc):
+            yield MovePath(waypoints)
+
+        def observer(proc):
+            # Sample mid-segment times: 0.1 into each 0.2-length segment.
+            for t in (0.1, 0.3, 0.5):
+                yield Wait(t - proc.time)
+                snap = (yield Look()).value
+                walker_views = [v for v in snap.robots if v.robot_id == 1]
+                sightings.append(walker_views[0].position)
+
+        world = World(source=Point(0, 0), positions=[Point(0.0, 0.0)])
+        engine = Engine(world)
+        world.mark_awake(1, 0.0, None)
+        engine.spawn(walker, [1])
+        engine.spawn(observer, [SOURCE_ID])
+        engine.run()
+        assert sightings[0] == pytest.approx((0.1, 0.0))
+        assert sightings[1] == pytest.approx((0.2, 0.1))
+        assert sightings[2] == pytest.approx((0.3, 0.2))
+
+    @pytest.mark.slow
+    def test_long_path_scales_linearly(self):
+        """8x the waypoints must cost far less than 64x the time (O(k^2)
+        would).  Generous factor to stay robust on noisy CI boxes."""
+
+        def run(k: int) -> float:
+            waypoints = zigzag(k, step=0.005)
+            world = World(source=Point(0, 0), positions=[])
+            engine = Engine(world, trace=NullTrace())
+
+            def program(proc):
+                yield MovePath(waypoints)
+
+            engine.spawn(program, [SOURCE_ID])
+            best = None
+            start = time.perf_counter()
+            engine.run()
+            best = time.perf_counter() - start
+            return best
+
+        small = max(run(500), 1e-4)
+        big = run(4000)
+        assert big / small < 30.0  # 8x work; O(k^2) would be ~64x
