@@ -90,6 +90,7 @@ _FAMILY_CLI_KWARGS: dict[str, Callable[[argparse.Namespace], dict[str, Any]]] = 
     "grid_lattice": lambda a: {
         "side": max(2, int(a.n ** 0.5)), "spacing": a.spacing,
     },
+    "l1_diamond": lambda a: {"n": a.n, "rho": a.rho, "seed": a.seed},
     "connected_walk": lambda a: {"n": a.n, "step": a.spacing, "seed": a.seed},
     "two_clusters_bridge": lambda a: {
         "n": a.n, "gap": a.rho, "spacing": a.spacing, "seed": a.seed,

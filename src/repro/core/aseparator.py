@@ -35,7 +35,7 @@ first reorganization.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Generator, Sequence
+from typing import TYPE_CHECKING, Callable, Generator, Sequence
 
 from ..centralized import quadtree_schedule
 from ..geometry import Point, Rect, separator_of, square_at_center
@@ -46,6 +46,9 @@ from .dfsampling import dfsampling
 from .explore import ExplorationReport, explore_rect_team
 from .knowledge import TeamKnowledge
 from .wakeup import AfterFactory, execute_wake_plan, plan_from_schedule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..geometry import FrontierIndex
 
 __all__ = ["SeparatorContext", "aseparator_program", "embedded_entry"]
 
@@ -66,6 +69,10 @@ class SeparatorContext:
     after: AfterFactory | None = None       # continuation for robots woken here
     on_release: AfterFactory | None = None  # continuation for imported robots
     solver: SolverFn = quadtree_schedule    # Lemma 2 centralized solver
+    #: Optional sparse-frontier oracle: batches cold exploration lattices
+    #: into engine sweeps (see :mod:`repro.geometry.frontier`).  ``None``
+    #: keeps the per-stop walks — the byte-identical legacy execution.
+    frontier: "FrontierIndex | None" = None
 
     def continuation_for(self, robot_id: int) -> Program | None:
         if robot_id in self.imports:
@@ -81,6 +88,7 @@ def aseparator_program(
     root_square: Rect | None = None,
     owns: Callable[[Point], bool] | None = None,
     solver: SolverFn = quadtree_schedule,
+    frontier: "FrontierIndex | None" = None,
 ) -> Program:
     """Top-level ``ASeparator`` program for the source process.
 
@@ -88,6 +96,8 @@ def aseparator_program(
     ``rho >= rho_star``); ``n`` is never used by the algorithm (Section 5).
     ``root_square``/``owns`` override the root region for embedded round-0
     runs (``AWave``'s source cell, where ownership is the cell itself).
+    ``frontier`` batches cold exploration lattices into engine sweeps
+    (``None`` = the byte-identical per-stop walks).
     """
     if ell < 1:
         raise ValueError("ell must be a positive integer")
@@ -103,7 +113,7 @@ def aseparator_program(
         own = owns if owns is not None else (lambda p: square.contains(p))
         ctx = SeparatorContext(
             ell=ell, key_base=key_base, imports=frozenset(), after=after,
-            solver=solver,
+            solver=solver, frontier=frontier,
         )
         knowledge = TeamKnowledge(members={source_id: source_home})
         yield Annotate("asep:init", {"square": tuple(square)})
@@ -116,6 +126,7 @@ def aseparator_program(
             recruit_cap=4 * ell - 1,
             knowledge=knowledge,
             key_base=(*key_base, "dfs0"),
+            frontier=frontier,
         )
         yield Move(square.center)
         yield from _round_loop(proc, ctx, square, own, knowledge)
@@ -254,6 +265,7 @@ def _explore_and_recruit(
         part = yield from explore_rect_team(
             proc, rect, meet_at=rect.lower_left,
             barrier_key=(*merge_key, "sep", qi, j),
+            frontier=ctx.frontier,
         )
         report.merge(part)
     for rid, pos in report.sleeping.items():
@@ -281,6 +293,7 @@ def _explore_and_recruit(
         recruit_cap=cap,
         knowledge=knowledge,
         key_base=(*merge_key, "dfs", qi),
+        frontier=ctx.frontier,
     )
     yield Move(parent.center)
     payload = (qi, list(proc.robot_ids), knowledge.copy(), outcome.covered)

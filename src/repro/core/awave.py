@@ -36,7 +36,12 @@ see DESIGN.md).
 from __future__ import annotations
 
 import math
-from typing import Generator
+from typing import TYPE_CHECKING, Generator
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only on broken installs
+    _np = None
 
 from ..geometry import close_to
 from ..sim import Absorb, Annotate, Look, Move, Result, Wait, WaitUntil
@@ -47,11 +52,15 @@ from .agrid import CellGrid, Cell
 from .aseparator import SeparatorContext, aseparator_program, embedded_entry
 from .explore import SQRT2
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..geometry import FrontierIndex
+
 __all__ = [
     "awave_cell_width",
     "awave_window",
     "awave_round_start",
     "awave_window_start",
+    "awave_schedule",
     "awave_energy_budget",
     "awave_program",
 ]
@@ -114,6 +123,38 @@ def awave_window_start(
     return awave_round_start(ell, r, speed_floor) + i * awave_window(ell) / speed_floor
 
 
+def awave_schedule(
+    ell: int, max_round: int, speed_floor: float = 1.0
+) -> tuple[list[float], list[list[float]]]:
+    """Batch deadline table for wave rounds ``1..max_round``.
+
+    Returns ``(round_starts, window_starts)`` with
+    ``round_starts[r-1] == awave_round_start(ell, r, speed_floor)`` and
+    ``window_starts[r-1][i-1] == awave_window_start(ell, r, i,
+    speed_floor)`` — *bit-exact*: the vectorized computation replicates
+    the scalar functions' float-operation order, so a cohort reading its
+    deadlines from the shared table waits until the very same instants a
+    per-robot recomputation would.  Pinned against the scalar oracle
+    (including ``speed_floor < 1``) by Hypothesis property tests.
+    """
+    if max_round < 1:
+        return [], []
+    W = awave_window(ell)
+    w = W / speed_floor
+    if _np is not None:
+        r = _np.arange(1, max_round + 1, dtype=_np.float64)
+        rounds_arr = w + (r - 1.0) * 9.0 * w
+        i = _np.arange(1, 9, dtype=_np.float64)
+        windows_arr = rounds_arr[:, None] + (i[None, :] * W) / speed_floor
+        return rounds_arr.tolist(), windows_arr.tolist()
+    rounds = [w + (r - 1) * 9.0 * w for r in range(1, max_round + 1)]
+    windows = [
+        [rounds[r] + i * W / speed_floor for i in range(1, 9)]
+        for r in range(max_round)
+    ]
+    return rounds, windows
+
+
 def awave_energy_budget(ell: int) -> float:
     """Per-robot travel bound.
 
@@ -128,11 +169,93 @@ def awave_energy_budget(ell: int) -> float:
 # programs
 # ---------------------------------------------------------------------------
 
-def awave_program(ell: int, speed_floor: float = 1.0) -> Program:
+class _WavePlan:
+    """Shared cohort plan: one object per ``AWave`` run.
+
+    Every participant / regroup continuation of the wave closes over the
+    *same* plan instead of re-deriving grid geometry and window arithmetic
+    per robot per window: the deadline table is filled in batch
+    (:func:`awave_schedule`, bit-exact with the scalar functions) and the
+    sparse frontier oracle — when enabled — is the single index the whole
+    wave's explorations share.  ``frontier=None`` reproduces the legacy
+    per-stop execution byte-for-byte (``legacy_awave``).
+    """
+
+    __slots__ = (
+        "grid", "e", "speed_floor", "frontier", "_rounds", "_windows", "_teams",
+    )
+
+    def __init__(
+        self,
+        grid: CellGrid,
+        e: int,
+        speed_floor: float,
+        frontier: "FrontierIndex | None",
+    ) -> None:
+        self.grid = grid
+        self.e = e
+        self.speed_floor = speed_floor
+        self.frontier = frontier
+        self._rounds: list[float] = []
+        self._windows: list[list[float]] = []
+        self._teams: dict[tuple[int, Cell], list[int]] = {}
+
+    def _extend(self, r: int) -> None:
+        need = max(r, 2 * len(self._rounds), 4)
+        self._rounds, self._windows = awave_schedule(
+            self.e, need, self.speed_floor
+        )
+
+    def round_start(self, r: int) -> float:
+        if r > len(self._rounds):
+            self._extend(r)
+        return self._rounds[r - 1]
+
+    def window_start(self, r: int, i: int) -> float:
+        if r > len(self._rounds):
+            self._extend(r)
+        return self._windows[r - 1][i - 1]
+
+    def occupied_cells(self) -> int:
+        """How many wave cells hold at least one robot (0 w/o frontier)."""
+        if self.frontier is None:
+            return 0
+        return len(set(self.frontier.cells(self.grid.width, self.grid.source)))
+
+    def gather_team(self, r: int, cell: Cell, snap, corner) -> list[int]:
+        """The round-``r`` cohort of ``cell``, filtered from the gather
+        snapshot — computed once and shared.
+
+        Every participant of ``(r, cell)`` looks at the same instant from
+        the same corner and receives the identical (engine-memoized)
+        snapshot, so the awake-and-at-the-corner filter is the same pure
+        computation per participant; without the memo the gather costs
+        O(cohort^2) ``close_to`` calls — the dominant term at n >= 10^4.
+        """
+        team = self._teams.get((r, cell))
+        if team is None:
+            team = self._teams[(r, cell)] = sorted(
+                v.robot_id
+                for v in snap.robots
+                if v.awake and close_to(v.position, corner, _CORNER_TOL)
+            )
+        return team
+
+
+def awave_program(
+    ell: int,
+    speed_floor: float = 1.0,
+    frontier: "FrontierIndex | None" = None,
+) -> Program:
     """Source program for ``AWave`` (only ``ell`` is required).
 
     ``speed_floor`` re-certifies the window arithmetic for worlds whose
     robots move slower than unit speed (see :func:`awave_round_start`).
+    ``frontier`` enables the sparse-wave-frontier execution model: the
+    same choreography — identical makespans, wake orders and per-robot
+    energies, as pinned by ``tests/core/test_awave_differential.py`` —
+    with cold exploration stretches batched into single engine events.
+    ``None`` keeps the per-stop legacy execution (``legacy_awave``).
     """
     if ell < 1:
         raise ValueError("ell must be a positive integer")
@@ -143,15 +266,22 @@ def awave_program(ell: int, speed_floor: float = 1.0) -> Program:
     def program(proc: ProcessView) -> Generator[Action, Result, None]:
         R = awave_cell_width(ell)
         grid = CellGrid(source=proc.position, width=R)
+        plan = _WavePlan(grid, e, speed_floor, frontier)
         cell0: Cell = (0, 0)
+        if frontier is not None:
+            yield Annotate(
+                "awave:frontier",
+                {"cells": plan.occupied_cells(), "robots": len(frontier)},
+            )
         yield Annotate("awave:round0", {"cell": cell0, "R": R})
         inner = aseparator_program(
             ell=e,
             rho=R,  # unused when root_square is given
-            after=_participant_factory(grid, e, 1, speed_floor),
+            after=_participant_factory(plan, 1),
             key_base=("awave", 0),
             root_square=grid.rect(cell0),
             owns=grid.owns(cell0),
+            frontier=frontier,
         )
         # The run's dissolution routes every robot of the cell — including
         # the source — through the participant continuation for round 1.
@@ -160,15 +290,13 @@ def awave_program(ell: int, speed_floor: float = 1.0) -> Program:
     return program
 
 
-def _participant_factory(
-    grid: CellGrid, e: int, r: int, speed_floor: float = 1.0
-):
+def _participant_factory(plan: _WavePlan, r: int):
     """``after`` continuation: a robot woken in round ``r-1`` becomes a
     round-``r`` participant of the cell it stands in."""
 
     def factory(rid: int) -> Program:
         def program(proc: ProcessView) -> Generator[Action, Result, None]:
-            yield from _participate(proc, grid, e, rid, r, speed_floor)
+            yield from _participate(proc, plan, rid, r)
 
         return program
 
@@ -177,26 +305,21 @@ def _participant_factory(
 
 def _participate(
     proc: ProcessView,
-    grid: CellGrid,
-    e: int,
+    plan: _WavePlan,
     rid: int,
     r: int,
-    speed_floor: float = 1.0,
 ) -> Generator[Action, Result, None]:
     """Gather, elect, and (as leader) drive the window chain."""
+    grid = plan.grid
     cell = grid.cell_of(proc.position)
     corner = grid.rect(cell).lower_left
     yield Move(corner)
-    gather = awave_round_start(e, r, speed_floor)
+    gather = plan.round_start(r)
     _assert_on_time(proc, gather, f"awave round {r} gather")
     yield WaitUntil(gather)
     snap = (yield Look()).value
-    team = sorted(
-        v.robot_id
-        for v in snap.robots
-        if v.awake and close_to(v.position, corner, _CORNER_TOL)
-    )
-    if len(team) < 4 * e:
+    team = plan.gather_team(r, cell, snap, corner)
+    if len(team) < 4 * plan.e:
         yield Annotate("awave:wave-dies", {"cell": cell, "round": r, "team": len(team)})
         return  # park in place: the wave does not proceed from this cell
     if rid != team[0]:
@@ -204,34 +327,34 @@ def _participate(
     yield Annotate("awave:team", {"cell": cell, "round": r, "team": len(team)})
     yield Wait(0.0)
     yield Absorb([x for x in team if x != rid])
-    yield from _window_step(proc, grid, e, r, cell, 1, tuple(team), speed_floor)
+    yield from _window_step(proc, plan, r, cell, 1, tuple(team))
 
 
 def _window_step(
     proc: ProcessView,
-    grid: CellGrid,
-    e: int,
+    plan: _WavePlan,
     r: int,
     cell: Cell,
     i: int,
     imports: tuple[int, ...],
-    speed_floor: float = 1.0,
 ) -> Generator[Action, Result, None]:
     """Window ``i``: move the team to neighbor ``i`` and run ``ASeparator``
     there.  The embedded run consumes the process; imports regroup through
     their release continuations."""
+    grid = plan.grid
     target = grid.neighbor(cell, i)
     yield Move(grid.rect(target).lower_left)
-    start = awave_window_start(e, r, i, speed_floor)
+    start = plan.window_start(r, i)
     _assert_on_time(proc, start, f"awave round {r} window {i}")
     yield WaitUntil(start)
     yield Annotate("awave:window", {"round": r, "cell": target, "i": i})
     ctx = SeparatorContext(
-        ell=e,
+        ell=plan.e,
         key_base=("awave", r, cell, i),
         imports=frozenset(imports),
-        after=_participant_factory(grid, e, r + 1, speed_floor),
-        on_release=_regroup_factory(grid, e, r, cell, i, imports, speed_floor),
+        after=_participant_factory(plan, r + 1),
+        on_release=_regroup_factory(plan, r, cell, i, imports),
+        frontier=plan.frontier,
     )
     yield from embedded_entry(ctx, grid.rect(target), grid.owns(target))(proc)
     # Whatever robots this process still owns were already routed through
@@ -239,13 +362,11 @@ def _window_step(
 
 
 def _regroup_factory(
-    grid: CellGrid,
-    e: int,
+    plan: _WavePlan,
     r: int,
     cell: Cell,
     i: int,
     imports: tuple[int, ...],
-    speed_floor: float = 1.0,
 ):
     """``on_release`` continuation for imports of window ``i``: walk to the
     next window's corner; the minimum import id re-absorbs the team."""
@@ -255,18 +376,16 @@ def _regroup_factory(
             return None  # tour over: park in place
 
         def program(proc: ProcessView) -> Generator[Action, Result, None]:
-            next_target = grid.neighbor(cell, i + 1)
-            yield Move(grid.rect(next_target).lower_left)
+            next_target = plan.grid.neighbor(cell, i + 1)
+            yield Move(plan.grid.rect(next_target).lower_left)
             if rid != min(imports):
                 return  # idle at the corner until absorbed
-            start = awave_window_start(e, r, i + 1, speed_floor)
+            start = plan.window_start(r, i + 1)
             _assert_on_time(proc, start, f"awave regroup round {r} window {i + 1}")
             yield WaitUntil(start)
             yield Wait(0.0)
             yield Absorb([x for x in imports if x != rid])
-            yield from _window_step(
-                proc, grid, e, r, cell, i + 1, imports, speed_floor
-            )
+            yield from _window_step(proc, plan, r, cell, i + 1, imports)
 
         return program
 

@@ -175,13 +175,66 @@ def _build_awave(
     params: Mapping[str, Any],
     world: "WorldConfig | None" = None,
 ) -> RunSetup:
+    return _awave_setup(instance, params, world, with_frontier=True)
+
+
+@register_algorithm(
+    name="legacy_awave",
+    label="AWave[legacy]",
+    kind="distributed",
+    params=(_ELL, _RHO_LABEL, _ENFORCE),
+    energy_budget=_awave_budget,
+    supports_budget=True,
+    world_aware=True,
+    description="pre-frontier AWave (per-stop walks) — differential-test reference",
+)
+def _build_legacy_awave(
+    instance: Instance,
+    params: Mapping[str, Any],
+    world: "WorldConfig | None" = None,
+) -> RunSetup:
+    return _awave_setup(instance, params, world, with_frontier=False)
+
+
+def _awave_setup(
+    instance: Instance,
+    params: Mapping[str, Any],
+    world: "WorldConfig | None",
+    with_frontier: bool,
+) -> RunSetup:
+    """Shared AWave builder: ``awave`` and ``legacy_awave`` must derive
+    every input identically — they differ *only* in the frontier — or the
+    differential-testing contract between them silently erodes."""
     from .awave import awave_energy_budget, awave_program
 
     ell, rho = _default_inputs(instance, params)
     budget = awave_energy_budget(ell) if params.get("enforce_budget") else float("inf")
     speed_floor = 1.0 if world is None else world.min_speed()
+    if with_frontier:
+        # The sparse wave frontier: a static oracle over the instance's
+        # initial positions (ids follow the World convention, sleepers
+        # are 1..n) that lets the wave sweep through exploration
+        # stretches whose snapshots provably contain no sleeping robot.
+        # Same makespans, wake orders and energies as ``legacy_awave`` —
+        # the differential suite pins that.
+        from ..geometry import frontier_for
+        from ..sim import VISIBILITY_RADIUS
+
+        visibility = (
+            VISIBILITY_RADIUS if world is None else world.visibility_radius
+        )
+        frontier = frontier_for(
+            instance.positions, visibility, keys=range(1, instance.n + 1)
+        )
+        label = "AWave"
+    else:
+        frontier = None
+        label = "AWave[legacy]"
     return RunSetup(
-        program=awave_program(ell=ell, speed_floor=speed_floor), label="AWave",
+        program=awave_program(
+            ell=ell, speed_floor=speed_floor, frontier=frontier
+        ),
+        label=label,
         ell=ell, rho=rho, budget=budget,
     )
 

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Generator, Iterable, List
+from typing import TYPE_CHECKING, Any, Callable, Dict, Generator, Iterable, List
 
 from ..geometry import EPS, Point, Rect, distance, sort_seeds, square_at_center
 from ..sim import Move, Result, Wake
@@ -29,6 +29,9 @@ from ..sim.actions import Action
 from ..sim.engine import ProcessView
 from .explore import ExplorationReport, explore_rect_team
 from .knowledge import TeamKnowledge
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..geometry import FrontierIndex
 
 __all__ = ["SamplingOutcome", "dfsampling"]
 
@@ -60,6 +63,7 @@ def dfsampling(
     recruit_cap: int,
     knowledge: TeamKnowledge,
     key_base: Any,
+    frontier: "FrontierIndex | None" = None,
 ) -> Generator[Action, Result, SamplingOutcome]:
     """Run DFSampling with the calling process as the team.
 
@@ -80,6 +84,10 @@ def dfsampling(
         recruit.
     ``key_base``
         hashable prefix making this run's barrier keys globally unique.
+    ``frontier``
+        optional :class:`~repro.geometry.FrontierIndex`: batches the ball
+        explorations' cold lattice runs into engine sweeps (see
+        :func:`repro.core.explore.explore_rect`).
     """
     outcome = SamplingOutcome()
     if recruit_cap <= 0:
@@ -116,7 +124,9 @@ def dfsampling(
         explored_nodes.append(p)
         ball = square_at_center(p, 4.0 * ell)
         key = (key_base, "ball", next(counter))
-        report = yield from explore_rect_team(proc, ball, meet_at=p, barrier_key=key)
+        report = yield from explore_rect_team(
+            proc, ball, meet_at=p, barrier_key=key, frontier=frontier
+        )
         _ingest(knowledge, report)
 
     def recruit_at(p: Point) -> Generator[Action, Result, None]:

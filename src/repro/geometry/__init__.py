@@ -13,6 +13,7 @@ Public surface:
 """
 
 from .diskgraph import DiskGraph, bottleneck_connectivity, connected_components
+from .frontier import FRONTIER_PAD, FrontierIndex, frontier_for
 from .frozen import HAVE_NUMPY, FrozenGridHash
 from .gridhash import GridHash
 from .ordering import boundary_parameter, sort_seeds
@@ -56,6 +57,9 @@ __all__ = [
     "Rect",
     "GridHash",
     "FrozenGridHash",
+    "FRONTIER_PAD",
+    "FrontierIndex",
+    "frontier_for",
     "HAVE_NUMPY",
     "DiskGraph",
     "Separator",

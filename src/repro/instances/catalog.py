@@ -94,6 +94,17 @@ def _register_families() -> None:
             "side x side lattice, source at the lower-left corner",
         ),
         (
+            "l1_diamond", "L1 diamond lattice",
+            (
+                _N, _RHO,
+                ParamSpec("pitch", float, default=1.0, doc="lattice pitch"),
+                _SEED,
+            ),
+            families.l1_diamond,
+            "gridded L1 ball (arXiv:2402.03258 geometry); exact-boundary "
+            "coordinates stress half-open partitions",
+        ),
+        (
             "connected_walk", "Connected walk",
             (
                 _N,

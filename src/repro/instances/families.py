@@ -11,6 +11,8 @@ independently:
 * ``annulus`` — empty center, stresses separator-based discovery;
 * ``beaded_path`` / ``spiral`` / ``grid_lattice`` — controlled
   ``xi_ell >> rho`` corridors for the ``AGrid``/``AWave`` regime;
+* ``l1_diamond`` — gridded L1 ball (arXiv:2402.03258 geometry): exact
+  lattice coordinates that land on cell/quadrant boundaries;
 * ``connected_walk`` — random but guaranteed ``ell``-connected.
 
 All randomness flows through ``numpy.random.default_rng(seed)`` so every
@@ -39,6 +41,7 @@ __all__ = [
     "beaded_path",
     "spiral",
     "grid_lattice",
+    "l1_diamond",
     "connected_walk",
     "two_clusters_bridge",
 ]
@@ -153,6 +156,38 @@ def grid_lattice(side: int, spacing: float) -> Instance:
     return _finish(xs, ys, f"grid_lattice({side}x{side},d={spacing})")
 
 
+def l1_diamond(n: int, rho: float, pitch: float = 1.0, seed: int = 0) -> Instance:
+    """``n`` robots on the pitch-``pitch`` lattice points of the closed L1
+    ball of radius ``rho`` around the source (the gridded diamond of the
+    L1 Freeze-Tag geometry, Rajabi-Alni et al. / arXiv:2402.03258 spirit).
+
+    Sampled without replacement; the exact grid coordinates — including
+    points landing precisely on wave-cell and quadrant boundaries — stress
+    the half-open partition conventions the wave algorithms rely on, which
+    is why the ``AWave`` differential suite includes this family.
+    ``ell_star <= pitch * sqrt(2)`` whenever the sample stays connected.
+    """
+    rng = np.random.default_rng(seed)
+    k = int(math.floor(rho / pitch))
+    lattice = [
+        (i * pitch, j * pitch)
+        for i in range(-k, k + 1)
+        for j in range(-k, k + 1)
+        if abs(i) + abs(j) <= k and not (i == 0 and j == 0)
+    ]
+    if n > len(lattice):
+        raise ValueError(
+            f"l1_diamond: n={n} exceeds the {len(lattice)} lattice points "
+            f"of the radius-{rho} diamond at pitch {pitch}"
+        )
+    chosen = rng.choice(len(lattice), size=n, replace=False)
+    xs = [lattice[i][0] for i in chosen]
+    ys = [lattice[i][1] for i in chosen]
+    return _finish(
+        xs, ys, f"l1_diamond(n={n},rho={rho},pitch={pitch},seed={seed})"
+    )
+
+
 def connected_walk(
     n: int, step: float, seed: int = 0, jitter: float = 0.3
 ) -> Instance:
@@ -211,6 +246,7 @@ FAMILIES: dict[str, Callable[..., Instance]] = {
     "beaded_path": beaded_path,
     "spiral": spiral,
     "grid_lattice": grid_lattice,
+    "l1_diamond": l1_diamond,
     "connected_walk": connected_walk,
     "two_clusters_bridge": two_clusters_bridge,
 }

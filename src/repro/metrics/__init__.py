@@ -10,7 +10,7 @@ from .fits import (
     fit_power_law,
     r_squared,
 )
-from .summary import RunSummary, summarize
+from .summary import RunSummary, instance_summary_parameters, summarize
 
 __all__ = [
     "WakeCurve",
@@ -25,5 +25,6 @@ __all__ = [
     "fit_power_law",
     "r_squared",
     "RunSummary",
+    "instance_summary_parameters",
     "summarize",
 ]

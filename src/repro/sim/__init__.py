@@ -30,6 +30,7 @@ from .actions import (
     Result,
     RobotView,
     Snapshot,
+    Sweep,
     Wait,
     WaitUntil,
     Wake,
@@ -60,6 +61,7 @@ __all__ = [
     "Look",
     "Move",
     "MovePath",
+    "Sweep",
     "Program",
     "Result",
     "RobotView",

@@ -19,6 +19,7 @@ Time cost of each action:
 ========== =========================================
 Move       Euclidean length of the segment
 MovePath   total polyline length
+Sweep      total polyline length (single engine event)
 Wait       the requested duration
 WaitUntil  ``max(0, t - now)``
 Look       0 (discrete snapshot)
@@ -44,6 +45,7 @@ __all__ = [
     "Action",
     "Move",
     "MovePath",
+    "Sweep",
     "Wait",
     "WaitUntil",
     "Look",
@@ -79,6 +81,43 @@ class Move(Action):
 @dataclass(frozen=True)
 class MovePath(Action):
     """Move along a polyline of waypoints (visited in order)."""
+
+    waypoints: tuple[Point, ...]
+
+    def __init__(self, waypoints: Sequence[Point]) -> None:
+        object.__setattr__(self, "waypoints", tuple(waypoints))
+
+
+@dataclass(frozen=True)
+class Sweep(Action):
+    """Cohort-batched polyline: traverse ``waypoints`` as ONE engine event.
+
+    Observationally equivalent to issuing one :class:`Move` per waypoint —
+    identical per-segment energy accounting, identical sequential time
+    accumulation, identical interpolated positions for observers — minus
+    the per-waypoint queue events (and the per-waypoint snapshots the
+    caller would have taken).  This is the engine half of the sparse wave
+    frontier: a cohort that *knows* (from a
+    :class:`~repro.geometry.FrontierIndex` oracle) that a stretch of its
+    exploration lattice cannot reveal anything sweeps through it in one
+    event instead of thousands.
+
+    One deliberate asymmetry: because the whole polyline is validated up
+    front, an :class:`~repro.sim.errors.EnergyBudgetExceeded` overrun on
+    a later segment raises at *issue* time (process still at its origin,
+    earlier segments already charged), not at the mid-walk simulation
+    time a Move chain would reach first.  Budget-sensitive callers must
+    pre-check the total against
+    :attr:`~repro.sim.engine.ProcessView.min_remaining_budget` and fall
+    back to per-stop Moves near the budget — exactly what
+    :func:`repro.core.explore.explore_rect` does.
+
+    Callers are responsible for only sweeping where the skipped snapshots
+    cannot change their decisions (see
+    :func:`repro.core.explore.explore_rect` for the contract the wave
+    algorithms rely on); the engine itself treats this purely as batched
+    motion.
+    """
 
     waypoints: tuple[Point, ...]
 

@@ -31,6 +31,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
+from bisect import bisect_left
 from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Generator, Sequence
@@ -62,6 +63,7 @@ from .actions import (
     Result,
     RobotView,
     Snapshot,
+    Sweep,
     Wait,
     WaitUntil,
     Wake,
@@ -107,6 +109,8 @@ class _Process:
         "motion_to",
         "motion_end",
         "motion_bbox",
+        "motion_path",
+        "motion_ends",
     )
 
     def __init__(
@@ -146,6 +150,13 @@ class _Process:
         # Axis-aligned bounds of the current segment, pre-expanded by the
         # visibility radius: a cheap reject for snapshot queries.
         self.motion_bbox: tuple[float, float, float, float] | None = None
+        # Piecewise motion state for a batched Sweep: the waypoint tuple
+        # plus the parallel per-segment end-time list for bisection
+        # (segment ``i`` runs waypoint ``i-1`` -> ``i`` over
+        # ``ends[i-1]..ends[i]``, with the origin/start filling in at
+        # ``i == 0``).  None while in plain segment mode.
+        self.motion_path: tuple[Point, ...] | None = None
+        self.motion_ends: list[float] | None = None
 
     def position_at(self, time: float) -> Point:
         if self.state != "moving" or self.motion_from is None or self.motion_to is None:
@@ -154,9 +165,78 @@ class _Process:
             return self.motion_to
         if time <= self.motion_start:
             return self.motion_from
+        path = self.motion_path
+        if path is not None:
+            # Sweep in flight: locate the active segment.  Boundary times
+            # resolve to the shared waypoint either way, exactly as the
+            # per-segment event chain would report.
+            ends = self.motion_ends
+            i = bisect_left(ends, time)
+            if i >= len(path):
+                return self.motion_to
+            seg_end = ends[i]
+            seg_to = path[i]
+            if time >= seg_end:
+                return seg_to
+            if i > 0:
+                seg_start = ends[i - 1]
+                seg_from = path[i - 1]
+            else:
+                seg_start = self.motion_start
+                seg_from = self.motion_from
+            if time <= seg_start:
+                return seg_from
+            span = seg_end - seg_start
+            t = (time - seg_start) / span if span > 0 else 1.0
+            return convex_combination(seg_from, seg_to, t)
         span = self.motion_end - self.motion_start
         t = (time - self.motion_start) / span if span > 0 else 1.0
         return convex_combination(self.motion_from, self.motion_to, t)
+
+    def xy_at(self, time: float) -> tuple[float, float]:
+        """Raw interpolated coordinates — ``position_at`` minus the Point.
+
+        The snapshot mover scan probes every candidate mover per Look; a
+        sweep's whole-path bbox admits many candidates that an exact
+        distance check then rejects, so the probe must not allocate.  The
+        arithmetic replicates :func:`~repro.geometry.convex_combination`
+        exactly — a hit converts to the identical ``Point``.
+        """
+        if self.state != "moving" or self.motion_from is None or self.motion_to is None:
+            p = self.position
+            return p[0], p[1]
+        if time >= self.motion_end:
+            p = self.motion_to
+            return p[0], p[1]
+        if time <= self.motion_start:
+            p = self.motion_from
+            return p[0], p[1]
+        path = self.motion_path
+        if path is not None:
+            ends = self.motion_ends
+            i = bisect_left(ends, time)
+            if i >= len(path):
+                p = self.motion_to
+                return p[0], p[1]
+            seg_end = ends[i]
+            b = path[i]
+            if time >= seg_end:
+                return b[0], b[1]
+            if i > 0:
+                seg_start = ends[i - 1]
+                a = path[i - 1]
+            else:
+                seg_start = self.motion_start
+                a = self.motion_from
+            if time <= seg_start:
+                return a[0], a[1]
+            span = seg_end - seg_start
+            t = (time - seg_start) / span if span > 0 else 1.0
+        else:
+            a, b = self.motion_from, self.motion_to
+            span = self.motion_end - self.motion_start
+            t = (time - self.motion_start) / span if span > 0 else 1.0
+        return a[0] + (b[0] - a[0]) * t, a[1] + (b[1] - a[1]) * t
 
 
 class ProcessView:
@@ -186,6 +266,22 @@ class ProcessView:
     @property
     def team_size(self) -> int:
         return len(self._engine._processes[self.pid].robot_ids)
+
+    @property
+    def min_remaining_budget(self) -> float:
+        """Smallest remaining energy over owned robots (own-state only).
+
+        A robot knows its own odometer and budget; the team minimum is
+        what bounds the next shared move.  Batched sweeps consult this to
+        fall back to per-stop moves near the budget, so an
+        :class:`~repro.sim.errors.EnergyBudgetExceeded` abort happens at
+        exactly the same point (and simulation time) as a legacy walk.
+        """
+        robots = self._engine.world.robots
+        return min(
+            robots[rid].budget - robots[rid].odometer
+            for rid in self._engine._processes[self.pid].robot_ids
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ProcessView(pid={self.pid}, robots={self.robot_ids})"
@@ -260,6 +356,10 @@ class Engine:
         # Sleeping-set version: bumped on every wake; invalidates the
         # per-process fat-ball candidate caches.
         self._sleep_epoch = 0
+        # Immortal per-robot sleeping views: a sleeping robot never moves,
+        # so its RobotView is constant until it wakes (after which it never
+        # reappears in sleeping candidates) — build each exactly once.
+        self._sleep_views: dict[int, RobotView] = {}
         # Fat-ball margin: a process's sleeping candidates are fetched for
         # radius + margin around a reference point and reused (with exact
         # per-point re-filtering) while the observer stays within the
@@ -380,6 +480,7 @@ class Engine:
         if proc.state == "moving" and proc.motion_to is not None:
             proc.position = proc.motion_to
             proc.motion_from = proc.motion_to = None
+            proc.motion_path = proc.motion_ends = None
             proc.views = None
             self._moving.discard(proc.pid)
             movers = self._movers
@@ -432,7 +533,13 @@ class Engine:
             self._idle_robots.add(rid)
             self._idle_index.insert(rid, position)
             self._owned.discard(rid)
-        self._look_cache.clear()
+        # The look memo survives a process end: the robots park exactly
+        # where the process stood, so every cached view of them (awake, at
+        # this position) keeps the same value when rebuilt from the idle
+        # index.  Keeping the memo is what makes a cohort gather O(k):
+        # thousands of same-instant Looks at one corner, where each
+        # follower finishing between Looks used to flush the cache and
+        # force an O(k) rebuild per participant.
         trace = self.trace
         if trace.enabled:
             trace.append(
@@ -500,6 +607,93 @@ class Engine:
 
     def _handle_movepath(self, proc: _Process, action: MovePath) -> None:
         return self._do_move(proc, action.waypoints)
+
+    def _handle_sweep(self, proc: _Process, action: Sweep) -> None:
+        # Batched polyline: observationally identical to one Move per
+        # waypoint — same per-segment budget checks and odometer charges
+        # (in the same float-op order), same sequential arrival-time
+        # accumulation, same interpolated positions for observers — but
+        # the queue sees a single event at the final arrival.
+        waypoints = action.waypoints
+        if not waypoints:
+            raise ProtocolError("empty sweep")
+        robots = self.world.robots
+        team = [robots[rid] for rid in proc.robot_ids]
+        position = proc.position
+        speed = proc.speed
+        # Per-segment budget checks only matter for bounded robots; the
+        # common unbounded sweep skips the inner check loop entirely (the
+        # check can never fire against an infinite budget).
+        bounded = any(robot.budget != math.inf for robot in team)
+        t = self.now
+        ends: list[float] = []
+        ends_append = ends.append
+        prev = position
+        total = 0.0
+        hypot = math.hypot
+        solo = team[0] if len(team) == 1 else None
+        for target in waypoints:
+            length = hypot(prev[0] - target[0], prev[1] - target[1])
+            total += length
+            if bounded:
+                for robot in team:
+                    if robot.odometer + length > robot.budget + 1e-9:
+                        raise EnergyBudgetExceeded(
+                            robot.robot_id,
+                            robot.odometer + length, robot.budget,
+                        )
+            if length <= EPS:
+                # A chain of Moves treats a tiny hop as a teleport: no
+                # odometer charge, no elapsed time.
+                ends_append(t)
+                prev = target
+                continue
+            if solo is not None:
+                solo.odometer += length
+            else:
+                for robot in team:
+                    robot.odometer += length
+            t = t + length / speed
+            ends_append(t)
+            prev = target
+        if t <= self.now:
+            # Degenerate all-tiny sweep: complete immediately, like a
+            # zero-length move.
+            proc.position = waypoints[-1]
+            proc.views = None
+            self._stationary.move_key(proc.pid, proc.position)
+            self._look_cache.clear()
+            self._schedule(self.now, proc.pid, Result(self.now, None))
+            proc.state = "waiting"
+            return None
+        self._moving.add(proc.pid)
+        self._look_cache.clear()
+        proc.state = "moving"
+        proc.motion_from = position
+        proc.motion_start = self.now
+        proc.motion_to = waypoints[-1]
+        proc.motion_end = t
+        proc.motion_path = waypoints
+        proc.motion_ends = ends
+        movers = self._movers
+        if movers is not None:
+            bbox = proc.motion_bbox = _polyline_bbox(
+                position, waypoints, self.visibility_radius
+            )
+            movers.put(proc.pid, bbox)
+        else:
+            proc.motion_bbox = None  # built lazily by the first Look
+        self._schedule(t, proc.pid, Result(t, None))
+        trace = self.trace
+        if trace.enabled:
+            trace.append(
+                self.now, "sweep", proc.pid,
+                {
+                    "length": total, "to": waypoints[-1],
+                    "waypoints": len(waypoints), "robots": len(team),
+                },
+            )
+        return None
 
     def _handle_wait(self, proc: _Process, action: Wait) -> None:
         if action.duration < -EPS:
@@ -688,11 +882,15 @@ class Engine:
                 if distance(cache[1], center) <= cache[3] - 1e-9:
                     candidates = cache[2]
                     cache[4] += 1
+            sleep_views = self._sleep_views
             if candidates is not None:
                 hyp = math.hypot
                 for rid, pos in candidates:
                     if hyp(pos[0] - cx, pos[1] - cy) <= limit:
-                        build.append(RobotView(rid, pos, False))
+                        view = sleep_views.get(rid)
+                        if view is None:
+                            view = sleep_views[rid] = RobotView(rid, pos, False)
+                        build.append(view)
             else:
                 if (
                     cache is not None
@@ -711,11 +909,17 @@ class Engine:
                     hyp = math.hypot
                     for rid, pos in candidates:
                         if hyp(pos[0] - cx, pos[1] - cy) <= limit:
-                            build.append(RobotView(rid, pos, False))
+                            view = sleep_views.get(rid)
+                            if view is None:
+                                view = sleep_views[rid] = RobotView(rid, pos, False)
+                            build.append(view)
                 else:
                     # Plain query: candidates *are* the exact ball.
                     for rid, pos in candidates:
-                        build.append(RobotView(rid, pos, False))
+                        view = sleep_views.get(rid)
+                        if view is None:
+                            view = sleep_views[rid] = RobotView(rid, pos, False)
+                        build.append(view)
             # Awake robots: live processes (interpolated) + idle robots.
             # Movers keep a stale slot in the stationary index and are
             # skipped there; they are scanned with interpolation below.
@@ -765,8 +969,8 @@ class Engine:
                         other = processes[mpid]
                         bbox = other.motion_bbox
                         if bbox is None:
-                            bbox = other.motion_bbox = _segment_bbox(
-                                other.motion_from, other.motion_to, radius
+                            bbox = other.motion_bbox = _motion_bbox_of(
+                                other, radius
                             )
                         movers.put(mpid, bbox)
                 if movers is not None:
@@ -777,15 +981,19 @@ class Engine:
                         other = processes[pid]
                         bbox = other.motion_bbox
                         if bbox is None:
-                            bbox = other.motion_bbox = _segment_bbox(
-                                other.motion_from, other.motion_to, radius
+                            bbox = other.motion_bbox = _motion_bbox_of(
+                                other, radius
                             )
                         if bbox[0] <= cx <= bbox[2] and bbox[1] <= cy <= bbox[3]:
                             mover_hits.append(pid)
+                hyp = math.hypot
                 for pid in mover_hits:
                     other = processes[pid]
-                    pos = other.position_at(self.now)
-                    if distance(pos, center) <= limit:
+                    # Allocation-free probe (sweep bboxes admit many
+                    # candidates); materialize the Point only on a hit.
+                    ox, oy = other.xy_at(self.now)
+                    if hyp(ox - cx, oy - cy) <= limit:
+                        pos = Point(ox, oy)
                         for rid in other.robot_ids:
                             build.append(RobotView(rid, pos, True))
             if self._idle_robots:
@@ -1071,12 +1279,42 @@ def _segment_bbox(
     )
 
 
+def _polyline_bbox(
+    origin: Point, waypoints: Sequence[Point], radius: float
+) -> tuple[float, float, float, float]:
+    """Axis bounds of a whole polyline expanded by the visibility radius.
+
+    A boustrophedon sweep wanders far outside the bbox of its endpoints,
+    so a mover bbox for a :class:`Sweep` must cover every waypoint.  The
+    padded superset only admits *candidates* — observers re-check exact
+    interpolated distances — so a looser box is safe, never wrong.
+    """
+    pad = radius + 1e-9
+    xs = [origin[0]]
+    ys = [origin[1]]
+    for w in waypoints:
+        xs.append(w[0])
+        ys.append(w[1])
+    return (min(xs) - pad, min(ys) - pad, max(xs) + pad, max(ys) + pad)
+
+
+def _motion_bbox_of(
+    proc: _Process, radius: float
+) -> tuple[float, float, float, float]:
+    """Lazy mover bbox: segment bounds, or full-path bounds for a sweep."""
+    path = proc.motion_path
+    if path is not None:
+        return _polyline_bbox(proc.motion_from, path, radius)
+    return _segment_bbox(proc.motion_from, proc.motion_to, radius)
+
+
 #: Exact-type dispatch table (the common case: all shipped actions are
 #: final).  Subclasses of a known action resolve through the isinstance
 #: fallback below and are memoized here, so they pay the scan once.
 _HANDLERS: dict[type, Callable[[Engine, _Process, Any], Result | None]] = {
     Move: Engine._handle_move,
     MovePath: Engine._handle_movepath,
+    Sweep: Engine._handle_sweep,
     Wait: Engine._handle_wait,
     WaitUntil: Engine._handle_waituntil,
     Look: Engine._do_look,

@@ -106,7 +106,13 @@ class Trace:
         return self.of_kind("wake")
 
     def total_move_length(self) -> float:
-        return sum(e.data.get("length", 0.0) for e in self.of_kind("move"))
+        # "sweep" is the batched-polyline sibling of "move" (PR 5): both
+        # carry a travelled "length" and together cover all motion.
+        return sum(
+            e.data.get("length", 0.0)
+            for e in self.events
+            if e.kind == "move" or e.kind == "sweep"
+        )
 
     def phases(self, label_prefix: str = "") -> list[PhaseInterval]:
         """Phase intervals per process from consecutive ``phase`` markers.

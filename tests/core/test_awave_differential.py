@@ -1,0 +1,145 @@
+"""Differential suite: frontier ``awave`` vs ``legacy_awave``.
+
+The PR 5 sparse-wave-frontier rewrite is a pure execution-model change:
+batched engine sweeps through provably-empty exploration stretches must
+leave every observable of the paper's protocol untouched.  These tests
+run both registrations on the same randomized instances and assert the
+full equivalence contract —
+
+* identical makespans (and the complete per-robot wake-time map, which
+  subsumes the wake *order*),
+* identical energy totals (``total_energy`` and ``max_energy``),
+* identical completion status.
+
+Families cover the regimes that stress different parts of the oracle:
+dense uniform disks (hot-stop heavy), annuli (empty center), and the
+L1-diamond lattice whose exact grid coordinates land on wave-cell and
+quadrant boundaries (arXiv:2402.03258 geometry).  World-model variants
+exercise ``speed_floor < 1`` window arithmetic, crash-on-wake cohort
+decimation, and the finite-budget fallback path.
+
+The ``smoke`` test is fast-tier (n <= 100, one live pair) so the
+equivalence check runs on every PR; the larger randomized cases —
+up to n=500, the pre-rewrite feasibility record — are ``slow`` and run
+on main's full tier.
+"""
+
+import pytest
+
+from repro.core.runner import RunRequest
+
+
+def run_pair(**request_kwargs):
+    """Execute the same request under both registrations."""
+    legacy = RunRequest(algorithm="legacy_awave", **request_kwargs).execute()
+    fresh = RunRequest(algorithm="awave", **request_kwargs).execute()
+    return legacy, fresh
+
+
+def assert_equivalent(legacy, fresh):
+    a, b = legacy.result, fresh.result
+    assert b.makespan == a.makespan
+    # The full wake-time map pins both the wake order and every individual
+    # wake instant (exact float equality — the batched sweeps replicate
+    # the per-stop time accumulation bit-for-bit).
+    assert b.wake_times == a.wake_times
+    wake_order = sorted(a.wake_times, key=lambda rid: (a.wake_times[rid], rid))
+    assert sorted(b.wake_times, key=lambda rid: (b.wake_times[rid], rid)) == wake_order
+    assert b.total_energy == a.total_energy
+    assert b.max_energy == a.max_energy
+    assert b.woke_all == a.woke_all
+    assert b.awake_count == a.awake_count
+    # The point of the rewrite: same observables, far fewer engine events.
+    assert b.events_processed < a.events_processed
+
+
+def test_differential_smoke():
+    """Fast-tier equivalence check (n <= 100): runs on every PR."""
+    legacy, fresh = run_pair(
+        family="uniform_disk",
+        family_kwargs={"n": 20, "rho": 6.0, "seed": 2},
+        params={"ell": 2},
+    )
+    assert_equivalent(legacy, fresh)
+    assert fresh.woke_all
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_differential_uniform(seed):
+    legacy, fresh = run_pair(
+        family="uniform_disk",
+        family_kwargs={"n": 120, "rho": 12.0, "seed": seed},
+        params={"ell": 2},
+    )
+    assert_equivalent(legacy, fresh)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", [3, 4])
+def test_differential_annulus(seed):
+    legacy, fresh = run_pair(
+        family="annulus",
+        family_kwargs={"n": 100, "r_inner": 4.0, "r_outer": 11.0, "seed": seed},
+        params={"ell": 3},
+    )
+    assert_equivalent(legacy, fresh)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", [1, 5])
+def test_differential_l1_grid(seed):
+    """Exact lattice coordinates on cell/quadrant boundaries."""
+    legacy, fresh = run_pair(
+        family="l1_diamond",
+        family_kwargs={"n": 80, "rho": 10.0, "seed": seed},
+        params={"ell": 2},
+    )
+    assert_equivalent(legacy, fresh)
+
+
+@pytest.mark.slow
+def test_differential_slow_world():
+    """speed_floor < 1: stretched window arithmetic on both sides."""
+    legacy, fresh = run_pair(
+        scenario="slow_swarm",
+        family_kwargs={"n": 60, "rho": 9.0, "seed": 5},
+        params={"ell": 2},
+        world_params={"slow_fraction": 0.3},
+    )
+    assert_equivalent(legacy, fresh)
+
+
+@pytest.mark.slow
+def test_differential_crash_world():
+    """Crash-on-wake: decimated cohorts and inherited wake plans."""
+    legacy, fresh = run_pair(
+        scenario="fragile_swarm",
+        family_kwargs={"n": 60, "rho": 9.0, "seed": 6},
+        params={"ell": 2},
+    )
+    assert_equivalent(legacy, fresh)
+
+
+@pytest.mark.slow
+def test_differential_enforced_budget():
+    """Finite budgets engage the sweep-admissibility fallback guard."""
+    legacy, fresh = run_pair(
+        family="uniform_disk",
+        family_kwargs={"n": 40, "rho": 8.0, "seed": 9},
+        params={"ell": 2, "enforce_budget": True},
+    )
+    assert_equivalent(legacy, fresh)
+
+
+@pytest.mark.slow
+def test_differential_scale_record():
+    """n=500 — the pre-rewrite feasibility record (BENCH awave_uniform_500)."""
+    legacy, fresh = run_pair(
+        family="uniform_disk",
+        family_kwargs={"n": 500, "rho": 14.0, "seed": 0},
+        params={"ell": 2, "rho": 14.0},
+    )
+    assert_equivalent(legacy, fresh)
+    # The acceptance bar: >= 10x fewer engine events per robot.
+    assert fresh.result.events_processed * 10 <= legacy.result.events_processed

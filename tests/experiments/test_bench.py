@@ -32,6 +32,11 @@ class TestRegistry:
         # The acceptance workloads exist under stable names.
         assert "move_look_cycle" in names
         assert "agrid_uniform_100k" in names
+        assert "awave_uniform_5k" in names
+        assert "awave_uniform_20k" in names
+        # The CI-gated AWave scale point rides the quick tier.
+        by_name = {w.name: w for w in bench_workloads()}
+        assert by_name["awave_uniform_5k"].tier == "quick"
 
     def test_bad_suite_or_tier_rejected(self):
         with pytest.raises(ValueError, match="unknown suite"):

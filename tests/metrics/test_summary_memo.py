@@ -1,0 +1,93 @@
+"""Regression: summarize() estimates instance parameters once per workload.
+
+Every sweep record used to re-enter the disk-graph connectivity threshold
+(``ell_star``) and the ``ell``-eccentricity for its own fresh
+:class:`~repro.instances.Instance` object — O(n log n)+ geometry *per
+record*.  The per-(family, kwargs) memo in :mod:`repro.metrics.summary`
+must collapse that to one build per sweep family.
+"""
+
+import pytest
+
+import repro.instances.spec as spec_module
+from repro.core.runner import RunRequest
+from repro.metrics import summarize
+from repro.metrics import summary as summary_module
+
+
+@pytest.fixture(autouse=True)
+def fresh_memo():
+    summary_module._PARAM_MEMO.clear()
+    yield
+    summary_module._PARAM_MEMO.clear()
+
+
+@pytest.fixture
+def count_builds(monkeypatch):
+    """Count disk-graph parameter estimations triggered through Instance."""
+    calls = {"connectivity": 0, "eccentricity": 0}
+    real_threshold = spec_module.connectivity_threshold
+    real_eccentricity = spec_module.ell_eccentricity
+
+    def counting_threshold(source, positions):
+        calls["connectivity"] += 1
+        return real_threshold(source, positions)
+
+    def counting_eccentricity(source, positions, ell):
+        calls["eccentricity"] += 1
+        return real_eccentricity(source, positions, ell)
+
+    monkeypatch.setattr(spec_module, "connectivity_threshold", counting_threshold)
+    monkeypatch.setattr(spec_module, "ell_eccentricity", counting_eccentricity)
+    return calls
+
+
+def _records(family_kwargs, algorithms, **extra):
+    runs = []
+    for algorithm in algorithms:
+        request = RunRequest(
+            algorithm=algorithm, family="uniform_disk",
+            family_kwargs=family_kwargs, params={"ell": 2, "rho": 8.0}, **extra,
+        )
+        runs.append(request.execute())
+    return runs
+
+
+def test_one_disk_graph_build_per_family(count_builds):
+    """Three records of one sweep point -> one parameter estimation."""
+    runs = _records({"n": 25, "rho": 6.0, "seed": 3}, ["greedy", "chain", "agrid"])
+    summaries = [summarize(run) for run in runs]
+    assert count_builds["connectivity"] == 1
+    assert count_builds["eccentricity"] == 1  # same ell across records
+    # The memoized values are the real ones.
+    assert len({s.ell_star for s in summaries}) == 1
+    assert summaries[0].ell_star == runs[0].instance.ell_star
+
+
+def test_distinct_workloads_build_separately(count_builds):
+    runs = _records({"n": 25, "rho": 6.0, "seed": 3}, ["greedy"])
+    runs += _records({"n": 25, "rho": 6.0, "seed": 4}, ["greedy"])
+    for run in runs:
+        summarize(run)
+    assert count_builds["connectivity"] == 2
+
+
+def test_distinct_ell_extends_xi_only(count_builds):
+    """A new ell on a known workload re-derives xi, not the disk graph."""
+    run = _records({"n": 25, "rho": 6.0, "seed": 3}, ["greedy"])[0]
+    summarize(run)
+    assert count_builds == {"connectivity": 1, "eccentricity": 1}
+    from repro.metrics import instance_summary_parameters
+
+    instance_summary_parameters(run.instance, ell=3)
+    assert count_builds == {"connectivity": 1, "eccentricity": 2}
+    instance_summary_parameters(run.instance, ell=3)
+    assert count_builds == {"connectivity": 1, "eccentricity": 2}
+
+
+def test_memo_is_bounded():
+    cap = summary_module._PARAM_MEMO_MAX
+    for seed in range(cap + 5):
+        run = _records({"n": 6, "rho": 3.0, "seed": seed}, ["greedy"])[0]
+        summarize(run)
+    assert len(summary_module._PARAM_MEMO) <= cap

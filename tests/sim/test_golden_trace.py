@@ -47,9 +47,20 @@ GOLDEN_RUNS = [
         "e9137af34af7ae4c4831ee783a83ed0715c85d013110cbfc74ae3d78150ff82b",
         3103.6107264334523, 5789.2245090111865,
     ),
+    # The PR 5 AWave pins: ``legacy_awave`` must reproduce the pre-rewrite
+    # ``awave`` byte trace (digest generated at commit 56f89c5, before the
+    # sparse-wave-frontier rewrite) — proving the differential-testing
+    # reference IS the old algorithm.  The frontier ``awave`` pins the same
+    # makespan and energy (the equivalence contract) under its own, far
+    # smaller, trace.
+    (
+        "legacy_awave", "uniform_disk", {"n": 50, "rho": 10.0, "seed": 2}, {"ell": 2},
+        "10da75eecbbbf0b477cead29fddbc71128227a7acb2b94b1eb20153bd7252a18",
+        1020.9923200513895, 716525.0280188909,
+    ),
     (
         "awave", "uniform_disk", {"n": 50, "rho": 10.0, "seed": 2}, {"ell": 2},
-        "10da75eecbbbf0b477cead29fddbc71128227a7acb2b94b1eb20153bd7252a18",
+        "5701947159f1d6739a9d5f0dc0859fc70f779a07a083a540be06fd2447f3aafc",
         1020.9923200513895, 716525.0280188909,
     ),
 ]

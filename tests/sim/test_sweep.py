@@ -1,0 +1,153 @@
+"""The cohort-batched ``Sweep`` action: one event, Move-chain semantics.
+
+A sweep must be observationally identical to issuing one ``Move`` per
+waypoint — same per-segment odometer accounting (float-op order
+included), same sequential arrival-time accumulation, same interpolated
+positions for concurrent observers — while costing a single queue event.
+"""
+
+import math
+
+import pytest
+
+from repro.geometry import Point
+from repro.sim import (
+    SOURCE_ID,
+    Engine,
+    Look,
+    Move,
+    Sweep,
+    Wait,
+    World,
+)
+from repro.sim.errors import EnergyBudgetExceeded, ProtocolError
+
+STOPS = [Point(0.4 * i, 0.15 * (i % 3)) for i in range(1, 14)]
+
+
+def run_walk(use_sweep, budget=math.inf, observer_at=None, observe_times=()):
+    """Walk STOPS with one process; optionally observe from a second."""
+    sleepers = [Point(50.0, 50.0)]
+    world = World(source=Point(0, 0), positions=sleepers, budget=budget)
+    engine = Engine(world)
+    outcome = {}
+    observations = []
+
+    def walker(proc):
+        if use_sweep:
+            yield Sweep(STOPS)
+        else:
+            for s in STOPS:
+                yield Move(s)
+        outcome["time"] = proc.time
+        outcome["position"] = proc.position
+
+    engine.spawn(walker, [SOURCE_ID])
+    if observer_at is not None:
+        # Enlist the far-away sleeper as an awake observer at a fixed post.
+        world.mark_awake(1, 0.0, None)
+        world.robots[1].position = observer_at
+
+        def watcher(proc):
+            last = 0.0
+            for t in observe_times:
+                yield Wait(t - last)
+                last = t
+                snap = (yield Look()).value
+                observations.append(
+                    [(v.robot_id, v.position) for v in snap.robots if v.robot_id != 1]
+                )
+
+        engine.spawn(watcher, [1], position=observer_at)
+    result = engine.run()
+    return outcome, result, observations
+
+
+class TestMoveChainEquivalence:
+    def test_time_position_energy_identical(self):
+        a, ra, _ = run_walk(use_sweep=False)
+        b, rb, _ = run_walk(use_sweep=True)
+        assert a == b
+        assert ra.total_energy == rb.total_energy
+        assert ra.max_energy == rb.max_energy
+        assert ra.termination_time == rb.termination_time
+
+    def test_single_event(self):
+        _, ra, _ = run_walk(use_sweep=False)
+        _, rb, _ = run_walk(use_sweep=True)
+        assert ra.events_processed == len(STOPS) + 1
+        assert rb.events_processed == 2
+
+    def test_observer_sees_identical_interpolation(self):
+        times = [0.3, 0.9, 1.7, 2.6, 3.4]
+        _, _, seen_moves = run_walk(
+            use_sweep=False, observer_at=Point(1.0, 0.0), observe_times=times
+        )
+        _, _, seen_sweep = run_walk(
+            use_sweep=True, observer_at=Point(1.0, 0.0), observe_times=times
+        )
+        assert seen_moves == seen_sweep
+        assert any(seen_moves)  # the walker actually passes through view
+
+    def test_budget_charges_identically(self):
+        _, ra, _ = run_walk(use_sweep=False, budget=100.0)
+        _, rb, _ = run_walk(use_sweep=True, budget=100.0)
+        assert ra.total_energy == rb.total_energy
+
+    def test_budget_overrun_raises(self):
+        with pytest.raises(EnergyBudgetExceeded):
+            run_walk(use_sweep=True, budget=1.0)
+
+
+class TestSweepEdges:
+    def test_empty_sweep_rejected(self):
+        world = World(source=Point(0, 0), positions=[])
+        engine = Engine(world)
+
+        def program(proc):
+            yield Sweep([])
+
+        engine.spawn(program, [SOURCE_ID])
+        with pytest.raises(ProtocolError):
+            engine.run()
+
+    def test_zero_length_sweep_completes_instantly(self):
+        world = World(source=Point(0, 0), positions=[])
+        engine = Engine(world)
+        seen = {}
+
+        def program(proc):
+            yield Sweep([Point(0.0, 0.0)])
+            seen["time"] = proc.time
+
+        engine.spawn(program, [SOURCE_ID])
+        result = engine.run()
+        assert seen["time"] == 0.0
+        assert result.total_energy == 0.0
+
+    def test_duplicate_waypoints_charge_once(self):
+        """Tiny hops inside a sweep are teleports, exactly like Move."""
+        stops = [Point(1.0, 0.0), Point(1.0, 0.0), Point(2.0, 0.0)]
+        world = World(source=Point(0, 0), positions=[])
+        engine = Engine(world)
+
+        def program(proc):
+            yield Sweep(stops)
+
+        engine.spawn(program, [SOURCE_ID])
+        result = engine.run()
+        assert result.total_energy == 2.0
+        assert result.termination_time == 2.0
+
+    def test_team_sweep_charges_every_robot(self):
+        world = World(source=Point(0, 0), positions=[Point(0.0, 0.0)])
+        engine = Engine(world)
+        world.mark_awake(1, 0.0, None)
+
+        def program(proc):
+            yield Sweep([Point(3.0, 4.0)])
+
+        engine.spawn(program, [SOURCE_ID, 1])
+        result = engine.run()
+        assert result.total_energy == 10.0
+        assert result.max_energy == 5.0
