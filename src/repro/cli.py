@@ -11,8 +11,10 @@ Commands:
 * ``scenarios`` — list the scenario registry: names, labels, world models
   and generator schemas;
 * ``params`` — compute an instance's ``(rho*, ell*, xi_ell)``;
-* ``sweep``  — run a declarative sweep-spec file on a worker pool with
-  incremental result caching (the batch harness);
+* ``sweep``  — run a declarative sweep-spec file on a pluggable executor
+  backend (``serial`` / ``pool`` / ``async-local``) with incremental
+  result caching and a resumable manifest: ``--resume`` continues a
+  killed sweep losslessly, ``--status`` prints its progress;
 * ``bench``  — run the tracked performance suites (engine micro-benches
   and large-``n`` scale runs), write ``BENCH_<suite>.json`` baselines or
   check fresh numbers against the committed ones (``--check``);
@@ -30,6 +32,10 @@ Examples::
     freezetag algorithms
     freezetag scenarios --verbose
     freezetag sweep examples/sweep_heterogeneous.json --workers 4
+    freezetag sweep examples/sweep_quick.json --executor async-local \\
+        --cache-dir .sweep-cache
+    freezetag sweep examples/sweep_quick.json --status --cache-dir .sweep-cache
+    freezetag sweep examples/sweep_quick.json --resume --cache-dir .sweep-cache
     freezetag table1 --experiment rho --scale small
 """
 
@@ -37,6 +43,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
 from pathlib import Path
 from typing import Any, Callable
@@ -44,7 +51,9 @@ from typing import Any, Callable
 from .core.registry import algorithm_names, get_algorithm, iter_algorithms
 from .experiments import (
     ResultCache,
+    SweepManifest,
     SweepSpec,
+    executor_names,
     agrid_xi_sweep,
     aggregate_records,
     aseparator_ell_sweep,
@@ -213,18 +222,71 @@ def _cmd_params(args: argparse.Namespace) -> int:
     return 0
 
 
+def _install_sigterm_exit() -> None:
+    """Convert SIGTERM into a clean ``SystemExit`` for the sweep loop.
+
+    A killed sweep then tears down its worker pool and flushes the
+    manifest on the way out instead of dying mid-write — the kill half
+    of the kill-and-resume contract (``scripts/resume_smoke.sh``).
+    Settled records are safe either way: cache writes are atomic.
+    """
+    try:
+        signal.signal(
+            signal.SIGTERM, lambda signum, frame: sys.exit(128 + signum)
+        )
+    except ValueError:  # not in the main thread (embedded use): skip
+        pass
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     try:
         spec = SweepSpec.from_file(args.spec)
-        spec.expand()  # surface job-level errors (solver/collect/params) now
+        requests = spec.expand()  # surface job-level errors (solver/...) now
     except OSError as exc:
         raise SystemExit(f"cannot read sweep spec: {exc}") from None
     except (json.JSONDecodeError, ValueError) as exc:
         raise SystemExit(f"invalid sweep spec {args.spec!r}: {exc}") from None
+    if (args.resume or args.status) and not args.cache_dir:
+        raise SystemExit(
+            "--resume/--status need --cache-dir: the result cache is the "
+            "checkpoint a sweep resumes from"
+        )
     cache = ResultCache(args.cache_dir) if args.cache_dir else None
+
+    if args.status:
+        manifest = SweepManifest.locate(spec, requests, cache)
+        if manifest is None:
+            # No recorded run of this exact spec — report what the shared
+            # cache can already serve anyway.
+            manifest = SweepManifest.for_spec(spec, requests, cache)
+            print(
+                f"sweep {spec.name!r}: no manifest recorded yet under "
+                f"{manifest.path.parent} (counts below are cache-only)"
+            )
+        print(f"sweep {spec.name!r}: spec hash {manifest.spec_hash}")
+        print(f"manifest: {manifest.path}")
+        print(manifest.status(cache).line())
+        return 0
+
+    if args.resume:
+        manifest = SweepManifest.locate(spec, requests, cache)
+        if manifest is None:
+            raise SystemExit(
+                f"nothing to resume: no manifest for sweep {spec.name!r} "
+                f"under {SweepManifest.path_for(cache, '*').parent}; run "
+                "without --resume first (any change to the spec forks its "
+                "manifest and cache entries)"
+            )
+        print(f"resuming sweep {spec.name!r}: {manifest.status(cache).line()}")
+
+    _install_sigterm_exit()
     progress = None if args.quiet else (lambda tick: print(tick.line()))
     result = run_sweep(
-        spec, workers=args.workers, cache=cache, progress=progress
+        spec,
+        workers=args.workers,
+        cache=cache,
+        progress=progress,
+        executor=args.executor,
     )
     scalar_keys = [
         "algorithm", "instance", "n", "ell", "rho_star", "ell_star",
@@ -248,6 +310,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         f"\n{result.executed} executed, {result.cached} cached"
         + (f" | {cache.stats()}" if cache is not None else "")
     )
+    if result.manifest is not None:
+        print(f"manifest: {result.manifest.path}")
     if args.csv:
         path = write_csv(args.csv, rows)
         print(f"records written to {path}")
@@ -413,16 +477,34 @@ def build_parser() -> argparse.ArgumentParser:
     p_params.set_defaults(handler=_cmd_params)
 
     p_sweep = sub.add_parser(
-        "sweep", help="run a declarative sweep spec on a worker pool"
+        "sweep", help="run a declarative sweep spec on an executor backend"
     )
     p_sweep.add_argument("spec", help="path to a sweep-spec JSON file")
     p_sweep.add_argument(
         "--workers", type=int, default=1,
-        help="process-pool size (results are identical for any value)",
+        help="worker count (results are identical for any value); without "
+             "--executor, a count above one selects the 'pool' backend",
+    )
+    p_sweep.add_argument(
+        "--executor", choices=executor_names(), default=None,
+        help="execution backend (default: pool when --workers > 1, else "
+             "serial); records are byte-identical across backends",
     )
     p_sweep.add_argument(
         "--cache-dir", default=None,
-        help="directory for the incremental result cache",
+        help="directory for the incremental result cache (also the "
+             "checkpoint store: a killed sweep resumes from it losslessly)",
+    )
+    p_sweep.add_argument(
+        "--resume", action="store_true",
+        help="resume an interrupted sweep from its manifest (requires "
+             "--cache-dir and a previous run of the same spec); only "
+             "unsettled jobs execute, records stay byte-identical",
+    )
+    p_sweep.add_argument(
+        "--status", action="store_true",
+        help="print manifest progress (done/cached/pending counts) against "
+             "the cache and exit without executing anything",
     )
     p_sweep.add_argument("--csv", default=None, help="write run records to CSV")
     p_sweep.add_argument(

@@ -1,9 +1,11 @@
 """Experiment harness: every table and figure of the paper as a function.
 
 :mod:`~repro.experiments.harness` is the batch-execution substrate —
-declarative sweep specs expanded into picklable jobs, run on a process
-pool with an incremental on-disk cache.  The table/figure functions are
-thin, named sweeps built on top of it.
+declarative sweep specs expanded into picklable jobs, run on a pluggable
+executor backend (:mod:`~repro.experiments.executors`: ``serial``,
+``pool``, ``async-local``) with an incremental on-disk cache and a
+resumable sweep manifest (:mod:`~repro.experiments.manifest`).  The
+table/figure functions are thin, named sweeps built on top of it.
 """
 
 from .ablations import (
@@ -13,6 +15,17 @@ from .ablations import (
     solver_choice,
 )
 from .cache import ResultCache, request_key
+from .executors import (
+    AsyncLocalExecutor,
+    Executor,
+    PoolExecutor,
+    SerialExecutor,
+    SweepJobError,
+    executor_names,
+    get_executor,
+    register_executor,
+    resolve_executor,
+)
 from .figures import (
     exploration_scaling,
     lower_bound_experiment,
@@ -31,6 +44,7 @@ from .harness import (
     run_sweep,
 )
 from .io import format_table, print_table, write_csv
+from .manifest import ManifestStatus, SweepManifest, spec_fingerprint
 from .table1 import (
     agrid_xi_sweep,
     aseparator_ell_sweep,
@@ -52,6 +66,18 @@ __all__ = [
     "request_key",
     "run_requests",
     "run_sweep",
+    "Executor",
+    "SerialExecutor",
+    "PoolExecutor",
+    "AsyncLocalExecutor",
+    "SweepJobError",
+    "executor_names",
+    "get_executor",
+    "register_executor",
+    "resolve_executor",
+    "ManifestStatus",
+    "SweepManifest",
+    "spec_fingerprint",
     "centralized_baseline_sweep",
     "distribution_gap",
     "online_competitiveness",

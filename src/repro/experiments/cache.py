@@ -45,7 +45,12 @@ def request_key(request: RunRequest) -> str:
 
 @dataclass
 class ResultCache:
-    """Directory of ``<request-hash>.json`` result records."""
+    """Directory of ``<request-hash>.json`` result records.
+
+    Sweep manifests (:mod:`repro.experiments.manifest`) live under the
+    ``manifests/`` subdirectory — outside the flat record namespace, so
+    ``len(cache)`` and record globs only ever see result entries.
+    """
 
     directory: Path
     hits: int = field(default=0, init=False)
@@ -57,6 +62,20 @@ class ResultCache:
 
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.json"
+
+    def contains(self, request: RunRequest) -> bool:
+        """Whether a record for ``request`` is on disk.
+
+        A pure existence probe — unlike :meth:`load` it touches neither
+        the hit/miss counters nor the file contents, so manifest status
+        queries (:mod:`repro.experiments.manifest`) can poll progress
+        without skewing the sweep's cache accounting.
+        """
+        return self.contains_key(request_key(request))
+
+    def contains_key(self, key: str) -> bool:
+        """Existence probe by raw request key (the cache filename stem)."""
+        return self._path(key).exists()
 
     def load(self, request: RunRequest) -> dict[str, Any] | None:
         """The cached record for ``request``, or ``None`` on a miss."""

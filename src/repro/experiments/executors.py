@@ -1,0 +1,335 @@
+"""Pluggable sweep executors: serial, process pool, async local.
+
+The harness used to hardwire one execution strategy — a bare
+``multiprocessing.Pool`` inside ``run_requests`` — which caps every
+sweep at one box and leaves no seam for the ROADMAP's multi-host
+work-stealing backend.  This module turns the strategy into a small
+registered protocol, mirroring the algorithm and scenario registries
+(PRs 2–3):
+
+* :class:`Executor` — the protocol: ``submit(indexed jobs)`` yields
+  ``(index, record, elapsed)`` tuples as jobs settle, in any order;
+* a name -> factory registry (:func:`register_executor`,
+  :func:`get_executor`, :func:`executor_names`) so sweeps select a
+  backend by name (``freezetag sweep --executor async-local``);
+* three built-in backends:
+
+  - ``serial`` — in-process, submission order: the debugging and
+    profiling baseline (no pickling, original tracebacks chained);
+  - ``pool`` — the classic ``multiprocessing.Pool``, exactly the
+    strategy ``run_requests(workers=N)`` always had, now behind the
+    protocol (the ``workers=`` compat shim maps here, including the
+    historical "one worker or one job runs in-process" fast path);
+  - ``async-local`` — an asyncio event loop driving a
+    ``concurrent.futures`` process pool: the same one-box parallelism,
+    but the coordinator is a non-blocking loop — the stepping stone to
+    multi-host work-stealing over the shared content-hash cache, where
+    job dispatch must interleave with network traffic
+    (``freezetag serve``, ROADMAP item 2).
+
+Executors only order *execution*; the harness reassembles records by
+job index and every job is deterministic given its request, so sweep
+records are **byte-identical across backends** (pinned by
+``tests/experiments/test_executors.py``).
+
+Failure contract: a job that raises inside any backend surfaces as
+:class:`SweepJobError` naming the job's index and the offending
+request's label — never a bare pool traceback.  Process backends ship a
+picklable failure payload back instead of the exception object itself,
+so unpicklable exception types cannot wedge the pool.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import os
+import signal
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Protocol, Sequence, runtime_checkable
+
+from ..core.runner import RunRequest
+
+__all__ = [
+    "Executor",
+    "SweepJobError",
+    "SerialExecutor",
+    "PoolExecutor",
+    "AsyncLocalExecutor",
+    "register_executor",
+    "get_executor",
+    "executor_names",
+    "resolve_executor",
+]
+
+#: One unit of work: the job's position in the request list plus the job.
+IndexedJob = tuple[int, RunRequest]
+#: One settled job: position, normalised record, worker-side wall time.
+SettledJob = tuple[int, dict[str, Any], float]
+
+
+class SweepJobError(RuntimeError):
+    """One sweep job failed; carries the job's identity, not just a trace.
+
+    ``index`` is the job's position in the submitted request list and
+    ``label`` the offending :meth:`RunRequest.label`, so a failure deep
+    in a thousand-job sweep is attributable without replaying it.
+    """
+
+    def __init__(self, index: int, label: str, kind: str, message: str) -> None:
+        self.index = index
+        self.label = label
+        self.kind = kind
+        super().__init__(
+            f"sweep job #{index} ({label}) failed with {kind}: {message}"
+        )
+
+
+@dataclass(frozen=True)
+class _JobFailure:
+    """Picklable failure payload shipped back from a worker process."""
+
+    kind: str
+    message: str
+
+
+def _reset_worker_signals() -> None:
+    """Pool-worker initializer: restore default SIGTERM handling.
+
+    Workers fork from a parent that may have installed a graceful
+    SIGTERM -> ``SystemExit`` handler (the CLI does, so a killed sweep
+    flushes its manifest).  Inherited by a worker, that handler turns
+    the SIGTERM of ``Pool.terminate()``/pool teardown into an in-flight
+    ``SystemExit`` whose unwinding can deadlock against the pool's own
+    queues — the parent then blocks forever joining the worker.  Workers
+    must simply die on SIGTERM; the graceful part is the parent's job.
+    """
+    try:
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
+
+
+def _execute_job(job: IndexedJob) -> tuple[int, Any, float]:
+    """Worker body for the process backends (module-level: picklable).
+
+    Failures come back as data (:class:`_JobFailure`), not exceptions:
+    the parent re-raises them as :class:`SweepJobError` with the job's
+    identity attached.
+    """
+    from .harness import execute_request  # runtime import: avoids a cycle
+
+    index, request = job
+    start = time.perf_counter()
+    try:
+        record = execute_request(request)
+    except Exception as exc:
+        return index, _JobFailure(type(exc).__name__, str(exc)), time.perf_counter() - start
+    return index, record, time.perf_counter() - start
+
+
+def _serial_iter(jobs: Sequence[IndexedJob]) -> Iterator[SettledJob]:
+    """Run jobs in-process, in submission order, chaining real tracebacks."""
+    from .harness import execute_request  # runtime import: avoids a cycle
+
+    for index, request in jobs:
+        start = time.perf_counter()
+        try:
+            record = execute_request(request)
+        except Exception as exc:
+            raise SweepJobError(
+                index, request.label(), type(exc).__name__, str(exc)
+            ) from exc
+        yield index, record, time.perf_counter() - start
+
+
+def _raise_failure(
+    index: int, failure: _JobFailure, requests: dict[int, RunRequest]
+) -> None:
+    raise SweepJobError(
+        index, requests[index].label(), failure.kind, failure.message
+    )
+
+
+@runtime_checkable
+class Executor(Protocol):
+    """Execution backend protocol for sweep jobs.
+
+    ``submit`` consumes indexed jobs and yields them as they settle, in
+    *any* order — the harness reassembles records by index.  A failing
+    job must surface as :class:`SweepJobError`.
+    """
+
+    name: str
+
+    def submit(self, jobs: Sequence[IndexedJob]) -> Iterator[SettledJob]: ...
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+_EXECUTORS: dict[str, Callable[..., Executor]] = {}
+
+
+def register_executor(name: str) -> Callable[[Callable[..., Executor]], Callable[..., Executor]]:
+    """Register an executor factory under ``name``.
+
+    The factory is called as ``factory(workers=...)`` where ``workers``
+    is the caller's parallelism hint (``None`` = backend default).
+    """
+
+    def decorate(factory: Callable[..., Executor]) -> Callable[..., Executor]:
+        if name in _EXECUTORS:
+            raise ValueError(f"executor {name!r} already registered")
+        _EXECUTORS[name] = factory
+        return factory
+
+    return decorate
+
+
+def executor_names() -> tuple[str, ...]:
+    """All registered executor names, sorted."""
+    return tuple(sorted(_EXECUTORS))
+
+
+def get_executor(name: str, workers: int | None = None) -> Executor:
+    """Instantiate the executor registered under ``name``."""
+    try:
+        factory = _EXECUTORS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown executor {name!r}; choose from {executor_names()}"
+        ) from None
+    return factory(workers=workers)
+
+
+def resolve_executor(
+    executor: Executor | str | None, workers: int | None = None
+) -> Executor:
+    """The harness's front door: name, instance or legacy ``workers=``.
+
+    ``None`` keeps the historical ``workers=`` semantics: a worker count
+    above one selects the ``pool`` backend, anything else runs serial.
+    A string resolves through the registry with ``workers`` as the
+    parallelism hint; an instance is used as-is (combining it with
+    ``workers=`` is an error — configure the instance instead).
+    """
+    if executor is None:
+        name = "pool" if workers is not None and workers > 1 else "serial"
+        return get_executor(name, workers=workers)
+    if isinstance(executor, str):
+        return get_executor(executor, workers=workers)
+    if workers is not None:
+        raise ValueError(
+            "pass workers= with an executor *name*; an executor instance "
+            "carries its own worker count"
+        )
+    return executor
+
+
+# ---------------------------------------------------------------------------
+# Built-in backends
+# ---------------------------------------------------------------------------
+
+def _default_workers(workers: int | None) -> int:
+    return workers if workers is not None else (os.cpu_count() or 1)
+
+
+@register_executor("serial")
+class SerialExecutor:
+    """In-process execution in submission order.
+
+    The baseline every other backend must match byte-for-byte; also the
+    right backend under a debugger or profiler (no pickling, and a
+    failing job chains its original traceback).  ``workers`` is accepted
+    for registry uniformity and ignored.
+    """
+
+    name = "serial"
+
+    def __init__(self, workers: int | None = None) -> None:
+        pass
+
+    def submit(self, jobs: Sequence[IndexedJob]) -> Iterator[SettledJob]:
+        return _serial_iter(jobs)
+
+
+@register_executor("pool")
+class PoolExecutor:
+    """``multiprocessing.Pool`` fan-out — the pre-redesign strategy.
+
+    Pinned behavior of the ``workers=`` compat shim: the pool size is
+    capped at the job count, and a single job or single worker runs
+    in-process (no pool spawn), exactly as ``run_requests(workers=N)``
+    always did.
+    """
+
+    name = "pool"
+
+    def __init__(self, workers: int | None = None) -> None:
+        self.workers = _default_workers(workers)
+
+    def submit(self, jobs: Sequence[IndexedJob]) -> Iterator[SettledJob]:
+        jobs = list(jobs)
+        if self.workers <= 1 or len(jobs) <= 1:
+            yield from _serial_iter(jobs)
+            return
+        requests = dict(jobs)
+        with multiprocessing.Pool(
+            processes=min(self.workers, len(jobs)),
+            initializer=_reset_worker_signals,
+        ) as pool:
+            for index, payload, elapsed in pool.imap_unordered(
+                _execute_job, jobs, chunksize=1
+            ):
+                if isinstance(payload, _JobFailure):
+                    _raise_failure(index, payload, requests)
+                yield index, payload, elapsed
+
+
+@register_executor("async-local")
+class AsyncLocalExecutor:
+    """asyncio coordinator over a ``concurrent.futures`` process pool.
+
+    Same one-box parallelism as ``pool``, but jobs are awaited on an
+    event loop and yielded as each completes — the coordination shape a
+    multi-host work-stealing backend (and ``freezetag serve``) needs,
+    where dispatch interleaves with network traffic instead of blocking
+    in ``imap_unordered``.  Degrades to the serial path for a single job
+    or worker, mirroring :class:`PoolExecutor`.
+    """
+
+    name = "async-local"
+
+    def __init__(self, workers: int | None = None) -> None:
+        self.workers = _default_workers(workers)
+
+    def submit(self, jobs: Sequence[IndexedJob]) -> Iterator[SettledJob]:
+        jobs = list(jobs)
+        if self.workers <= 1 or len(jobs) <= 1:
+            yield from _serial_iter(jobs)
+            return
+        requests = dict(jobs)
+        loop = asyncio.new_event_loop()
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(self.workers, len(jobs)),
+                initializer=_reset_worker_signals,
+            ) as pool:
+                futures = {
+                    loop.run_in_executor(pool, _execute_job, job) for job in jobs
+                }
+                while futures:
+                    settled, futures = loop.run_until_complete(
+                        asyncio.wait(futures, return_when=asyncio.FIRST_COMPLETED)
+                    )
+                    for future in settled:
+                        index, payload, elapsed = future.result()
+                        if isinstance(payload, _JobFailure):
+                            _raise_failure(index, payload, requests)
+                        yield index, payload, elapsed
+        finally:
+            loop.close()

@@ -12,8 +12,11 @@ a sweep into data:
 * :class:`SweepSpec` — algorithms x workloads x seeds x algorithm
   params, loadable from a JSON file (``freezetag sweep spec.json``);
 * :func:`run_requests` / :func:`run_sweep` — execute the expanded
-  :class:`~repro.core.runner.RunRequest` jobs on a ``multiprocessing``
-  pool with an optional :class:`~repro.experiments.cache.ResultCache`.
+  :class:`~repro.core.runner.RunRequest` jobs on a pluggable
+  :class:`~repro.experiments.executors.Executor` backend (``serial``,
+  ``pool``, ``async-local``) with an optional
+  :class:`~repro.experiments.cache.ResultCache` and a resumable
+  :class:`~repro.experiments.manifest.SweepManifest`.
 
 Workload validation runs against the scenario registry's *declared*
 schemas (:mod:`repro.instances.registry`) — no signature sniffing.
@@ -23,15 +26,17 @@ request (instance generation and world-model assignment) while the
 engine itself is event-ordered, so a record depends only on its request
 — never on scheduling.  Records are normalised through canonical JSON
 and returned in spec-expansion order, which makes sweep output
-**byte-identical for any worker count** and for cached vs fresh runs.
+**byte-identical for any executor backend and worker count** and for
+cached vs fresh runs.  With a cache, every settled record is
+checkpointed as it lands, so a sweep killed at any point resumes
+losslessly (the cache *is* the checkpoint; see
+:mod:`repro.experiments.manifest`).
 """
 
 from __future__ import annotations
 
 import itertools
 import json
-import multiprocessing
-import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Iterable, Mapping, Sequence
@@ -42,6 +47,8 @@ from ..instances import FAMILIES, get_scenario
 from ..metrics import summarize
 from ..sim import WorldConfig
 from .cache import ResultCache, canonical_json
+from .executors import Executor, resolve_executor
+from .manifest import SweepManifest
 
 __all__ = [
     "FamilySweep",
@@ -50,6 +57,7 @@ __all__ = [
     "SweepProgress",
     "SweepResult",
     "expand_spec",
+    "execute_request",
     "run_requests",
     "run_sweep",
     "aggregate_records",
@@ -359,6 +367,9 @@ class SweepResult:
     records: list[dict[str, Any]]
     executed: int
     cached: int
+    #: The sweep's resumable manifest (``None`` when run without a cache
+    #: or with ``manifest=False``).
+    manifest: SweepManifest | None = None
 
     @property
     def total(self) -> int:
@@ -410,27 +421,37 @@ def execute_request(request: RunRequest) -> dict[str, Any]:
     return json.loads(canonical_json(record))
 
 
-def _execute_indexed(
-    job: tuple[int, RunRequest],
-) -> tuple[int, dict[str, Any], float]:
-    index, request = job
-    start = time.perf_counter()
-    record = execute_request(request)
-    return index, record, time.perf_counter() - start
-
-
 def run_requests(
     requests: Sequence[RunRequest],
-    workers: int = 1,
+    workers: int | None = None,
     cache: ResultCache | None = None,
     progress: Callable[[SweepProgress], None] | None = None,
+    executor: Executor | str | None = None,
+    manifest: SweepManifest | None = None,
 ) -> list[dict[str, Any]]:
-    """Execute jobs (pool of ``workers``) and return records in job order.
+    """Execute jobs on an executor backend; records come back in job order.
 
-    Cached jobs are skipped; fresh results are stored back.  The returned
-    list is ordered by position in ``requests`` regardless of worker
-    count or completion order.
+    ``executor`` names a registered backend (``serial``, ``pool``,
+    ``async-local``) or passes an :class:`Executor` instance.  ``workers``
+    is the pre-executor compat shim: ``workers=N`` maps onto the ``pool``
+    backend with its pinned historical behavior (``N <= 1`` or a single
+    pending job runs in-process), so every existing call site keeps
+    byte-identical records and cache keys.
+
+    Cached jobs are skipped; fresh results are stored back as each job
+    settles — with a cache, the job list can be killed and re-run at any
+    point and only the unsettled remainder executes.  The returned list
+    is ordered by position in ``requests`` regardless of backend or
+    completion order.  A failing job raises
+    :class:`~repro.experiments.executors.SweepJobError` naming the job's
+    index and label; records settled before the failure are already
+    checkpointed.
+
+    ``manifest`` (see :mod:`repro.experiments.manifest`) is notified as
+    each job settles and flushed on the way out, so interrupted sweeps
+    keep their accounting.
     """
+    backend = resolve_executor(executor, workers=workers)
     total = len(requests)
     records: list[dict[str, Any] | None] = [None] * total
     done = 0
@@ -438,6 +459,8 @@ def run_requests(
     def tick(index: int, cached: bool, elapsed: float) -> None:
         nonlocal done
         done += 1
+        if manifest is not None:
+            manifest.mark_done(index)
         if progress is not None:
             progress(
                 SweepProgress(
@@ -458,39 +481,68 @@ def run_requests(
         else:
             pending.append((index, request))
 
-    def settle(index: int, record: dict[str, Any], elapsed: float) -> None:
-        if cache is not None:
-            cache.store(requests[index], record)
-        records[index] = record
-        tick(index, cached=False, elapsed=elapsed)
+    try:
+        for index, record, elapsed in backend.submit(pending):
+            if cache is not None:
+                cache.store(requests[index], record)
+            records[index] = record
+            tick(index, cached=False, elapsed=elapsed)
+    finally:
+        if manifest is not None:
+            manifest.flush()
 
-    if workers <= 1 or len(pending) <= 1:
-        for index, request in pending:
-            _, record, elapsed = _execute_indexed((index, request))
-            settle(index, record, elapsed)
-    else:
-        with multiprocessing.Pool(processes=min(workers, len(pending))) as pool:
-            for index, record, elapsed in pool.imap_unordered(
-                _execute_indexed, pending, chunksize=1
-            ):
-                settle(index, record, elapsed)
-
-    assert all(record is not None for record in records)
+    missing = [index for index, record in enumerate(records) if record is None]
+    if missing:
+        raise RuntimeError(
+            f"executor {backend.name!r} settled {total - len(missing)} of "
+            f"{total} jobs; first missing: job #{missing[0]} "
+            f"({requests[missing[0]].label()})"
+        )
     return records  # type: ignore[return-value]
 
 
 def run_sweep(
     spec: SweepSpec,
-    workers: int = 1,
+    workers: int | None = None,
     cache: ResultCache | None = None,
     progress: Callable[[SweepProgress], None] | None = None,
+    executor: Executor | str | None = None,
+    manifest: SweepManifest | bool = True,
 ) -> SweepResult:
-    """Expand and execute a :class:`SweepSpec`."""
+    """Expand and execute a :class:`SweepSpec`.
+
+    With a ``cache``, the sweep's :class:`SweepManifest` is written
+    before the first job runs and refreshed as jobs settle (pass
+    ``manifest=False`` to opt out, or a prebuilt manifest to reuse one).
+    Killing the sweep at any point and re-running the same spec resumes
+    losslessly: settled records load from the cache, records stay
+    byte-identical to an uninterrupted run for every executor backend.
+    """
     requests = spec.expand()
+    sweep_manifest: SweepManifest | None = None
+    if cache is not None and manifest is not False:
+        sweep_manifest = (
+            manifest
+            if isinstance(manifest, SweepManifest)
+            else SweepManifest.for_spec(spec, requests, cache)
+        )
+        sweep_manifest.flush()  # on disk before the first job: kill-safe
     hits_before = cache.hits if cache is not None else 0
-    records = run_requests(requests, workers=workers, cache=cache, progress=progress)
+    records = run_requests(
+        requests,
+        workers=workers,
+        cache=cache,
+        progress=progress,
+        executor=executor,
+        manifest=sweep_manifest,
+    )
     cached = (cache.hits - hits_before) if cache is not None else 0
-    return SweepResult(records=records, executed=len(records) - cached, cached=cached)
+    return SweepResult(
+        records=records,
+        executed=len(records) - cached,
+        cached=cached,
+        manifest=sweep_manifest,
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,250 @@
+"""Resumable sweep manifests: the result cache *is* the checkpoint.
+
+Running a :class:`~repro.experiments.harness.SweepSpec` against a
+:class:`~repro.experiments.cache.ResultCache` writes a small JSON
+**manifest** under the cache directory (``manifests/<spec-hash>.json``):
+the spec's content hash plus one entry per expanded job — its position,
+its content-hash request key (the cache filename stem) and the last
+recorded status.  Because every settled record is already checkpointed
+through the cache's atomic per-record files, the manifest introduces
+**no new storage format**: killing a sweep at any point loses nothing.
+Re-running the same spec loads every settled record from the cache and
+executes only the remainder, producing records byte-identical to an
+uninterrupted run — for any executor backend.
+
+The spec hash covers the ordered list of per-job request keys, so *any*
+change to the expansion (an extra seed, a new grid point, a parameter
+rename) forks the manifest exactly as it forks the cache entries.
+
+Statuses in the file are a snapshot — refreshed periodically as the
+harness settles jobs and once more on completion; the cache stays
+authoritative.  :meth:`SweepManifest.status` therefore recomputes
+against the cache and distinguishes three populations:
+
+* ``done``    — a recorded run of *this spec* settled the job and its
+  record is on disk;
+* ``cached``  — the record is on disk but this spec's runs never marked
+  it (a kill before the final flush, or a hit produced by a different
+  spec sharing the content-addressed cache);
+* ``pending`` — no record on disk; the job still needs executing.
+
+``freezetag sweep --status`` prints these counts without executing
+anything; ``--resume`` demands an existing manifest before continuing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Sequence
+
+from ..core.runner import RunRequest
+from .cache import ResultCache, canonical_json, request_key
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .harness import SweepSpec
+
+__all__ = [
+    "ManifestStatus",
+    "SweepManifest",
+    "spec_fingerprint",
+    "manifest_dir",
+]
+
+#: Bump when the manifest layout changes incompatibly; stale manifests
+#: are then simply ignored (the cache still resumes the records).
+_SCHEMA_VERSION = 1
+
+#: Subdirectory of the cache holding manifests.  Record entries live as
+#: flat ``<key>.json`` files, so a subdirectory keeps manifests out of
+#: the cache's own namespace (``len(cache)`` and record globs).
+_MANIFEST_DIR = "manifests"
+
+#: Default number of settles between incremental manifest flushes.  One
+#: atomic rewrite per settle would be pure overhead on a million-run
+#: sweep; the cache already persists every record, so a stale snapshot
+#: only shifts jobs from ``done`` to ``cached`` in the status report.
+FLUSH_EVERY = 64
+
+
+def manifest_dir(cache: ResultCache) -> Path:
+    """The cache's manifest directory (not created until first write)."""
+    return Path(cache.directory) / _MANIFEST_DIR
+
+
+def spec_fingerprint(name: str, keys: Sequence[str]) -> str:
+    """Content hash of a sweep: its name plus the ordered job keys.
+
+    Matches the cache-key philosophy: the identity of a sweep is the
+    exact list of jobs it expands to, so any spec edit that changes any
+    job (or their order) forks the manifest.
+    """
+    body = canonical_json(
+        {"schema": _SCHEMA_VERSION, "name": name, "keys": list(keys)}
+    )
+    return hashlib.sha256(body.encode("utf-8")).hexdigest()[:32]
+
+
+@dataclass(frozen=True)
+class ManifestStatus:
+    """Live done/cached/pending counts of one manifest vs its cache."""
+
+    total: int
+    done: int
+    cached: int
+    pending: int
+
+    @property
+    def settled(self) -> int:
+        return self.done + self.cached
+
+    def line(self) -> str:
+        pct = (100.0 * self.settled / self.total) if self.total else 100.0
+        return (
+            f"{self.done} done + {self.cached} cached / {self.total} jobs "
+            f"({self.pending} pending, {pct:.0f}% complete)"
+        )
+
+
+@dataclass
+class SweepManifest:
+    """One sweep's job ledger, persisted under the cache directory."""
+
+    spec_name: str
+    spec_hash: str
+    keys: list[str]
+    labels: list[str]
+    statuses: list[str]  # per-job snapshot: "done" | "pending"
+    path: Path
+    _since_flush: int = field(default=0, init=False, repr=False)
+
+    # -- construction -------------------------------------------------------
+
+    @staticmethod
+    def path_for(cache: ResultCache, spec_hash: str) -> Path:
+        return manifest_dir(cache) / f"{spec_hash}.json"
+
+    @classmethod
+    def for_spec(
+        cls,
+        spec: "SweepSpec",
+        requests: Sequence[RunRequest],
+        cache: ResultCache,
+    ) -> "SweepManifest":
+        """Build (or reload) the manifest of ``spec`` under ``cache``.
+
+        An existing manifest file for the same spec hash keeps its
+        recorded ``done`` marks; otherwise every job starts ``pending``.
+        The caller flushes to disk (see :meth:`flush`).
+        """
+        keys = [request_key(request) for request in requests]
+        spec_hash = spec_fingerprint(spec.name, keys)
+        path = cls.path_for(cache, spec_hash)
+        statuses = ["pending"] * len(keys)
+        existing = cls.load(path)
+        if existing is not None and existing.keys == keys:
+            statuses = list(existing.statuses)
+        return cls(
+            spec_name=spec.name,
+            spec_hash=spec_hash,
+            keys=keys,
+            labels=[request.label() for request in requests],
+            statuses=statuses,
+            path=path,
+        )
+
+    @classmethod
+    def locate(
+        cls,
+        spec: "SweepSpec",
+        requests: Sequence[RunRequest],
+        cache: ResultCache,
+    ) -> "SweepManifest | None":
+        """The previously written manifest of ``spec``, or ``None``."""
+        keys = [request_key(request) for request in requests]
+        return cls.load(cls.path_for(cache, spec_fingerprint(spec.name, keys)))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "SweepManifest | None":
+        """Parse a manifest file; ``None`` when absent, stale or corrupt."""
+        path = Path(path)
+        try:
+            payload = json.loads(path.read_text())
+        except (FileNotFoundError, json.JSONDecodeError):
+            return None
+        if payload.get("schema") != _SCHEMA_VERSION:
+            return None
+        jobs = payload.get("jobs", [])
+        return cls(
+            spec_name=payload.get("name", ""),
+            spec_hash=payload.get("spec_hash", ""),
+            keys=[job["key"] for job in jobs],
+            labels=[job.get("label", "") for job in jobs],
+            statuses=[job.get("status", "pending") for job in jobs],
+            path=path,
+        )
+
+    # -- progress accounting ------------------------------------------------
+
+    @property
+    def total(self) -> int:
+        return len(self.keys)
+
+    def mark_done(self, index: int) -> None:
+        """Record job ``index`` as settled; flush every ``FLUSH_EVERY``.
+
+        Called by the harness as each job settles (cache hit or fresh
+        execution).  The periodic flush bounds how stale an interrupted
+        sweep's on-disk snapshot can be without paying one rewrite per
+        settle — the cache itself already holds every record.
+        """
+        if self.statuses[index] != "done":
+            self.statuses[index] = "done"
+            self._since_flush += 1
+            if self._since_flush >= FLUSH_EVERY:
+                self.flush()
+
+    def flush(self) -> Path:
+        """Atomically write the manifest (same discipline as the cache)."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        payload = canonical_json(
+            {
+                "schema": _SCHEMA_VERSION,
+                "name": self.spec_name,
+                "spec_hash": self.spec_hash,
+                "jobs": [
+                    {"index": i, "key": key, "label": label, "status": status}
+                    for i, (key, label, status) in enumerate(
+                        zip(self.keys, self.labels, self.statuses)
+                    )
+                ],
+            }
+        )
+        tmp = self.path.with_suffix(f".{os.getpid()}.tmp")
+        tmp.write_text(payload)
+        os.replace(tmp, self.path)
+        self._since_flush = 0
+        return self.path
+
+    def status(self, cache: ResultCache) -> ManifestStatus:
+        """Recompute live counts against the cache (the ground truth).
+
+        A job marked ``done`` whose record has since been deleted from
+        the cache counts as ``pending`` again — the mark is a claim, the
+        cache is the proof.
+        """
+        done = cached = pending = 0
+        for key, status in zip(self.keys, self.statuses):
+            if cache.contains_key(key):
+                if status == "done":
+                    done += 1
+                else:
+                    cached += 1
+            else:
+                pending += 1
+        return ManifestStatus(
+            total=self.total, done=done, cached=cached, pending=pending
+        )

@@ -105,6 +105,44 @@ class TestScenarioNamespace:
                        world_params={"speed": 2.0})
 
 
+class TestExecutorRedesignCompat:
+    """PR 6 compat contract: the executor redesign is invisible to caches.
+
+    Cache keys hash the *request*, never the execution backend, and
+    records are byte-identical whichever backend produced them — so
+    pre-redesign caches stay warm and ``workers=N`` call sites keep
+    their exact behavior.
+    """
+
+    def test_executor_choice_never_touches_cache_keys(self):
+        # Same pinned keys as the pre-redesign specs above: expansion
+        # knows nothing about executors, so the pins carry over verbatim.
+        for spec_file, pinned in PINNED_KEYS.items():
+            requests = SweepSpec.from_file(EXAMPLES / spec_file).expand()
+            assert [request_key(r) for r in requests] == pinned
+
+    def test_workers_shim_matches_named_backends(self):
+        requests = [
+            RunRequest("greedy", "beaded_path", {"n": n, "spacing": 1.0})
+            for n in (4, 5, 6)
+        ]
+        via_workers = run_requests(requests, workers=2)
+        for name in ("serial", "pool", "async-local"):
+            via_name = run_requests(requests, executor=name, workers=2)
+            assert json.dumps(via_name) == json.dumps(via_workers)
+
+    def test_cache_entries_shared_across_backends(self, tmp_path):
+        from repro.experiments import ResultCache
+
+        requests = [RunRequest("greedy", "beaded_path", {"n": 5, "spacing": 1.0})]
+        cache = ResultCache(tmp_path / "cache")
+        fresh = run_requests(requests, cache=cache, executor="pool", workers=2)
+        hits_before = cache.hits
+        warm = run_requests(requests, cache=cache, executor="async-local")
+        assert cache.hits == hits_before + 1  # hit, not a re-execution
+        assert json.dumps(fresh) == json.dumps(warm)
+
+
 class TestHeterogeneousDeterminism:
     @pytest.mark.slow
     def test_workers_1_vs_3_byte_identical(self):

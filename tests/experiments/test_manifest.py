@@ -1,0 +1,195 @@
+"""Sweep manifests: fingerprints, persistence, live status, resumption.
+
+The manifest is the sweep's ledger, the cache is the checkpoint: these
+tests pin the fingerprint forking rules, the on-disk layout (atomic,
+outside the cache's record namespace), and the done/cached/pending
+status populations the CLI reports.
+"""
+
+import json
+
+import pytest
+
+from repro.core.runner import RunRequest
+from repro.experiments import (
+    FamilySweep,
+    ResultCache,
+    SweepJobError,
+    SweepSpec,
+    SweepManifest,
+    request_key,
+    run_requests,
+    run_sweep,
+    spec_fingerprint,
+)
+from repro.experiments.manifest import manifest_dir
+
+SPEC = SweepSpec(
+    name="manifest",
+    algorithms=("greedy",),
+    families=(FamilySweep("beaded_path", {"n": [4, 5, 6], "spacing": [1.0]}),),
+    seeds=(0,),
+)
+
+
+class TestFingerprint:
+    def test_stable_across_calls(self):
+        keys = [request_key(r) for r in SPEC.expand()]
+        assert spec_fingerprint("manifest", keys) == spec_fingerprint(
+            "manifest", keys
+        )
+        assert len(spec_fingerprint("manifest", keys)) == 32
+
+    def test_forks_on_name_jobs_and_order(self):
+        keys = [request_key(r) for r in SPEC.expand()]
+        base = spec_fingerprint("manifest", keys)
+        assert spec_fingerprint("other", keys) != base
+        assert spec_fingerprint("manifest", keys[:-1]) != base
+        assert spec_fingerprint("manifest", list(reversed(keys))) != base
+
+
+class TestPersistence:
+    def test_layout_under_cache_dir(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        result = run_sweep(SPEC, cache=cache)
+        manifest = result.manifest
+        assert manifest is not None
+        assert manifest.path == manifest_dir(cache) / f"{manifest.spec_hash}.json"
+        payload = json.loads(manifest.path.read_text())
+        assert payload["name"] == "manifest"
+        assert [job["index"] for job in payload["jobs"]] == [0, 1, 2]
+        assert [job["key"] for job in payload["jobs"]] == manifest.keys
+        assert all(job["status"] == "done" for job in payload["jobs"])
+
+    def test_manifests_stay_out_of_record_namespace(self, tmp_path):
+        # len(cache) counts records; the manifest must not inflate it.
+        cache = ResultCache(tmp_path / "cache")
+        result = run_sweep(SPEC, cache=cache)
+        assert len(cache) == len(result.records)
+
+    def test_load_round_trip_and_locate(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        written = run_sweep(SPEC, cache=cache).manifest
+        loaded = SweepManifest.load(written.path)
+        assert loaded is not None
+        assert (loaded.spec_hash, loaded.keys, loaded.statuses) == (
+            written.spec_hash,
+            written.keys,
+            written.statuses,
+        )
+        located = SweepManifest.locate(SPEC, SPEC.expand(), cache)
+        assert located is not None and located.spec_hash == written.spec_hash
+
+    def test_load_tolerates_missing_corrupt_and_stale(self, tmp_path):
+        assert SweepManifest.load(tmp_path / "absent.json") is None
+        corrupt = tmp_path / "corrupt.json"
+        corrupt.write_text("{not json")
+        assert SweepManifest.load(corrupt) is None
+        stale = tmp_path / "stale.json"
+        stale.write_text(json.dumps({"schema": 999, "jobs": []}))
+        assert SweepManifest.load(stale) is None
+
+    def test_manifest_false_opts_out(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        result = run_sweep(SPEC, cache=cache, manifest=False)
+        assert result.manifest is None
+        assert not manifest_dir(cache).exists()
+
+    def test_no_cache_means_no_manifest(self):
+        assert run_sweep(SPEC).manifest is None
+
+
+class TestStatus:
+    def test_written_before_first_job(self, tmp_path):
+        # The manifest lands on disk ahead of execution, so even a kill
+        # during job #0 leaves a resumable ledger.
+        cache = ResultCache(tmp_path / "cache")
+        requests = SPEC.expand()
+        manifest = SweepManifest.for_spec(SPEC, requests, cache)
+        manifest.flush()
+        status = manifest.status(cache)
+        assert (status.total, status.pending) == (3, 3)
+        assert status.settled == 0
+        assert "3 pending, 0% complete" in status.line()
+
+    def test_done_counts_after_full_run(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        manifest = run_sweep(SPEC, cache=cache).manifest
+        status = manifest.status(cache)
+        assert (status.done, status.cached, status.pending) == (3, 0, 0)
+        assert "3 done + 0 cached / 3 jobs" in status.line()
+
+    def test_cached_population(self, tmp_path):
+        # Records on disk that this spec's runs never marked — e.g. a
+        # kill before the final flush, or a sibling spec sharing the
+        # content-addressed cache — count as "cached", not "done".
+        cache = ResultCache(tmp_path / "cache")
+        requests = SPEC.expand()
+        run_requests(requests[:2], cache=cache)  # settle without a manifest
+        manifest = SweepManifest.for_spec(SPEC, requests, cache)
+        manifest.flush()
+        status = manifest.status(cache)
+        assert (status.done, status.cached, status.pending) == (0, 2, 1)
+
+    def test_done_mark_is_a_claim_cache_is_proof(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        manifest = run_sweep(SPEC, cache=cache).manifest
+        # Delete one record behind the manifest's back: the job reverts
+        # to pending in the live status even though its mark says done.
+        victim = manifest.keys[1]
+        (cache.directory / f"{victim}.json").unlink()
+        status = manifest.status(cache)
+        assert (status.done, status.pending) == (2, 1)
+
+
+class TestResume:
+    def test_abort_then_resume_is_lossless(self, tmp_path):
+        # A poisoned job aborts the sweep mid-flight; the finally-flush
+        # keeps the settled marks, and re-running after the poison is
+        # gone executes only the remainder.
+        cache = ResultCache(tmp_path / "cache")
+        requests = SPEC.expand()
+        poison = RunRequest(
+            "greedy",
+            scenario="slow_swarm",
+            family_kwargs={"n": 8, "rho": 4.0, "seed": 0},
+            world_params={"budget": 0.1, "source_budget": 0.1},
+        )
+        manifest = SweepManifest.for_spec(SPEC, requests, cache)
+        manifest.flush()
+        with pytest.raises(SweepJobError):
+            run_requests(
+                [*requests[:2], poison, *requests[2:]],
+                cache=cache,
+                manifest=None,  # indices shifted by the poison; skip marks
+            )
+        reference = run_sweep(SPEC, cache=ResultCache(tmp_path / "ref")).records
+        resumed = run_sweep(SPEC, cache=cache)
+        assert resumed.cached == 2 and resumed.executed == 1
+        assert json.dumps(resumed.records) == json.dumps(reference)
+        status = resumed.manifest.status(cache)
+        assert (status.settled, status.pending) == (3, 0)
+
+    def test_reused_manifest_keeps_done_marks(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        first = run_sweep(SPEC, cache=cache).manifest
+        again = SweepManifest.for_spec(SPEC, SPEC.expand(), cache)
+        assert again.statuses == first.statuses == ["done"] * 3
+
+    def test_spec_edit_forks_the_manifest(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        first = run_sweep(SPEC, cache=cache).manifest
+        grown = SweepSpec(
+            name="manifest",
+            algorithms=("greedy",),
+            families=(
+                FamilySweep("beaded_path", {"n": [4, 5, 6, 7], "spacing": [1.0]}),
+            ),
+            seeds=(0,),
+        )
+        result = run_sweep(grown, cache=cache)
+        assert result.manifest.spec_hash != first.spec_hash
+        # The shared cache still resumes the overlapping jobs...
+        assert result.cached == 3 and result.executed == 1
+        # ...and both manifest files coexist under manifests/.
+        assert first.path.exists() and result.manifest.path.exists()

@@ -228,6 +228,106 @@ class TestSweep:
         assert code == 0
         assert "0 executed, 4 cached" in out
 
+
+class TestSweepExecutors:
+    SPEC = TestSweep.SPEC
+
+    def _write_spec(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(self.SPEC))
+        return str(path)
+
+    @pytest.mark.parametrize("executor", ("serial", "pool", "async-local"))
+    def test_executor_flag_runs_sweep(self, executor, tmp_path, capsys):
+        spec = self._write_spec(tmp_path)
+        code = main(["sweep", spec, "--executor", executor, "--workers", "2",
+                     "--quiet"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2 executed, 0 cached" in out
+
+    def test_unknown_executor_rejected(self, tmp_path, capsys):
+        spec = self._write_spec(tmp_path)
+        with pytest.raises(SystemExit):
+            main(["sweep", spec, "--executor", "threads"])
+        assert "invalid choice: 'threads'" in capsys.readouterr().err
+
+    def test_executor_choice_shares_the_cache(self, tmp_path, capsys):
+        spec = self._write_spec(tmp_path)
+        cache_dir = str(tmp_path / "cache")
+        main(["sweep", spec, "--executor", "pool", "--workers", "2",
+              "--cache-dir", cache_dir, "--quiet"])
+        capsys.readouterr()
+        code = main(["sweep", spec, "--executor", "async-local",
+                     "--cache-dir", cache_dir, "--quiet"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 executed, 2 cached" in out
+
+
+class TestSweepResume:
+    SPEC = TestSweep.SPEC
+
+    def _write_spec(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(self.SPEC))
+        return str(path)
+
+    def test_status_and_resume_need_cache_dir(self, tmp_path):
+        spec = self._write_spec(tmp_path)
+        for flag in ("--status", "--resume"):
+            with pytest.raises(SystemExit, match="need --cache-dir"):
+                main(["sweep", spec, flag])
+
+    def test_status_before_any_run_is_cache_only(self, tmp_path, capsys):
+        spec = self._write_spec(tmp_path)
+        code = main(["sweep", spec, "--status",
+                     "--cache-dir", str(tmp_path / "cache")])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "no manifest recorded yet" in out
+        assert "0 done + 0 cached / 2 jobs (2 pending, 0% complete)" in out
+
+    def test_status_after_run_reports_done_without_executing(
+        self, tmp_path, capsys
+    ):
+        spec = self._write_spec(tmp_path)
+        cache_dir = str(tmp_path / "cache")
+        main(["sweep", spec, "--cache-dir", cache_dir, "--quiet"])
+        capsys.readouterr()
+        code = main(["sweep", spec, "--status", "--cache-dir", cache_dir])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2 done + 0 cached / 2 jobs (0 pending, 100% complete)" in out
+        assert "executed" not in out  # status never runs jobs
+
+    def test_resume_without_manifest_fails(self, tmp_path):
+        spec = self._write_spec(tmp_path)
+        with pytest.raises(SystemExit, match="nothing to resume"):
+            main(["sweep", spec, "--resume",
+                  "--cache-dir", str(tmp_path / "cache")])
+
+    def test_resume_after_run_is_a_warm_replay(self, tmp_path, capsys):
+        spec = self._write_spec(tmp_path)
+        cache_dir = str(tmp_path / "cache")
+        main(["sweep", spec, "--cache-dir", cache_dir, "--quiet"])
+        capsys.readouterr()
+        code = main(["sweep", spec, "--resume", "--cache-dir", cache_dir,
+                     "--quiet"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "resuming sweep 'cli-smoke':" in out
+        assert "0 executed, 2 cached" in out
+
+    def test_run_prints_manifest_path(self, tmp_path, capsys):
+        spec = self._write_spec(tmp_path)
+        code = main(["sweep", spec, "--cache-dir", str(tmp_path / "cache"),
+                     "--quiet"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "manifest: " in out
+        assert "manifests" in out
+
     def test_mixed_sweep_csv_keeps_scenario_columns(self, tmp_path, capsys):
         # Family rows come first in expansion order; the scenario columns
         # must survive into the table and the CSV anyway.
