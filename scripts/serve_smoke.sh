@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Sweep-service smoke: start `freezetag serve`, submit a spec over HTTP,
+# download the CSV, and demand it be byte-identical to a direct
+# `freezetag sweep` run of the same spec (exit non-zero on any byte
+# difference).  Then restart the service on the same cache directory and
+# resubmit: the fresh process must settle every job from the shared
+# cache — /metrics reports zero executions and a 100% hit rate.
+#
+# Usage: scripts/serve_smoke.sh [spec.json]
+#   WORKERS=<count>  service worker count (default 2)
+set -euo pipefail
+
+SPEC=${1:-examples/sweep_resume_smoke.json}
+WORKERS=${WORKERS:-2}
+WORK=$(mktemp -d)
+SERVE_PID=""
+cleanup() {
+    [ -n "$SERVE_PID" ] && kill -TERM "$SERVE_PID" 2>/dev/null || true
+    [ -n "$SERVE_PID" ] && wait "$SERVE_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+start_service() {
+    freezetag serve --port 0 --cache-dir "$WORK/cache" \
+        --workers "$WORKERS" > "$WORK/serve.log" 2>&1 &
+    SERVE_PID=$!
+    for _ in $(seq 1 50); do
+        SERVER=$(sed -n 's#.*\(http://[0-9.]*:[0-9]*\).*#\1#p' "$WORK/serve.log" | head -1)
+        [ -n "$SERVER" ] && break
+        sleep 0.2
+    done
+    [ -n "$SERVER" ] || { echo "service did not start"; cat "$WORK/serve.log"; exit 1; }
+    echo "service up at $SERVER (pid $SERVE_PID)"
+}
+
+stop_service() {
+    kill -TERM "$SERVE_PID"
+    wait "$SERVE_PID"
+    SERVE_PID=""
+}
+
+echo "== reference: direct run_sweep of $SPEC"
+freezetag sweep "$SPEC" --workers "$WORKERS" \
+    --cache-dir "$WORK/ref-cache" --csv "$WORK/ref.csv" --quiet > /dev/null
+
+echo "== cold service: submit over HTTP and wait"
+start_service
+freezetag submit "$SPEC" --server "$SERVER" --wait > /dev/null
+SWEEP_ID=$(freezetag submit "$SPEC" --server "$SERVER" --json \
+    | python -c "import json,sys; print(json.load(sys.stdin)['id'])")
+echo "sweep id: $SWEEP_ID"
+
+echo "== diff service CSV vs direct run"
+curl -sf "$SERVER/sweeps/$SWEEP_ID/records?format=csv" > "$WORK/served.csv"
+cmp "$WORK/ref.csv" "$WORK/served.csv"
+echo "OK: served records are byte-identical to the direct run"
+
+echo "== restart the service on the same cache; resubmit"
+stop_service
+start_service
+freezetag submit "$SPEC" --server "$SERVER" --wait > /dev/null
+curl -sf "$SERVER/metrics" > "$WORK/metrics.json"
+python - "$WORK/metrics.json" <<'EOF'
+import json, sys
+metrics = json.load(open(sys.argv[1]))
+jobs, cache = metrics["jobs"], metrics["cache"]
+assert jobs["executed"] == 0, f"expected 0 executions, got {jobs['executed']}"
+assert jobs["failed"] == 0, f"unexpected failures: {jobs['failed']}"
+assert jobs["cached"] == jobs["settled"] > 0, f"bad settle counts: {jobs}"
+assert cache["hit_rate"] == 1.0, f"expected 100% hit rate, got {cache['hit_rate']}"
+print(f"OK: {jobs['cached']} jobs settled from cache, 0 executed, 100% hit rate")
+EOF
+
+echo "== served CSV after restart still matches"
+curl -sf "$SERVER/sweeps/$SWEEP_ID/records?format=csv" > "$WORK/served2.csv"
+cmp "$WORK/ref.csv" "$WORK/served2.csv"
+echo "OK: sweep service smoke passed"

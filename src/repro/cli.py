@@ -15,6 +15,13 @@ Commands:
   backend (``serial`` / ``pool`` / ``async-local``) with incremental
   result caching and a resumable manifest: ``--resume`` continues a
   killed sweep losslessly, ``--status`` prints its progress;
+* ``serve``  — run the async HTTP sweep service: submit sweeps over
+  HTTP, share one content-addressed cache across all tenants, stream
+  live settle events (SSE) and process telemetry (``/metrics``);
+* ``submit`` — POST a sweep-spec file to a running service and print
+  the sweep id (``--wait`` follows the event stream to completion);
+* ``watch``  — follow a submitted sweep's settle events as progress
+  lines (works for finished sweeps too: the stream replays history);
 * ``bench``  — run the tracked performance suites (engine micro-benches
   and large-``n`` scale runs), write ``BENCH_<suite>.json`` baselines or
   check fresh numbers against the committed ones (``--check``);
@@ -36,6 +43,9 @@ Examples::
         --cache-dir .sweep-cache
     freezetag sweep examples/sweep_quick.json --status --cache-dir .sweep-cache
     freezetag sweep examples/sweep_quick.json --resume --cache-dir .sweep-cache
+    freezetag serve --port 8765 --cache-dir .sweep-cache --workers 4
+    freezetag submit examples/sweep_quick.json --server http://127.0.0.1:8765 --wait
+    freezetag watch <sweep-id> --server http://127.0.0.1:8765
     freezetag table1 --experiment rho --scale small
 """
 
@@ -66,6 +76,7 @@ from .experiments import (
     phase_timeline,
     print_table,
     run_sweep,
+    sweep_rows,
     write_csv,
 )
 from .instances import (
@@ -183,6 +194,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_algorithms(args: argparse.Namespace) -> int:
     """List the algorithm registry (one line per registered spec)."""
     specs = iter_algorithms(kind=args.kind)
+    if args.json:
+        print(json.dumps(
+            {"algorithms": [spec.as_dict() for spec in specs]},
+            indent=2, sort_keys=True,
+        ))
+        return 0
     header = f"{'name':<16} {'label':<24} {'flags':<28} params"
     print(header)
     print("-" * len(header))
@@ -198,6 +215,12 @@ def _cmd_algorithms(args: argparse.Namespace) -> int:
 def _cmd_scenarios(args: argparse.Namespace) -> int:
     """List the scenario registry (one line per registered spec)."""
     specs = iter_scenarios()
+    if args.json:
+        print(json.dumps(
+            {"scenarios": [spec.as_dict() for spec in specs]},
+            indent=2, sort_keys=True,
+        ))
+        return 0
     header = f"{'name':<20} {'label':<26} {'world':<34} params"
     print(header)
     print("-" * len(header))
@@ -255,17 +278,33 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
     if args.status:
         manifest = SweepManifest.locate(spec, requests, cache)
+        recorded = manifest is not None
         if manifest is None:
             # No recorded run of this exact spec — report what the shared
             # cache can already serve anyway.
             manifest = SweepManifest.for_spec(spec, requests, cache)
+        status = manifest.status(cache)
+        if args.json:
+            print(json.dumps(
+                {
+                    "name": spec.name,
+                    "spec_hash": manifest.spec_hash,
+                    "manifest": str(manifest.path),
+                    "recorded": recorded,
+                    **status.as_dict(),
+                },
+                indent=2, sort_keys=True,
+            ))
+            return 0
+        if not recorded:
             print(
                 f"sweep {spec.name!r}: no manifest recorded yet under "
                 f"{manifest.path.parent} (counts below are cache-only)"
             )
         print(f"sweep {spec.name!r}: spec hash {manifest.spec_hash}")
         print(f"manifest: {manifest.path}")
-        print(manifest.status(cache).line())
+        print(status.line())
+        print(f"cache hit rate: {status.hit_rate:.0%}")
         return 0
 
     if args.resume:
@@ -288,17 +327,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         progress=progress,
         executor=args.executor,
     )
-    scalar_keys = [
-        "algorithm", "instance", "n", "ell", "rho_star", "ell_star",
-        "xi_ell", "makespan", "half_wake_time", "max_energy", "woke_all",
-    ]
-    # Scenario runs carry two extra identifying columns; surface them for
-    # every row (blank on family runs) as soon as any run has them.
-    if any("scenario" in record for record in result.records):
-        scalar_keys[1:1] = ["scenario", "world_params"]
-    rows = [
-        {k: record.get(k, "") for k in scalar_keys} for record in result.records
-    ]
+    rows = sweep_rows(result.records)
     print()
     print_table(rows, f"SWEEP {spec.name!r}: {result.total} runs")
     print()
@@ -307,7 +336,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         "Aggregate (per algorithm x family)",
     )
     print(
-        f"\n{result.executed} executed, {result.cached} cached"
+        f"\n{result.executed} executed, {result.cached} cached "
+        f"({result.hit_rate:.0%} hit rate)"
         + (f" | {cache.stats()}" if cache is not None else "")
     )
     if result.manifest is not None:
@@ -316,6 +346,132 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         path = write_csv(args.csv, rows)
         print(f"records written to {path}")
     return 0 if result.all_woke() else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the async HTTP sweep service until SIGINT/SIGTERM."""
+    import asyncio
+    import contextlib
+
+    from .service import SweepService
+
+    service = SweepService(
+        cache_dir=args.cache_dir,
+        workers=args.workers,
+    )
+
+    async def main() -> None:
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+        host, port = await service.start(args.host, args.port)
+        print(
+            f"freezetag service on http://{host}:{port} "
+            f"(cache: {service.cache.directory}, "
+            f"workers: {service.scheduler.executor.workers})",
+            flush=True,
+        )
+        try:
+            await stop.wait()
+        finally:
+            await service.stop()
+
+    with contextlib.suppress(KeyboardInterrupt):
+        asyncio.run(main())
+    return 0
+
+
+def _progress_line(event: dict[str, Any]) -> str:
+    """One ``watch`` output line per SSE event, shaped like the local
+    sweep progress ticks."""
+    if event.get("event") == "end":
+        counts = event.get("counts", {})
+        return (
+            f"done: {counts.get('executed', 0)} executed, "
+            f"{counts.get('cached', 0)} cached, "
+            f"{counts.get('deduped', 0)} deduped, "
+            f"{counts.get('failed', 0)} failed "
+            f"({event.get('elapsed_s', 0.0):.2f}s)"
+        )
+    status = event.get("status", "?")
+    origin = (
+        "cached" if status == "cached"
+        else "ERROR" if status == "error"
+        else f"{event.get('elapsed', 0.0):6.2f}s"
+    )
+    line = (
+        f"[{event.get('settled')}/{event.get('total')}] {origin}  "
+        f"{event.get('label', '')}"
+    )
+    error = event.get("error")
+    if error:
+        line += f"  <- {error.get('kind')}: {error.get('message')}"
+    return line
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    """POST a sweep-spec file to a running service."""
+    from .service import ServiceClient, ServiceError
+
+    try:
+        payload = json.loads(Path(args.spec).read_text())
+    except OSError as exc:
+        raise SystemExit(f"cannot read sweep spec: {exc}") from None
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"invalid sweep spec {args.spec!r}: {exc}") from None
+    client = ServiceClient(args.server)
+    try:
+        response = client.submit(payload)
+        if args.wait:
+            for event in client.watch(response["id"]):
+                if not args.json:
+                    print(_progress_line(event))
+            response = client.status(response["id"])
+    except ServiceError as exc:
+        raise SystemExit(str(exc)) from None
+    except OSError as exc:
+        raise SystemExit(f"cannot reach {args.server}: {exc}") from None
+    if args.json:
+        print(json.dumps(response, indent=2, sort_keys=True))
+    else:
+        verb = "submitted" if response.get("created", False) else "already known"
+        counts = response.get("counts", {})
+        print(f"sweep {response['id']} ({response.get('name')}): {verb}")
+        print(
+            f"state: {response.get('state')} | "
+            + ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+        )
+        for error in response.get("errors", ()):
+            print(
+                f"  job #{error['index']} {error['label']}: "
+                f"{error['kind']}: {error['message']}"
+            )
+    return 0 if not response.get("errors") else 1
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    """Follow a sweep's settle events as plain-text progress lines."""
+    from .service import ServiceClient, ServiceError
+
+    client = ServiceClient(args.server)
+    failed = 0
+    try:
+        for event in client.watch(args.sweep_id):
+            if args.json:
+                print(json.dumps(event, sort_keys=True))
+            else:
+                print(_progress_line(event))
+            if event.get("event") == "end":
+                failed = event.get("counts", {}).get("failed", 0)
+    except ServiceError as exc:
+        raise SystemExit(str(exc)) from None
+    except OSError as exc:
+        raise SystemExit(f"cannot reach {args.server}: {exc}") from None
+    return 0 if not failed else 1
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -461,6 +617,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_algos.add_argument(
         "--verbose", action="store_true", help="also print one-line descriptions"
     )
+    p_algos.add_argument(
+        "--json", action="store_true",
+        help="emit the registry as JSON (same payload as GET /algorithms)",
+    )
     p_algos.set_defaults(handler=_cmd_algorithms)
 
     p_scen = sub.add_parser(
@@ -469,6 +629,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_scen.add_argument(
         "--verbose", action="store_true",
         help="also dump descriptions and full parameter schemas",
+    )
+    p_scen.add_argument(
+        "--json", action="store_true",
+        help="emit the registry as JSON (same payload as GET /scenarios)",
     )
     p_scen.set_defaults(handler=_cmd_scenarios)
 
@@ -509,6 +673,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--csv", default=None, help="write run records to CSV")
     p_sweep.add_argument(
         "--quiet", action="store_true", help="suppress per-job progress lines"
+    )
+    p_sweep.add_argument(
+        "--json", action="store_true",
+        help="with --status: print the manifest progress as JSON",
     )
     p_sweep.set_defaults(handler=_cmd_sweep)
 
@@ -557,6 +725,62 @@ def build_parser() -> argparse.ArgumentParser:
         default="all",
     )
     p_fig.set_defaults(handler=_cmd_figures)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the async HTTP sweep service (shared cache, live telemetry)",
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    p_serve.add_argument(
+        "--port", type=int, default=8765,
+        help="bind port (default 8765; 0 picks a free port)",
+    )
+    p_serve.add_argument(
+        "--cache-dir", required=True,
+        help="content-addressed result cache shared by every tenant; also "
+             "holds the sweep manifests the service recovers status from",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=None,
+        help="process-pool width for job execution (default: os.cpu_count)",
+    )
+    p_serve.set_defaults(handler=_cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit", help="submit a sweep-spec file to a running service"
+    )
+    p_submit.add_argument("spec", help="path to a sweep-spec JSON file")
+    p_submit.add_argument(
+        "--server", default="http://127.0.0.1:8765",
+        help="service base URL (default http://127.0.0.1:8765)",
+    )
+    p_submit.add_argument(
+        "--wait", action="store_true",
+        help="follow the settle stream and exit when the sweep finishes "
+             "(exit 1 if any job failed)",
+    )
+    p_submit.add_argument(
+        "--json", action="store_true", help="print the raw status body as JSON"
+    )
+    p_submit.set_defaults(handler=_cmd_submit)
+
+    p_watch = sub.add_parser(
+        "watch", help="stream a submitted sweep's settle events"
+    )
+    p_watch.add_argument(
+        "sweep_id", help="sweep id from submit (any unique prefix works)"
+    )
+    p_watch.add_argument(
+        "--server", default="http://127.0.0.1:8765",
+        help="service base URL (default http://127.0.0.1:8765)",
+    )
+    p_watch.add_argument(
+        "--json", action="store_true",
+        help="print each event as one JSON line instead of progress text",
+    )
+    p_watch.set_defaults(handler=_cmd_watch)
     return parser
 
 

@@ -161,6 +161,22 @@ class AlgorithmSpec:
         )
 
     # -- listing -----------------------------------------------------------
+    def as_dict(self) -> dict[str, Any]:
+        """Machine-readable registry entry — the same facts the
+        ``freezetag algorithms`` listing prints, for ``--json`` and the
+        service's ``GET /algorithms``."""
+        return {
+            "name": self.name,
+            "label": self.label,
+            "kind": self.kind,
+            "needs_rho": self.needs_rho,
+            "supports_budget": self.supports_budget,
+            "max_n": self.max_n,
+            "world_aware": self.world_aware,
+            "description": self.description,
+            "params": [p.as_dict() for p in self.params],
+        }
+
     def describe(self) -> str:
         """One line for the ``freezetag algorithms`` listing."""
         schema = ", ".join(p.describe() for p in self.params) or "-"

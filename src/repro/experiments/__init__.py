@@ -43,7 +43,7 @@ from .harness import (
     run_requests,
     run_sweep,
 )
-from .io import format_table, print_table, write_csv
+from .io import format_csv, format_table, print_table, sweep_rows, write_csv
 from .manifest import ManifestStatus, SweepManifest, spec_fingerprint
 from .table1 import (
     agrid_xi_sweep,
@@ -86,8 +86,10 @@ __all__ = [
     "lower_bound_experiment",
     "phase_durations_by_label",
     "phase_timeline",
+    "format_csv",
     "format_table",
     "print_table",
+    "sweep_rows",
     "write_csv",
     "agrid_xi_sweep",
     "aseparator_ell_sweep",

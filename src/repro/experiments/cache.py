@@ -77,6 +77,20 @@ class ResultCache:
         """Existence probe by raw request key (the cache filename stem)."""
         return self._path(key).exists()
 
+    def peek_key(self, key: str) -> dict[str, Any] | None:
+        """The record stored under ``key`` without touching the counters.
+
+        Serving a record that is already known to exist — the service's
+        ``GET /sweeps/{id}/records`` walking a manifest's keys — is not
+        a cache probe; counting it would skew the hit rate ``/metrics``
+        reports for actual sweep traffic.
+        """
+        try:
+            payload = json.loads(self._path(key).read_text())
+        except (FileNotFoundError, json.JSONDecodeError):
+            return None
+        return payload.get("record")
+
     def load(self, request: RunRequest) -> dict[str, Any] | None:
         """The cached record for ``request``, or ``None`` on a miss."""
         path = self._path(request_key(request))

@@ -82,6 +82,7 @@ class SweepJobError(RuntimeError):
         self.index = index
         self.label = label
         self.kind = kind
+        self.message = message
         super().__init__(
             f"sweep job #{index} ({label}) failed with {kind}: {message}"
         )
@@ -300,12 +301,59 @@ class AsyncLocalExecutor:
     where dispatch interleaves with network traffic instead of blocking
     in ``imap_unordered``.  Degrades to the serial path for a single job
     or worker, mirroring :class:`PoolExecutor`.
+
+    Two driving modes share the same worker body:
+
+    * :meth:`submit` — the batch :class:`Executor` protocol, spinning a
+      private event loop per call (what ``freezetag sweep`` uses);
+    * :meth:`open` / :meth:`run_one` / :meth:`close` — a persistent pool
+      awaited from a *caller-owned* running loop, one job at a time.
+      This is the service seam: ``freezetag serve``'s single-writer job
+      queue keeps one opened executor alive for the process lifetime and
+      awaits jobs as submissions arrive.
     """
 
     name = "async-local"
 
     def __init__(self, workers: int | None = None) -> None:
         self.workers = _default_workers(workers)
+        self._pool: ProcessPoolExecutor | None = None
+
+    # -- persistent async mode (``freezetag serve``) ------------------------
+
+    def open(self) -> "AsyncLocalExecutor":
+        """Start the long-lived worker pool for :meth:`run_one` (idempotent)."""
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=max(1, self.workers),
+                initializer=_reset_worker_signals,
+            )
+        return self
+
+    async def run_one(self, job: IndexedJob) -> SettledJob:
+        """Await one job on the opened pool from the running event loop.
+
+        Raises :class:`SweepJobError` when the job fails; the event loop
+        is never blocked — the simulation runs in a worker process.
+        """
+        if self._pool is None:
+            raise RuntimeError("executor not opened; call open() first")
+        index, request = job
+        loop = asyncio.get_running_loop()
+        index, payload, elapsed = await loop.run_in_executor(
+            self._pool, _execute_job, job
+        )
+        if isinstance(payload, _JobFailure):
+            _raise_failure(index, payload, {index: request})
+        return index, payload, elapsed
+
+    def close(self) -> None:
+        """Shut the persistent pool down (idempotent; jobs are drained)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    # -- batch Executor protocol --------------------------------------------
 
     def submit(self, jobs: Sequence[IndexedJob]) -> Iterator[SettledJob]:
         jobs = list(jobs)

@@ -346,7 +346,11 @@ class SweepProgress:
     """One structured progress tick, emitted as each job settles.
 
     ``elapsed`` is the job's own runtime (measured inside the worker for
-    pooled jobs), ``0.0`` for cache hits.
+    pooled jobs), ``0.0`` for cache hits.  ``hits``/``misses`` are the
+    running cache counts of *this* sweep (hits = jobs served from the
+    cache so far, misses = jobs that had to execute), so live consumers
+    — the progress line, the service's SSE stream, ``/metrics`` — can
+    report the hit rate directly instead of inferring it afterwards.
     """
 
     done: int
@@ -354,6 +358,14 @@ class SweepProgress:
     cached: bool
     label: str
     elapsed: float
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of settled jobs served from the cache so far."""
+        settled = self.hits + self.misses
+        return (self.hits / settled) if settled else 0.0
 
     def line(self) -> str:
         origin = "cached" if self.cached else f"{self.elapsed:6.2f}s"
@@ -370,10 +382,23 @@ class SweepResult:
     #: The sweep's resumable manifest (``None`` when run without a cache
     #: or with ``manifest=False``).
     manifest: SweepManifest | None = None
+    #: This sweep's cache traffic: ``cache_hits`` jobs were served from
+    #: the cache, ``cache_misses`` probed it and had to execute.  Both
+    #: stay zero for cache-less runs (every job executes, nothing is
+    #: probed) — deltas of the cache's own counters, so a cache shared
+    #: across sweeps doesn't leak foreign traffic into this result.
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def total(self) -> int:
         return self.executed + self.cached
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of cache probes this sweep answered from disk."""
+        probes = self.cache_hits + self.cache_misses
+        return (self.cache_hits / probes) if probes else 0.0
 
     def all_woke(self) -> bool:
         return all(r.get("woke_all", True) for r in self.records)
@@ -454,11 +479,15 @@ def run_requests(
     backend = resolve_executor(executor, workers=workers)
     total = len(requests)
     records: list[dict[str, Any] | None] = [None] * total
-    done = 0
+    done = hits = misses = 0
 
     def tick(index: int, cached: bool, elapsed: float) -> None:
-        nonlocal done
+        nonlocal done, hits, misses
         done += 1
+        if cached:
+            hits += 1
+        else:
+            misses += 1
         if manifest is not None:
             manifest.mark_done(index)
         if progress is not None:
@@ -469,6 +498,8 @@ def run_requests(
                     cached=cached,
                     label=requests[index].label(),
                     elapsed=elapsed,
+                    hits=hits,
+                    misses=misses,
                 )
             )
 
@@ -528,6 +559,7 @@ def run_sweep(
         )
         sweep_manifest.flush()  # on disk before the first job: kill-safe
     hits_before = cache.hits if cache is not None else 0
+    misses_before = cache.misses if cache is not None else 0
     records = run_requests(
         requests,
         workers=workers,
@@ -542,6 +574,8 @@ def run_sweep(
         executed=len(records) - cached,
         cached=cached,
         manifest=sweep_manifest,
+        cache_hits=cached,
+        cache_misses=(cache.misses - misses_before) if cache is not None else 0,
     )
 
 

@@ -101,6 +101,25 @@ class ManifestStatus:
     def settled(self) -> int:
         return self.done + self.cached
 
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of this sweep's jobs the cache can already serve —
+        what a re-run (or a second tenant submitting the same spec)
+        would hit without executing anything."""
+        return (self.settled / self.total) if self.total else 1.0
+
+    def as_dict(self) -> dict[str, int | float]:
+        """Machine-readable counts (``freezetag sweep --status --json``,
+        ``GET /sweeps/{id}``)."""
+        return {
+            "total": self.total,
+            "done": self.done,
+            "cached": self.cached,
+            "pending": self.pending,
+            "settled": self.settled,
+            "hit_rate": self.hit_rate,
+        }
+
     def line(self) -> str:
         pct = (100.0 * self.settled / self.total) if self.total else 100.0
         return (
@@ -166,6 +185,20 @@ class SweepManifest:
         """The previously written manifest of ``spec``, or ``None``."""
         keys = [request_key(request) for request in requests]
         return cls.load(cls.path_for(cache, spec_fingerprint(spec.name, keys)))
+
+    @classmethod
+    def by_fingerprint(
+        cls, cache: ResultCache, fingerprint: str
+    ) -> "SweepManifest | None":
+        """Load the manifest recorded under ``fingerprint``, or ``None``.
+
+        The fingerprint (:func:`spec_fingerprint`) is the sweep's public
+        identity — the service hands it out as the sweep id — so this is
+        how a status query finds a sweep it never saw submitted: one
+        recorded by a previous server process, or by a plain
+        ``freezetag sweep`` run against the same cache.
+        """
+        return cls.load(cls.path_for(cache, fingerprint))
 
     @classmethod
     def load(cls, path: str | Path) -> "SweepManifest | None":

@@ -108,6 +108,20 @@ class ScenarioSpec:
         return self.world.replace(**dict(overrides))
 
     # -- listing -----------------------------------------------------------
+    def as_dict(self) -> dict[str, Any]:
+        """Machine-readable registry entry — the same facts the
+        ``freezetag scenarios`` listing prints, for ``--json`` and the
+        service's ``GET /scenarios``."""
+        return {
+            "name": self.name,
+            "label": self.label,
+            "family": self.family,
+            "accepts_seed": self.accepts_seed,
+            "description": self.description,
+            "world": self.world.as_dict(),
+            "params": [p.as_dict() for p in self.params],
+        }
+
     def describe(self) -> str:
         """One line for the ``freezetag scenarios`` listing."""
         schema = ", ".join(p.describe() for p in self.params) or "-"

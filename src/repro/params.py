@@ -65,6 +65,17 @@ class ParamSpec:
             )
         return value
 
+    def as_dict(self) -> dict[str, Any]:
+        """Machine-readable schema entry (``--json`` listings and the
+        service's introspection endpoints)."""
+        return {
+            "name": self.name,
+            "type": self.type.__name__,
+            "default": self.default,
+            "choices": list(self.choices) if self.choices is not None else None,
+            "doc": self.doc,
+        }
+
     def describe(self) -> str:
         """Compact ``name:type{choices}=default`` schema cell."""
         spec = f"{self.name}:{self.type.__name__}"

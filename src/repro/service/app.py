@@ -1,0 +1,350 @@
+"""The sweep service: endpoint handlers over one scheduler + one cache.
+
+:class:`SweepService` wires the pieces together and owns their
+lifecycle.  The API (all JSON unless noted):
+
+=======  ==========================  ========================================
+POST     ``/sweeps``                 submit a sweep-spec body; 202 with the
+                                     sweep id (= spec fingerprint), or 200
+                                     when that exact sweep is already
+                                     resident (resubmission dedup)
+GET      ``/sweeps``                 list resident sweeps
+GET      ``/sweeps/{id}``            status: done/cached/pending counts and
+                                     per-job failure info; falls back to the
+                                     on-disk manifest for sweeps recorded by
+                                     a previous process (``resident: false``)
+GET      ``/sweeps/{id}/records``    settled records, ``?format=csv`` for
+                                     the byte-identical ``run_sweep`` CSV;
+                                     409 while incomplete unless
+                                     ``?partial=1``
+GET      ``/sweeps/{id}/events``     SSE stream of per-job settle events
+                                     (replays history, then live)
+GET      ``/metrics``                process telemetry: jobs by origin,
+                                     events/s, queue depth, cache hit rate,
+                                     uptime
+GET      ``/algorithms``             algorithm registry (``as_dict`` form)
+GET      ``/scenarios``              scenario registry (``as_dict`` form)
+GET      ``/healthz``                liveness probe
+=======  ==========================  ========================================
+
+Sweep ids may be abbreviated to any unique prefix in path captures.
+
+Error contract: malformed specs are 400s with the validation message;
+unknown sweeps are 404s; a *job* failure is never an HTTP error — it is
+data in the status body (``errors``) and the event stream.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from pathlib import Path
+from typing import Any
+
+from ..core.registry import iter_algorithms
+from ..experiments.cache import ResultCache
+from ..experiments.harness import SweepSpec
+from ..experiments.io import format_csv, sweep_rows
+from ..experiments.manifest import SweepManifest, manifest_dir
+from ..instances import iter_scenarios
+from .httpd import (
+    HttpError,
+    Request,
+    Response,
+    Router,
+    SSEResponse,
+    json_response,
+    serve,
+    sse_event,
+    text_response,
+)
+from .scheduler import JobScheduler
+from .sweeps import SweepRun
+from .telemetry import Telemetry
+
+__all__ = ["SweepService"]
+
+
+class SweepService:
+    """One service process: shared cache, scheduler, resident sweeps."""
+
+    def __init__(
+        self,
+        cache_dir: str | Path,
+        workers: int | None = None,
+        executor: Any | None = None,
+    ) -> None:
+        self.cache = ResultCache(Path(cache_dir))
+        self.telemetry = Telemetry()
+        self.scheduler = JobScheduler(
+            self.cache,
+            executor=executor,
+            workers=workers,
+            telemetry=self.telemetry,
+        )
+        self.sweeps: dict[str, SweepRun] = {}
+        self.router = self._build_router()
+        self._server: asyncio.base_events.Server | None = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self, host: str = "127.0.0.1", port: int = 8765) -> tuple[str, int]:
+        """Start scheduler and HTTP listener; returns the bound address."""
+        await self.scheduler.start()
+        self._server = await serve(self.router, host, port)
+        sock = self._server.sockets[0]
+        bound_host, bound_port = sock.getsockname()[:2]
+        return bound_host, bound_port
+
+    async def stop(self) -> None:
+        """Stop accepting, cancel sweep tasks, drain the scheduler."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for run in self.sweeps.values():
+            if run.task is not None and not run.task.done():
+                run.task.cancel()
+        await asyncio.gather(
+            *(
+                run.task
+                for run in self.sweeps.values()
+                if run.task is not None
+            ),
+            return_exceptions=True,
+        )
+        await self.scheduler.stop()
+
+    async def run_forever(self, host: str, port: int) -> None:
+        """CLI entry: serve until cancelled, then shut down cleanly."""
+        bound_host, bound_port = await self.start(host, port)
+        print(
+            f"freezetag service on http://{bound_host}:{bound_port} "
+            f"(cache: {self.cache.directory}, "
+            f"workers: {self.scheduler.executor.workers})",
+            flush=True,
+        )
+        try:
+            await asyncio.Event().wait()  # cancelled by signal handlers
+        finally:
+            await self.stop()
+
+    # -- routing ------------------------------------------------------------
+
+    def _build_router(self) -> Router:
+        router = Router()
+        router.add("GET", "/", self._get_index)
+        router.add("GET", "/healthz", self._get_healthz)
+        router.add("POST", "/sweeps", self._post_sweeps)
+        router.add("GET", "/sweeps", self._get_sweeps)
+        router.add("GET", "/sweeps/{sweep_id}", self._get_sweep)
+        router.add("GET", "/sweeps/{sweep_id}/records", self._get_records)
+        router.add("GET", "/sweeps/{sweep_id}/events", self._get_events)
+        router.add("GET", "/metrics", self._get_metrics)
+        router.add("GET", "/algorithms", self._get_algorithms)
+        router.add("GET", "/scenarios", self._get_scenarios)
+        return router
+
+    def _resolve(self, sweep_id: str) -> SweepRun:
+        """A resident sweep by id or unique prefix (404 otherwise)."""
+        run = self.sweeps.get(sweep_id)
+        if run is not None:
+            return run
+        matches = [
+            candidate
+            for candidate in self.sweeps
+            if candidate.startswith(sweep_id)
+        ]
+        if len(matches) == 1:
+            return self.sweeps[matches[0]]
+        if len(matches) > 1:
+            raise HttpError(
+                409, f"sweep id prefix {sweep_id!r} is ambiguous ({len(matches)} matches)"
+            )
+        raise HttpError(404, f"unknown sweep {sweep_id!r}")
+
+    # -- handlers ------------------------------------------------------------
+
+    async def _get_index(self, request: Request) -> Response:
+        return json_response(
+            {
+                "service": "freezetag",
+                "endpoints": sorted(
+                    {
+                        "POST /sweeps",
+                        "GET /sweeps",
+                        "GET /sweeps/{id}",
+                        "GET /sweeps/{id}/records",
+                        "GET /sweeps/{id}/events",
+                        "GET /metrics",
+                        "GET /algorithms",
+                        "GET /scenarios",
+                        "GET /healthz",
+                    }
+                ),
+            }
+        )
+
+    async def _get_healthz(self, request: Request) -> Response:
+        return json_response({"ok": True})
+
+    async def _post_sweeps(self, request: Request) -> Response:
+        payload = request.json()
+        if not isinstance(payload, dict):
+            raise HttpError(400, "sweep spec must be a JSON object")
+        try:
+            spec = SweepSpec.from_dict(payload)
+            requests = spec.expand()
+        except ValueError as exc:
+            raise HttpError(400, f"invalid sweep spec: {exc}") from None
+        run = SweepRun(spec, requests, self.cache)
+        existing = self.sweeps.get(run.sweep_id)
+        if existing is not None:
+            # Same fingerprint = same ordered job list: the resident run
+            # already covers this submission, computed or computing once.
+            return json_response(
+                {**existing.status_payload(), "created": False}, status=200
+            )
+        self.sweeps[run.sweep_id] = run
+        run.manifest.flush()  # on disk before the first job, like run_sweep
+        self.telemetry.sweeps_submitted += 1
+        run.task = asyncio.create_task(
+            self._run_sweep(run), name=f"sweep-{run.sweep_id[:8]}"
+        )
+        return json_response(
+            {**run.status_payload(), "created": True}, status=202
+        )
+
+    async def _run_sweep(self, run: SweepRun) -> None:
+        await run.run(self.scheduler)
+        self.telemetry.sweeps_completed += 1
+
+    async def _get_sweeps(self, request: Request) -> Response:
+        return json_response(
+            {
+                "sweeps": [
+                    run.status_payload()
+                    for run in sorted(
+                        self.sweeps.values(), key=lambda r: r.created
+                    )
+                ]
+            }
+        )
+
+    async def _get_sweep(self, request: Request, sweep_id: str) -> Response:
+        try:
+            run = self._resolve(sweep_id)
+        except HttpError as exc:
+            if exc.status != 404:
+                raise
+            return self._detached_status(sweep_id)
+        return json_response(run.status_payload())
+
+    def _detached_status(self, sweep_id: str) -> Response:
+        """Manifest-backed status for a sweep this process never saw —
+        one recorded by a previous server run or a CLI ``run_sweep``."""
+        manifest = SweepManifest.by_fingerprint(self.cache, sweep_id)
+        if manifest is None:
+            raise HttpError(404, f"unknown sweep {sweep_id!r}")
+        return json_response(
+            {
+                "id": sweep_id,
+                "name": manifest.spec_name,
+                "state": "detached",
+                "resident": False,
+                "counts": manifest.status(self.cache).as_dict(),
+                "errors": [],
+                "manifest": str(manifest.path),
+            }
+        )
+
+    async def _get_records(self, request: Request, sweep_id: str) -> Response:
+        try:
+            run = self._resolve(sweep_id)
+            records = run.settled_records()
+            complete = run.finished and not run.errors
+            name = run.spec.name
+        except HttpError as exc:
+            if exc.status != 404:
+                raise
+            records, complete, name = self._detached_records(sweep_id)
+        fmt = request.query.get("format", "json")
+        if not complete and not request.flag("partial"):
+            raise HttpError(
+                409,
+                "sweep is not fully settled; retry later or pass "
+                "?partial=1 for the records settled so far",
+            )
+        if fmt == "csv":
+            return text_response(
+                format_csv(sweep_rows(records)), content_type="text/csv"
+            )
+        if fmt != "json":
+            raise HttpError(400, f"unknown format {fmt!r}; use json or csv")
+        return json_response(
+            {
+                "id": sweep_id,
+                "name": name,
+                "complete": complete,
+                "count": len(records),
+                "records": records,
+            }
+        )
+
+    def _detached_records(
+        self, sweep_id: str
+    ) -> tuple[list[dict[str, Any]], bool, str]:
+        """Settled records of a non-resident sweep, straight off the
+        shared cache via its manifest's job keys."""
+        manifest = SweepManifest.by_fingerprint(self.cache, sweep_id)
+        if manifest is None:
+            raise HttpError(404, f"unknown sweep {sweep_id!r}")
+        records = [
+            record
+            for key in manifest.keys
+            if (record := self.cache.peek_key(key)) is not None
+        ]
+        return records, len(records) == manifest.total, manifest.spec_name
+
+    async def _get_events(self, request: Request, sweep_id: str) -> SSEResponse:
+        run = self._resolve(sweep_id)
+
+        async def stream():
+            async for event in run.events():
+                yield sse_event(event["event"], event)
+
+        return SSEResponse(events=stream())
+
+    async def _get_metrics(self, request: Request) -> Response:
+        hits, misses = self.cache.hits, self.cache.misses
+        probes = hits + misses
+        resident = list(self.sweeps.values())
+        return json_response(
+            {
+                **self.telemetry.snapshot(),
+                "queue_depth": self.scheduler.queue_depth,
+                "inflight": self.scheduler.inflight,
+                "cache": {
+                    "hits": hits,
+                    "misses": misses,
+                    "hit_rate": (hits / probes) if probes else 0.0,
+                    "entries": len(self.cache),
+                    "directory": str(self.cache.directory),
+                },
+                "sweeps_resident": {
+                    "total": len(resident),
+                    "running": sum(1 for r in resident if not r.finished),
+                    "done": sum(1 for r in resident if r.finished),
+                },
+                "manifest_dir": str(manifest_dir(self.cache)),
+            }
+        )
+
+    async def _get_algorithms(self, request: Request) -> Response:
+        return json_response(
+            {"algorithms": [spec.as_dict() for spec in iter_algorithms()]}
+        )
+
+    async def _get_scenarios(self, request: Request) -> Response:
+        return json_response(
+            {"scenarios": [spec.as_dict() for spec in iter_scenarios()]}
+        )

@@ -1,0 +1,167 @@
+"""Synchronous client for the sweep service (stdlib ``http.client``).
+
+``freezetag submit`` and ``freezetag watch`` are thin wrappers over
+:class:`ServiceClient`; tests and scripts can use it directly.  The
+client is deliberately boring: blocking calls, JSON in/out, and a
+generator over the SSE event stream for live progress — the CLI and the
+service are two doors into the same harness, so the client's vocabulary
+is exactly the endpoint payloads.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Iterator, Mapping
+from urllib.parse import urlsplit
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx service response, carrying the transported error text."""
+
+    def __init__(self, status: int, message: str) -> None:
+        self.status = status
+        super().__init__(f"service error {status}: {message}")
+
+
+class ServiceClient:
+    """Blocking HTTP client bound to one service base URL."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+        split = urlsplit(base_url if "//" in base_url else f"//{base_url}")
+        if split.scheme not in ("", "http"):
+            raise ValueError(f"unsupported scheme {split.scheme!r} (http only)")
+        if not split.hostname:
+            raise ValueError(f"no host in server URL {base_url!r}")
+        self.host = split.hostname
+        self.port = split.port or 8765
+        self.timeout = timeout
+
+    # -- transport ----------------------------------------------------------
+
+    def _connect(self, timeout: float | None) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(
+            self.host, self.port, timeout=timeout
+        )
+
+    def _request(
+        self, method: str, path: str, payload: Any | None = None
+    ) -> tuple[int, bytes]:
+        connection = self._connect(self.timeout)
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            return response.status, response.read()
+        finally:
+            connection.close()
+
+    def _json(self, method: str, path: str, payload: Any | None = None) -> Any:
+        status, body = self._request(method, path, payload)
+        try:
+            parsed = json.loads(body)
+        except json.JSONDecodeError:
+            raise ServiceError(
+                status, f"non-JSON response: {body[:200]!r}"
+            ) from None
+        if status >= 400:
+            message = (
+                parsed.get("error", body.decode("utf-8", "replace"))
+                if isinstance(parsed, dict)
+                else str(parsed)
+            )
+            raise ServiceError(status, message)
+        return parsed
+
+    # -- API ----------------------------------------------------------------
+
+    def submit(self, spec: Mapping[str, Any]) -> dict[str, Any]:
+        """POST a sweep-spec payload; returns the status body (with
+        ``id`` and ``created``)."""
+        return self._json("POST", "/sweeps", dict(spec))
+
+    def status(self, sweep_id: str) -> dict[str, Any]:
+        return self._json("GET", f"/sweeps/{sweep_id}")
+
+    def records(
+        self, sweep_id: str, *, csv: bool = False, partial: bool = False
+    ) -> dict[str, Any] | str:
+        """Settled records — the JSON body, or CSV text with ``csv=True``."""
+        suffix = "?format=csv" if csv else "?format=json"
+        if partial:
+            suffix += "&partial=1"
+        if csv:
+            status, body = self._request(
+                "GET", f"/sweeps/{sweep_id}/records{suffix}"
+            )
+            if status >= 400:
+                try:
+                    message = json.loads(body).get("error", "")
+                except json.JSONDecodeError:
+                    message = body.decode("utf-8", "replace")
+                raise ServiceError(status, message)
+            return body.decode("utf-8")
+        return self._json("GET", f"/sweeps/{sweep_id}/records{suffix}")
+
+    def metrics(self) -> dict[str, Any]:
+        return self._json("GET", "/metrics")
+
+    def algorithms(self) -> list[dict[str, Any]]:
+        return self._json("GET", "/algorithms")["algorithms"]
+
+    def scenarios(self) -> list[dict[str, Any]]:
+        return self._json("GET", "/scenarios")["scenarios"]
+
+    def healthy(self) -> bool:
+        try:
+            return bool(self._json("GET", "/healthz").get("ok"))
+        except (OSError, ServiceError):
+            return False
+
+    # -- streaming ----------------------------------------------------------
+
+    def watch(
+        self, sweep_id: str, timeout: float | None = None
+    ) -> Iterator[dict[str, Any]]:
+        """Yield settle events from the SSE stream, history first, until
+        the sweep's ``end`` event closes the stream."""
+        connection = self._connect(timeout)
+        try:
+            connection.request("GET", f"/sweeps/{sweep_id}/events")
+            response = connection.getresponse()
+            if response.status >= 400:
+                body = response.read()
+                try:
+                    message = json.loads(body).get("error", "")
+                except json.JSONDecodeError:
+                    message = body.decode("utf-8", "replace")
+                raise ServiceError(response.status, message)
+            data_lines: list[str] = []
+            while True:
+                raw = response.readline()
+                if not raw:
+                    return  # server closed the stream
+                line = raw.decode("utf-8").rstrip("\n").rstrip("\r")
+                if line.startswith("data:"):
+                    data_lines.append(line[len("data:"):].strip())
+                elif not line and data_lines:
+                    event = json.loads("\n".join(data_lines))
+                    data_lines = []
+                    yield event
+                    if event.get("event") == "end":
+                        return
+        finally:
+            connection.close()
+
+    def wait(self, sweep_id: str) -> dict[str, Any]:
+        """Block until the sweep finishes; returns its final status."""
+        for event in self.watch(sweep_id):
+            if event.get("event") == "end":
+                break
+        return self.status(sweep_id)

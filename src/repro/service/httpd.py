@@ -1,0 +1,307 @@
+"""Minimal asyncio HTTP/1.1 server with SSE streaming — stdlib only.
+
+The container the harness targets ships no web framework, so the
+service's HTTP surface is a small purpose-built layer over
+``asyncio.start_server``: parse one request per connection (method,
+target, headers, body), dispatch through a pattern router, write one
+response, close.  ``Connection: close`` semantics keep the parser
+trivial and are exactly right for an API whose one long-lived verb —
+the ``/events`` SSE stream — ends with the connection anyway.
+
+Three response shapes cover the API:
+
+* :func:`json_response` — canonical JSON body (sorted keys, compact);
+* :func:`text_response` — raw text with an explicit content type
+  (CSV downloads);
+* :class:`SSEResponse` — ``text/event-stream`` fed by an async iterator
+  of events, each flushed as it is produced.
+
+Handlers raise :class:`HttpError` for client-visible failures; anything
+else is a 500 with the exception type in the body.  Domain failures
+(a job that raised inside a worker) are *data* in 200 responses — the
+routing layer never converts them to transport errors.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import re
+from dataclasses import dataclass, field
+from typing import Any, AsyncIterator, Awaitable, Callable
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+__all__ = [
+    "HttpError",
+    "Request",
+    "Response",
+    "SSEResponse",
+    "json_response",
+    "text_response",
+    "sse_event",
+    "Router",
+    "serve",
+]
+
+#: Request-line and header size cap: this is an experiment API, not a
+#: general proxy target; anything larger is a client bug.
+_MAX_HEADER_BYTES = 64 * 1024
+#: Sweep specs are small JSON documents; 16 MiB leaves huge headroom.
+_MAX_BODY_BYTES = 16 * 1024 * 1024
+
+_STATUS_TEXT = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    500: "Internal Server Error",
+}
+
+
+class HttpError(Exception):
+    """A client-visible HTTP failure raised from a handler."""
+
+    def __init__(self, status: int, message: str) -> None:
+        self.status = status
+        self.message = message
+        super().__init__(f"{status}: {message}")
+
+
+@dataclass(frozen=True)
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: dict[str, str]
+    headers: dict[str, str]
+    body: bytes
+
+    def json(self) -> Any:
+        """The body parsed as JSON (400 on syntax errors or empty body)."""
+        if not self.body:
+            raise HttpError(400, "request body must be a JSON document")
+        try:
+            return json.loads(self.body)
+        except json.JSONDecodeError as exc:
+            raise HttpError(400, f"invalid JSON body: {exc}") from None
+
+    def flag(self, name: str) -> bool:
+        """A boolean query parameter (``?name=1``/``true``/bare)."""
+        value = self.query.get(name)
+        if value is None:
+            return False
+        return value.lower() not in ("0", "false", "no")
+
+
+@dataclass
+class Response:
+    """A buffered response: status, body bytes, content type."""
+
+    status: int = 200
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class SSEResponse:
+    """A streamed ``text/event-stream`` response.
+
+    ``events`` yields pre-formatted SSE frames (see :func:`sse_event`);
+    each is written and flushed as it arrives, so a watching client sees
+    settles live.
+    """
+
+    events: AsyncIterator[bytes]
+    status: int = 200
+
+
+def json_response(payload: Any, status: int = 200) -> Response:
+    """Canonical-JSON response (sorted keys — stable, diffable bytes)."""
+    body = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return Response(status=status, body=body.encode("utf-8") + b"\n")
+
+
+def text_response(
+    text: str, content_type: str = "text/plain; charset=utf-8"
+) -> Response:
+    return Response(body=text.encode("utf-8"), content_type=content_type)
+
+
+def sse_event(event: str, payload: Any) -> bytes:
+    """One Server-Sent-Events frame: ``event:`` name plus JSON ``data:``."""
+    data = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return f"event: {event}\ndata: {data}\n\n".encode("utf-8")
+
+
+Handler = Callable[..., Awaitable[Response | SSEResponse]]
+
+
+class Router:
+    """Method + path-pattern dispatch with ``{name}`` captures.
+
+    Patterns are literal segments or ``{name}`` placeholders matching one
+    non-empty segment; captures are passed to the handler as keyword
+    arguments after the request.
+    """
+
+    def __init__(self) -> None:
+        self._routes: list[tuple[str, re.Pattern[str], Handler]] = []
+
+    def add(self, method: str, pattern: str, handler: Handler) -> None:
+        regex = "".join(
+            f"(?P<{part[1:-1]}>[^/]+)"
+            if part.startswith("{") and part.endswith("}")
+            else re.escape(part)
+            for part in re.split(r"(\{[a-zA-Z_]+\})", pattern)
+        )
+        self._routes.append((method.upper(), re.compile(f"^{regex}$"), handler))
+
+    def match(self, method: str, path: str) -> tuple[Handler, dict[str, str]]:
+        """Resolve a request; raises 404/405 :class:`HttpError`."""
+        path_matched = False
+        for route_method, regex, handler in self._routes:
+            found = regex.match(path)
+            if found is None:
+                continue
+            path_matched = True
+            if route_method == method.upper():
+                return handler, {
+                    name: unquote(value)
+                    for name, value in found.groupdict().items()
+                }
+        if path_matched:
+            raise HttpError(405, f"method {method} not allowed for {path}")
+        raise HttpError(404, f"no route for {path}")
+
+
+async def _read_request(reader: asyncio.StreamReader) -> Request | None:
+    """Parse one request off the wire; ``None`` on a clean EOF."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # client closed without sending anything
+        raise HttpError(400, "truncated request head") from None
+    except asyncio.LimitOverrunError:
+        raise HttpError(400, "request head too large") from None
+    if len(head) > _MAX_HEADER_BYTES:
+        raise HttpError(400, "request head too large")
+    request_line, *header_lines = head.decode("latin-1").split("\r\n")
+    parts = request_line.split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(400, f"malformed request line {request_line!r}")
+    method, target, _version = parts
+    headers: dict[str, str] = {}
+    for line in header_lines:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    length_text = headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError:
+        raise HttpError(400, f"bad Content-Length {length_text!r}") from None
+    if length < 0 or length > _MAX_BODY_BYTES:
+        raise HttpError(400, f"unacceptable Content-Length {length}")
+    body = await reader.readexactly(length) if length else b""
+    split = urlsplit(target)
+    return Request(
+        method=method,
+        path=unquote(split.path) or "/",
+        query=dict(parse_qsl(split.query)),
+        headers=headers,
+        body=body,
+    )
+
+
+def _head(status: int, content_type: str, extra: dict[str, str]) -> bytes:
+    reason = _STATUS_TEXT.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        "Connection: close",
+    ]
+    lines += [f"{name}: {value}" for name, value in extra.items()]
+    return ("\r\n".join(lines) + "\r\n").encode("latin-1")
+
+
+async def _write_response(
+    writer: asyncio.StreamWriter, response: Response | SSEResponse
+) -> None:
+    if isinstance(response, SSEResponse):
+        writer.write(
+            _head(
+                response.status,
+                "text/event-stream; charset=utf-8",
+                {"Cache-Control": "no-store"},
+            )
+            + b"\r\n"
+        )
+        await writer.drain()
+        async for frame in response.events:
+            writer.write(frame)
+            await writer.drain()
+        return
+    writer.write(
+        _head(
+            response.status,
+            response.content_type,
+            {"Content-Length": str(len(response.body)), **response.headers},
+        )
+        + b"\r\n"
+        + response.body
+    )
+    await writer.drain()
+
+
+def _error_response(status: int, message: str) -> Response:
+    return json_response({"error": message}, status=status)
+
+
+async def handle_connection(
+    router: Router,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    """One connection, one request, one response."""
+    try:
+        try:
+            request = await _read_request(reader)
+            if request is None:
+                return
+            handler, captures = router.match(request.method, request.path)
+            response = await handler(request, **captures)
+        except HttpError as exc:
+            response = _error_response(exc.status, exc.message)
+        except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+            raise
+        except Exception as exc:  # pragma: no cover - defensive 500
+            response = _error_response(500, f"{type(exc).__name__}: {exc}")
+        await _write_response(writer, response)
+    except (ConnectionResetError, BrokenPipeError):
+        pass  # client went away mid-write (a watcher hanging up is normal)
+    finally:
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+async def serve(
+    router: Router, host: str, port: int
+) -> asyncio.base_events.Server:
+    """Bind and start serving ``router``; returns the asyncio server."""
+    return await asyncio.start_server(
+        lambda reader, writer: handle_connection(router, reader, writer),
+        host=host,
+        port=port,
+        limit=_MAX_HEADER_BYTES,
+    )

@@ -1,0 +1,212 @@
+"""Single-writer job queue with cross-tenant dedup over the shared cache.
+
+Every sweep the service accepts is decomposed into independent
+:class:`~repro.core.runner.RunRequest` jobs and settled through one
+:class:`JobScheduler`.  The scheduler owns the three shared resources:
+
+* the **content-addressed cache** — a job whose record is already on
+  disk settles instantly (origin ``cached``);
+* the **in-flight table** — a job identical (same
+  :func:`~repro.experiments.cache.request_key`) to one currently
+  executing piggybacks on its future instead of enqueueing a duplicate
+  (origin ``deduped``): concurrent identical submissions compute once;
+* the **worker pool** — everything else enters one asyncio queue drained
+  by a single coordinator task that dispatches onto the opened
+  ``async-local`` executor, bounded by its worker count (origin
+  ``executed``).
+
+Single-writer discipline: the queue, the in-flight table, the cache and
+the telemetry counters are touched only from the event loop thread —
+worker processes just compute records.  That is what makes the dedup
+window race-free without locks: between a cache miss and the enqueue
+there is no ``await``.
+
+Failures settle too: a job that raises inside a worker resolves its
+future with :class:`JobError` (kind + message, picklable data shipped
+back by the executor), which every waiter — the submitting sweep and any
+deduped siblings — receives as a per-job error state.  The scheduler
+itself never dies with a job.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any
+
+from ..core.runner import RunRequest
+from ..experiments.cache import ResultCache, request_key
+from ..experiments.executors import (
+    AsyncLocalExecutor,
+    SweepJobError,
+    get_executor,
+)
+from .telemetry import Telemetry
+
+__all__ = ["JobError", "JobScheduler"]
+
+
+class JobError(RuntimeError):
+    """Terminal failure of one scheduled job, as data.
+
+    ``kind`` is the original exception type name from the worker,
+    ``message`` its text.  Raised to *every* waiter of the job — the
+    submitting sweep and all deduped siblings — and recorded as a
+    per-job error state, never a transport-level 500.
+    """
+
+    def __init__(self, kind: str, message: str) -> None:
+        self.kind = kind
+        self.message = message
+        super().__init__(f"{kind}: {message}")
+
+
+class JobScheduler:
+    """The service's only writer of cache, queue and telemetry state."""
+
+    def __init__(
+        self,
+        cache: ResultCache,
+        executor: AsyncLocalExecutor | None = None,
+        workers: int | None = None,
+        telemetry: Telemetry | None = None,
+    ) -> None:
+        self.cache = cache
+        self.executor = (
+            executor
+            if executor is not None
+            else get_executor("async-local", workers=workers)
+        )
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self._queue: asyncio.Queue[tuple[str, RunRequest, asyncio.Future]] = (
+            asyncio.Queue()
+        )
+        self._inflight: dict[str, asyncio.Future] = {}
+        self._running: set[asyncio.Task] = set()
+        self._drain_task: asyncio.Task | None = None
+        self._sequence = 0  # job numbers for executor-level error labels
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Open the worker pool and start the coordinator task."""
+        self.executor.open()
+        if self._drain_task is None:
+            self._drain_task = asyncio.create_task(
+                self._drain(), name="freezetag-scheduler"
+            )
+
+    async def stop(self) -> None:
+        """Cancel coordination and shut the worker pool down."""
+        tasks = [self._drain_task, *self._running]
+        self._drain_task = None
+        for task in tasks:
+            if task is not None:
+                task.cancel()
+        await asyncio.gather(
+            *(t for t in tasks if t is not None), return_exceptions=True
+        )
+        # Fail anything still queued or in flight so no waiter hangs.
+        stopped = JobError("ServiceStopped", "scheduler shut down")
+        while not self._queue.empty():
+            _, _, future = self._queue.get_nowait()
+            if not future.done():
+                future.set_exception(stopped)
+        for future in self._inflight.values():
+            if not future.done():
+                future.set_exception(stopped)
+        self._inflight.clear()
+        # Pool shutdown joins worker processes; keep it off the loop.
+        await asyncio.to_thread(self.executor.close)
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        """Jobs accepted but not yet dispatched to a worker."""
+        return self._queue.qsize()
+
+    @property
+    def inflight(self) -> int:
+        """Unique jobs somewhere between acceptance and settlement."""
+        return len(self._inflight)
+
+    # -- the one entry point ------------------------------------------------
+
+    async def settle(
+        self, request: RunRequest
+    ) -> tuple[dict[str, Any], str, float]:
+        """Resolve one job to its record: ``(record, origin, elapsed)``.
+
+        ``origin`` is ``cached`` | ``deduped`` | ``executed``.  Raises
+        :class:`JobError` when the job fails (including when an in-flight
+        job this one deduped onto fails).  No ``await`` separates the
+        cache probe, the in-flight lookup and the enqueue, so two
+        identical concurrent submissions can never both enqueue.
+        """
+        key = request_key(request)
+        record = self.cache.load(request)
+        if record is not None:
+            self.telemetry.job_settled("cached")
+            return record, "cached", 0.0
+        existing = self._inflight.get(key)
+        if existing is not None:
+            try:
+                record, elapsed = await existing
+            except JobError:
+                self.telemetry.job_settled("failed")
+                raise
+            self.telemetry.job_settled("deduped")
+            return record, "deduped", elapsed
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._inflight[key] = future
+        self._queue.put_nowait((key, request, future))
+        try:
+            record, elapsed = await future
+        except JobError:
+            self.telemetry.job_settled("failed")
+            raise
+        self.telemetry.job_settled("executed")
+        return record, "executed", elapsed
+
+    # -- coordinator ---------------------------------------------------------
+
+    async def _drain(self) -> None:
+        """Pull queued jobs and dispatch, bounded by the worker count."""
+        limit = asyncio.Semaphore(max(1, self.executor.workers))
+        while True:
+            item = await self._queue.get()
+            await limit.acquire()
+            task = asyncio.create_task(self._run(item, limit))
+            self._running.add(task)
+            task.add_done_callback(self._running.discard)
+
+    async def _run(
+        self,
+        item: tuple[str, RunRequest, asyncio.Future],
+        limit: asyncio.Semaphore,
+    ) -> None:
+        key, request, future = item
+        self._sequence += 1
+        try:
+            _, record, elapsed = await self.executor.run_one(
+                (self._sequence, request)
+            )
+        except asyncio.CancelledError:
+            if not future.done():
+                future.set_exception(
+                    JobError("ServiceStopped", "scheduler shut down")
+                )
+            raise
+        except SweepJobError as exc:
+            if not future.done():
+                future.set_exception(JobError(exc.kind, exc.message))
+        except Exception as exc:  # pool breakage, pickling, OS errors
+            if not future.done():
+                future.set_exception(JobError(type(exc).__name__, str(exc)))
+        else:
+            self.cache.store(request, record)
+            if not future.done():
+                future.set_result((record, elapsed))
+        finally:
+            self._inflight.pop(key, None)
+            limit.release()

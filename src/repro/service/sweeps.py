@@ -1,0 +1,220 @@
+"""Resident sweep state: one submitted spec from POST to settled records.
+
+A :class:`SweepRun` is the in-memory twin of a PR-6
+:class:`~repro.experiments.manifest.SweepManifest`: the manifest is the
+durable job ledger under the cache directory, the run adds what only a
+live process knows — per-job *running* state, per-job failures, the
+settle event log the SSE stream replays, and the records themselves in
+spec-expansion order.
+
+Identity: a sweep's id IS its spec fingerprint
+(:func:`~repro.experiments.manifest.spec_fingerprint` over the ordered
+job keys), so resubmitting an identical spec resolves to the same run —
+the submission-level half of the dedup story (the scheduler's in-flight
+table is the job-level half, catching *different* specs that share
+jobs).
+
+All mutation happens on the event loop thread (the run task), matching
+the scheduler's single-writer discipline.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Any, AsyncIterator, Sequence
+
+from ..core.runner import RunRequest
+from ..experiments.cache import ResultCache, request_key
+from ..experiments.harness import SweepSpec
+from ..experiments.manifest import SweepManifest, spec_fingerprint
+from .scheduler import JobError, JobScheduler
+
+__all__ = ["SweepRun"]
+
+#: Cap on per-sweep outstanding settle() calls: the scheduler already
+#: bounds real execution by worker count, this only bounds task objects.
+_MAX_OUTSTANDING = 256
+
+
+class SweepRun:
+    """One accepted sweep: jobs, live statuses, records, event log."""
+
+    def __init__(
+        self,
+        spec: SweepSpec,
+        requests: Sequence[RunRequest],
+        cache: ResultCache,
+    ) -> None:
+        self.spec = spec
+        self.requests = list(requests)
+        self.keys = [request_key(request) for request in self.requests]
+        self.sweep_id = spec_fingerprint(spec.name, self.keys)
+        self.labels = [request.label() for request in self.requests]
+        self.manifest = SweepManifest.for_spec(spec, self.requests, cache)
+        #: per-job: "pending" | "running" | "done" | "cached" | "error"
+        #: ("done" covers both executed and deduped settles — the job's
+        #: record exists either way; ``origins`` keeps the distinction).
+        self.statuses = ["pending"] * len(self.requests)
+        self.origins: list[str | None] = [None] * len(self.requests)
+        self.errors: dict[int, dict[str, Any]] = {}
+        self.records: list[dict[str, Any] | None] = [None] * len(self.requests)
+        self.created = time.time()
+        self.finished_at: float | None = None
+        self.task: asyncio.Task | None = None
+        self._events: list[dict[str, Any]] = []
+        self._subscribers: set[asyncio.Queue] = set()
+
+    # -- derived state ------------------------------------------------------
+
+    @property
+    def total(self) -> int:
+        return len(self.requests)
+
+    @property
+    def finished(self) -> bool:
+        return self.finished_at is not None
+
+    @property
+    def settled(self) -> int:
+        return sum(
+            1 for status in self.statuses if status in ("done", "cached", "error")
+        )
+
+    def counts(self) -> dict[str, int]:
+        by_status = {
+            "done": 0, "cached": 0, "error": 0, "running": 0, "pending": 0,
+        }
+        for status in self.statuses:
+            by_status[status] += 1
+        deduped = sum(1 for origin in self.origins if origin == "deduped")
+        return {
+            "total": self.total,
+            "settled": self.settled,
+            "executed": by_status["done"] - deduped,
+            "deduped": deduped,
+            "cached": by_status["cached"],
+            "failed": by_status["error"],
+            "running": by_status["running"],
+            "pending": by_status["pending"],
+        }
+
+    def status_payload(self) -> dict[str, Any]:
+        """The ``GET /sweeps/{id}`` body for a resident sweep."""
+        state = "done" if self.finished else "running"
+        return {
+            "id": self.sweep_id,
+            "name": self.spec.name,
+            "state": state,
+            "resident": True,
+            "created": self.created,
+            "elapsed_s": (self.finished_at or time.time()) - self.created,
+            "counts": self.counts(),
+            "errors": [
+                self.errors[index] for index in sorted(self.errors)
+            ],
+            "manifest": str(self.manifest.path),
+        }
+
+    def settled_records(self) -> list[dict[str, Any]]:
+        """Records of settled jobs, in spec-expansion order (failed and
+        unsettled jobs are simply absent)."""
+        return [record for record in self.records if record is not None]
+
+    # -- event stream -------------------------------------------------------
+
+    def _publish(self, event: dict[str, Any]) -> None:
+        self._events.append(event)
+        for queue in self._subscribers:
+            queue.put_nowait(event)
+
+    async def events(self) -> AsyncIterator[dict[str, Any]]:
+        """Replay the settle log, then stream live until the end event.
+
+        The snapshot and the subscription happen with no ``await`` in
+        between, so no event is lost or duplicated across the seam.
+        """
+        queue: asyncio.Queue = asyncio.Queue()
+        snapshot = list(self._events)
+        self._subscribers.add(queue)
+        try:
+            for event in snapshot:
+                yield event
+                if event["event"] == "end":
+                    return
+            while True:
+                event = await queue.get()
+                yield event
+                if event["event"] == "end":
+                    return
+        finally:
+            self._subscribers.discard(queue)
+
+    # -- execution ----------------------------------------------------------
+
+    async def run(self, scheduler: JobScheduler) -> None:
+        """Settle every job through the shared scheduler.
+
+        Failures mark their job ``error`` and keep going — a poisoned
+        request never takes its siblings (or the service) down.  The
+        manifest records settles exactly as a CLI ``run_sweep`` would,
+        so ``freezetag sweep --resume`` and the service stay
+        interchangeable views of the same ledger.
+        """
+        limit = asyncio.Semaphore(_MAX_OUTSTANDING)
+
+        async def one(index: int, request: RunRequest) -> None:
+            async with limit:
+                self.statuses[index] = "running"
+                try:
+                    record, origin, elapsed = await scheduler.settle(request)
+                except JobError as exc:
+                    self.statuses[index] = "error"
+                    self.origins[index] = "failed"
+                    self.errors[index] = {
+                        "index": index,
+                        "label": self.labels[index],
+                        "kind": exc.kind,
+                        "message": exc.message,
+                    }
+                    self._publish(self._settle_event(index, 0.0))
+                else:
+                    self.records[index] = record
+                    self.origins[index] = origin
+                    self.statuses[index] = (
+                        "cached" if origin == "cached" else "done"
+                    )
+                    self.manifest.mark_done(index)
+                    self._publish(self._settle_event(index, elapsed))
+
+        try:
+            await asyncio.gather(
+                *(one(i, request) for i, request in enumerate(self.requests))
+            )
+        finally:
+            self.manifest.flush()
+            self.finished_at = time.time()
+            self._publish(
+                {
+                    "event": "end",
+                    "id": self.sweep_id,
+                    "counts": self.counts(),
+                    "elapsed_s": self.finished_at - self.created,
+                }
+            )
+
+    def _settle_event(self, index: int, elapsed: float) -> dict[str, Any]:
+        event: dict[str, Any] = {
+            "event": "settle",
+            "id": self.sweep_id,
+            "index": index,
+            "label": self.labels[index],
+            "status": self.statuses[index],
+            "origin": self.origins[index],
+            "elapsed": elapsed,
+            "settled": self.settled,
+            "total": self.total,
+        }
+        if index in self.errors:
+            event["error"] = self.errors[index]
+        return event

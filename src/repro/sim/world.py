@@ -161,6 +161,15 @@ class WorldConfig:
             ),
         )
 
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-safe field mapping (infinite budgets become ``None`` —
+        JSON has no ``inf``; ``None`` reads as "unconstrained")."""
+        payload: dict[str, Any] = {}
+        for name in self.field_names():
+            value = getattr(self, name)
+            payload[name] = None if value == math.inf else value
+        return payload
+
     def describe(self) -> str:
         """Compact ``name=value`` listing of the non-default fields."""
         deltas = [

@@ -262,6 +262,33 @@ class TestCache:
         assert warm.cached == warm.total and warm.executed == 0
         assert json.dumps(cold.records) == json.dumps(warm.records)
 
+    def test_result_carries_hit_miss_counters(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cold = run_sweep(TINY_SPEC, workers=2, cache=cache)
+        assert cold.cache_hits == 0
+        assert cold.cache_misses == cold.total
+        assert cold.hit_rate == 0.0
+        warm = run_sweep(TINY_SPEC, workers=2, cache=cache)
+        assert warm.cache_hits == warm.total
+        assert warm.cache_misses == 0
+        assert warm.hit_rate == 1.0
+
+    def test_uncached_result_counters_are_zero(self):
+        result = run_requests(
+            [RunRequest("agrid", "beaded_path", {"n": 6, "spacing": 1.0})]
+        )
+        assert len(result) == 1  # no cache: nothing to count
+
+    def test_progress_reports_hits_and_misses(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        run_sweep(TINY_SPEC, cache=cache)
+        ticks = []
+        run_sweep(TINY_SPEC, cache=cache, progress=ticks.append)
+        assert ticks  # warm run still ticks per job
+        final = ticks[-1]
+        assert final.hits == final.total and final.misses == 0
+        assert final.hit_rate == 1.0
+
     def test_spec_change_invalidates(self, tmp_path):
         cache = ResultCache(tmp_path / "cache")
         base = RunRequest("agrid", "beaded_path", {"n": 6, "spacing": 1.0})

@@ -1,0 +1,140 @@
+"""Unit tests for the stdlib HTTP layer: parsing, routing, responses."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.service.httpd import (
+    HttpError,
+    Request,
+    Response,
+    Router,
+    _read_request,
+    json_response,
+    sse_event,
+    text_response,
+)
+
+
+def parse(raw: bytes) -> Request | None:
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await _read_request(reader)
+
+    return asyncio.run(go())
+
+
+class TestRequestParsing:
+    def test_get_with_query_and_headers(self):
+        request = parse(
+            b"GET /sweeps/abc?format=csv&partial=1 HTTP/1.1\r\n"
+            b"Host: localhost\r\nAccept: */*\r\n\r\n"
+        )
+        assert request.method == "GET"
+        assert request.path == "/sweeps/abc"
+        assert request.query == {"format": "csv", "partial": "1"}
+        assert request.headers["host"] == "localhost"  # lower-cased
+        assert request.body == b""
+
+    def test_post_body_by_content_length(self):
+        body = json.dumps({"name": "x"}).encode()
+        request = parse(
+            b"POST /sweeps HTTP/1.1\r\n"
+            + f"Content-Length: {len(body)}\r\n\r\n".encode()
+            + body
+        )
+        assert request.method == "POST"
+        assert request.json() == {"name": "x"}
+
+    def test_clean_eof_is_none(self):
+        assert parse(b"") is None
+
+    def test_malformed_request_line_is_400(self):
+        with pytest.raises(HttpError) as exc:
+            parse(b"NONSENSE\r\n\r\n")
+        assert exc.value.status == 400
+
+    def test_bad_content_length_is_400(self):
+        with pytest.raises(HttpError) as exc:
+            parse(b"GET / HTTP/1.1\r\nContent-Length: many\r\n\r\n")
+        assert exc.value.status == 400
+
+    def test_json_of_empty_body_is_400(self):
+        request = parse(b"POST /sweeps HTTP/1.1\r\n\r\n")
+        with pytest.raises(HttpError) as exc:
+            request.json()
+        assert exc.value.status == 400
+
+    def test_json_of_invalid_body_is_400(self):
+        request = parse(
+            b"POST /sweeps HTTP/1.1\r\nContent-Length: 4\r\n\r\nnope"
+        )
+        with pytest.raises(HttpError) as exc:
+            request.json()
+        assert exc.value.status == 400
+
+    def test_flag_semantics(self):
+        request = Request(
+            method="GET", path="/", headers={}, body=b"",
+            query={"partial": "1", "off": "false", "bare": ""},
+        )
+        assert request.flag("partial") is True
+        assert request.flag("bare") is True  # bare ?name counts as set
+        assert request.flag("off") is False
+        assert request.flag("absent") is False
+
+
+class TestRouter:
+    def _router(self):
+        async def handler(request, **caps):  # pragma: no cover - not run
+            return Response()
+
+        router = Router()
+        router.add("GET", "/sweeps", handler)
+        router.add("POST", "/sweeps", handler)
+        router.add("GET", "/sweeps/{sweep_id}/records", handler)
+        return router, handler
+
+    def test_literal_and_capture_match(self):
+        router, handler = self._router()
+        found, caps = router.match("GET", "/sweeps")
+        assert found is handler and caps == {}
+        found, caps = router.match("GET", "/sweeps/abc123/records")
+        assert caps == {"sweep_id": "abc123"}
+
+    def test_unknown_path_is_404(self):
+        router, _ = self._router()
+        with pytest.raises(HttpError) as exc:
+            router.match("GET", "/nope")
+        assert exc.value.status == 404
+
+    def test_known_path_wrong_method_is_405(self):
+        router, _ = self._router()
+        with pytest.raises(HttpError) as exc:
+            router.match("DELETE", "/sweeps")
+        assert exc.value.status == 405
+
+    def test_capture_does_not_cross_segments(self):
+        router, _ = self._router()
+        with pytest.raises(HttpError) as exc:
+            router.match("GET", "/sweeps/a/b/records")
+        assert exc.value.status == 404
+
+
+class TestResponses:
+    def test_json_response_is_canonical(self):
+        response = json_response({"b": 1, "a": 2})
+        assert response.body == b'{"a":2,"b":1}\n'
+        assert response.content_type == "application/json"
+
+    def test_text_response_content_type(self):
+        response = text_response("a,b\r\n1,2\r\n", content_type="text/csv")
+        assert response.body == b"a,b\r\n1,2\r\n"
+        assert response.content_type == "text/csv"
+
+    def test_sse_event_frame(self):
+        frame = sse_event("settle", {"index": 0})
+        assert frame == b'event: settle\ndata: {"index":0}\n\n'

@@ -1,0 +1,274 @@
+"""End-to-end service tests over real HTTP.
+
+The service runs on a background-thread event loop (the suite has no
+async test runner) and is exercised through :class:`ServiceClient` —
+the same transport the CLI uses.  Sweeps are tiny (beaded-path n=5) so
+each test stays in the fast tier despite spawning a real worker pool.
+"""
+
+import asyncio
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.experiments import ResultCache, SweepSpec, run_sweep
+from repro.experiments.io import format_csv, sweep_rows
+from repro.service import ServiceClient, ServiceError, SweepService
+
+SPEC = {
+    "name": "svc-e2e",
+    "algorithms": ["greedy", "agrid"],
+    "seeds": [0],
+    "families": [
+        {"family": "beaded_path", "params": {"n": [5], "spacing": [1.0]}},
+    ],
+}
+
+#: Two good family jobs plus one job whose energy budget is too small to
+#: wake anything: a *valid* spec whose third job fails at execution.
+POISON_SPEC = {
+    "name": "svc-poison",
+    "algorithms": ["greedy"],
+    "seeds": [0],
+    "families": [
+        {"family": "beaded_path", "params": {"n": [5, 6], "spacing": [1.0]}},
+    ],
+    "scenarios": [
+        {
+            "scenario": "slow_swarm",
+            "params": {"n": [8], "rho": [4.0]},
+            "world": {"budget": [0.1], "source_budget": [0.1]},
+        },
+    ],
+}
+
+
+@pytest.fixture
+def service_factory(tmp_path):
+    """Start services on a background-thread loop; tear them all down."""
+    started = []
+
+    def start(cache_dir=None, workers=2):
+        loop = asyncio.new_event_loop()
+        thread = threading.Thread(target=loop.run_forever, daemon=True)
+        thread.start()
+        service = SweepService(
+            cache_dir=cache_dir or tmp_path / "service-cache", workers=workers
+        )
+        host, port = asyncio.run_coroutine_threadsafe(
+            service.start("127.0.0.1", 0), loop
+        ).result(timeout=30)
+        started.append((service, loop, thread))
+        return service, ServiceClient(f"http://{host}:{port}")
+
+    yield start
+    for service, loop, thread in started:
+        asyncio.run_coroutine_threadsafe(service.stop(), loop).result(
+            timeout=30
+        )
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=10)
+        loop.close()
+
+
+class TestEndpoints:
+    def test_index_health_and_introspection(self, service_factory):
+        _, client = service_factory()
+        assert client.healthy()
+        names = [algorithm["name"] for algorithm in client.algorithms()]
+        assert "aseparator" in names and "greedy" in names
+        scenario = next(
+            s for s in client.scenarios() if s["name"] == "slow_swarm"
+        )
+        assert scenario["world"]["slow_fraction"] == 0.25
+        assert any(p["name"] == "seed" for p in scenario["params"])
+
+    def test_bad_spec_is_400_not_a_crash(self, service_factory):
+        _, client = service_factory()
+        with pytest.raises(ServiceError) as exc:
+            client.submit({"name": "x", "algorithms": [], "families": []})
+        assert exc.value.status == 400
+        assert client.healthy()  # the service survived
+
+    def test_unknown_sweep_is_404(self, service_factory):
+        _, client = service_factory()
+        with pytest.raises(ServiceError) as exc:
+            client.status("feedfacefeedfacefeedfacefeedface")
+        assert exc.value.status == 404
+
+
+class TestSubmitAndRecords:
+    def test_records_byte_identical_to_run_sweep(
+        self, service_factory, tmp_path
+    ):
+        _, client = service_factory()
+        submitted = client.submit(SPEC)
+        assert submitted["created"] is True
+        status = client.wait(submitted["id"])
+        assert status["state"] == "done"
+        assert status["counts"] == {
+            "total": 2, "settled": 2, "executed": 2, "deduped": 0,
+            "cached": 0, "failed": 0, "running": 0, "pending": 0,
+        }
+
+        # Reference: the same spec through the plain harness, own cache.
+        reference = run_sweep(
+            SweepSpec.from_dict(SPEC),
+            cache=ResultCache(tmp_path / "reference-cache"),
+        )
+        body = client.records(submitted["id"])
+        assert body["complete"] is True
+        assert body["records"] == reference.records
+        csv_text = client.records(submitted["id"], csv=True)
+        assert csv_text == format_csv(sweep_rows(reference.records))
+
+    def test_resubmission_returns_the_resident_sweep(self, service_factory):
+        service, client = service_factory()
+        first = client.submit(SPEC)
+        client.wait(first["id"])
+        again = client.submit(SPEC)
+        assert again["id"] == first["id"]
+        assert again["created"] is False
+        # Nothing re-executed: still exactly two jobs ever ran.
+        assert service.telemetry.jobs_executed == 2
+        assert service.telemetry.sweeps_submitted == 1
+
+    def test_watch_replays_settles_then_end(self, service_factory):
+        _, client = service_factory()
+        submitted = client.submit(SPEC)
+        client.wait(submitted["id"])
+        events = list(client.watch(submitted["id"]))
+        assert [e["event"] for e in events] == ["settle", "settle", "end"]
+        assert events[0]["settled"] == 1 and events[1]["settled"] == 2
+        assert events[-1]["counts"]["executed"] == 2
+
+
+class TestConcurrentDedup:
+    def test_identical_jobs_across_tenants_compute_once(
+        self, service_factory
+    ):
+        """Two sweeps with different names but identical jobs, submitted
+        simultaneously: every job computes exactly once, records match
+        byte for byte."""
+        service, client = service_factory()
+        twin = dict(SPEC, name="svc-e2e-twin")
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            first, second = pool.map(client.submit, (SPEC, twin))
+        assert first["id"] != second["id"]  # name is part of the identity
+        client.wait(first["id"])
+        client.wait(second["id"])
+        # 4 job settlements, 2 computations: the overlap was deduped
+        # in-flight or served from the shared cache, never re-executed.
+        assert service.telemetry.jobs_executed == 2
+        assert (
+            service.telemetry.jobs_deduped + service.telemetry.jobs_cached
+            == 2
+        )
+        assert client.records(first["id"], csv=True) == client.records(
+            second["id"], csv=True
+        )
+
+    def test_metrics_reflect_the_dedup(self, service_factory):
+        _, client = service_factory()
+        submitted = client.submit(SPEC)
+        client.wait(submitted["id"])
+        metrics = client.metrics()
+        assert metrics["jobs"]["executed"] == 2
+        assert metrics["jobs"]["settled"] == 2
+        assert metrics["queue_depth"] == 0
+        assert metrics["inflight"] == 0
+        assert metrics["sweeps"] == {"submitted": 1, "completed": 1}
+        assert metrics["sweeps_resident"]["done"] == 1
+        assert metrics["cache"]["entries"] == 2
+
+
+class TestFailureIsolation:
+    def test_poisoned_job_fails_alone(self, service_factory):
+        _, client = service_factory()
+        submitted = client.submit(POISON_SPEC)
+        status = client.wait(submitted["id"])
+        # The sweep completed; the failure is data, not a 500.
+        assert status["state"] == "done"
+        assert status["counts"]["failed"] == 1
+        assert status["counts"]["executed"] == 2
+        (error,) = status["errors"]
+        assert "slow_swarm" in error["label"]
+        assert error["kind"] and error["message"]
+
+        # Records of the siblings are fetchable; the full download is a
+        # 409 because the sweep can never be complete.
+        with pytest.raises(ServiceError) as exc:
+            client.records(submitted["id"])
+        assert exc.value.status == 409
+        partial = client.records(submitted["id"], partial=True)
+        assert partial["complete"] is False
+        assert partial["count"] == 2
+        assert all("greedy" in r["algorithm"] for r in partial["records"])
+
+    def test_failure_streams_as_an_error_event(self, service_factory):
+        _, client = service_factory()
+        submitted = client.submit(POISON_SPEC)
+        client.wait(submitted["id"])
+        events = list(client.watch(submitted["id"]))
+        errored = [e for e in events if e.get("status") == "error"]
+        assert len(errored) == 1
+        assert errored[0]["error"]["kind"]
+        assert events[-1]["counts"]["failed"] == 1
+
+
+class TestSharedCacheAcrossProcessLifetimes:
+    def test_fresh_service_serves_same_sweep_from_cache(
+        self, service_factory, tmp_path
+    ):
+        cache_dir = tmp_path / "shared-cache"
+        _, client_a = service_factory(cache_dir=cache_dir)
+        submitted = client_a.submit(SPEC)
+        client_a.wait(submitted["id"])
+        reference_csv = client_a.records(submitted["id"], csv=True)
+
+        # A brand-new service process on the same cache directory.
+        service_b, client_b = service_factory(cache_dir=cache_dir)
+
+        # Before resubmission the sweep is already visible, detached,
+        # via its on-disk manifest — records come straight off the cache.
+        detached = client_b.status(submitted["id"])
+        assert detached["resident"] is False
+        assert detached["state"] == "detached"
+        assert detached["counts"]["settled"] == 2
+        assert client_b.records(submitted["id"], csv=True) == reference_csv
+
+        # Resubmitting executes nothing: 100% cache hits.
+        resubmitted = client_b.submit(SPEC)
+        assert resubmitted["id"] == submitted["id"]
+        client_b.wait(resubmitted["id"])
+        metrics = client_b.metrics()
+        assert metrics["jobs"]["executed"] == 0
+        assert metrics["jobs"]["cached"] == 2
+        assert metrics["cache"]["hit_rate"] == 1.0
+        assert client_b.records(submitted["id"], csv=True) == reference_csv
+
+    def test_id_prefix_resolution(self, service_factory):
+        _, client = service_factory()
+        submitted = client.submit(SPEC)
+        client.wait(submitted["id"])
+        assert client.status(submitted["id"][:10])["id"] == submitted["id"]
+
+
+class TestCsvEndpointShape:
+    def test_csv_has_crlf_rows_and_header(self, service_factory):
+        _, client = service_factory()
+        submitted = client.submit(SPEC)
+        client.wait(submitted["id"])
+        csv_text = client.records(submitted["id"], csv=True)
+        lines = csv_text.split("\r\n")
+        assert lines[0].startswith("algorithm,")
+        assert len([line for line in lines if line]) == 3  # header + 2
+
+    def test_json_records_roundtrip(self, service_factory):
+        _, client = service_factory()
+        submitted = client.submit(SPEC)
+        client.wait(submitted["id"])
+        body = client.records(submitted["id"])
+        assert json.loads(json.dumps(body)) == body

@@ -21,6 +21,20 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--algorithm", "magic"])
 
+    def test_serve_requires_cache_dir(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+        args = build_parser().parse_args(["serve", "--cache-dir", "c"])
+        assert args.host == "127.0.0.1" and args.port == 8765
+        assert args.workers is None
+
+    def test_submit_and_watch_defaults(self):
+        args = build_parser().parse_args(["submit", "spec.json"])
+        assert args.server == "http://127.0.0.1:8765"
+        assert args.wait is False and args.json is False
+        args = build_parser().parse_args(["watch", "abc123", "--json"])
+        assert args.sweep_id == "abc123" and args.json is True
+
 
 class TestCommands:
     def test_run_aseparator(self, capsys):
@@ -133,6 +147,36 @@ class TestCommands:
     def test_unknown_family_fails(self):
         with pytest.raises(SystemExit):
             main(["run", "--family", "nope"])
+
+    def test_algorithms_json(self, capsys):
+        code = main(["algorithms", "--json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        payload = json.loads(out)
+        by_name = {spec["name"]: spec for spec in payload["algorithms"]}
+        assert by_name["aseparator"]["kind"] == "distributed"
+        assert by_name["aseparator"]["needs_rho"] is True
+        assert any(p["name"] == "solver" for p in by_name["aseparator"]["params"])
+
+    def test_algorithms_json_respects_kind_filter(self, capsys):
+        code = main(["algorithms", "--json", "--kind", "centralized"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        kinds = {spec["kind"] for spec in payload["algorithms"]}
+        assert kinds == {"centralized"}
+
+    def test_scenarios_json(self, capsys):
+        code = main(["scenarios", "--json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        payload = json.loads(out)
+        by_name = {spec["name"]: spec for spec in payload["scenarios"]}
+        slow = by_name["slow_swarm"]
+        assert slow["world"]["slow_fraction"] == 0.25
+        assert slow["accepts_seed"] is True
+        assert any(p["name"] == "n" for p in slow["params"])
+        # math.inf world fields must arrive JSON-safe (null), not crash.
+        assert by_name["uniform_disk"]["world"]["budget"] is None
 
     def test_table1_energy_only(self, capsys):
         code = main(["table1", "--experiment", "energy", "--ell", "3"])
@@ -300,6 +344,29 @@ class TestSweepResume:
         assert code == 0
         assert "2 done + 0 cached / 2 jobs (0 pending, 100% complete)" in out
         assert "executed" not in out  # status never runs jobs
+
+    def test_status_json_output(self, tmp_path, capsys):
+        spec = self._write_spec(tmp_path)
+        cache_dir = str(tmp_path / "cache")
+        main(["sweep", spec, "--cache-dir", cache_dir, "--quiet"])
+        capsys.readouterr()
+        code = main(["sweep", spec, "--status", "--json",
+                     "--cache-dir", cache_dir])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["name"] == "cli-smoke"
+        assert payload["recorded"] is True
+        assert payload["total"] == 2 and payload["pending"] == 0
+        assert payload["hit_rate"] == 1.0
+
+    def test_status_json_before_any_run(self, tmp_path, capsys):
+        spec = self._write_spec(tmp_path)
+        code = main(["sweep", spec, "--status", "--json",
+                     "--cache-dir", str(tmp_path / "cache")])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["recorded"] is False
+        assert payload["pending"] == payload["total"] == 2
 
     def test_resume_without_manifest_fails(self, tmp_path):
         spec = self._write_spec(tmp_path)
