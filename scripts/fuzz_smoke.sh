@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Fuzz-farm smoke: the executable contract of the coverage-guided
+# fuzzer (ROADMAP item 4), in two acts.
+#
+#  1. CLEAN: a fixed-seed campaign on the shipped engine must settle
+#     every run with zero violations (exit 0) — the invariant layer has
+#     no false positives — and the committed regression seeds in
+#     tests/fuzz/seeds/ must replay clean.
+#  2. PLANTED FAULT: with FREEZETAG_FAULT_FRONTIER_REACH shrinking
+#     AWave's frontier reach (an awave-only bug legacy_awave cannot
+#     share), the same campaign machinery must FIND the bug (exit 1),
+#     shrink it, and emit at least one minimized seed of <= MAX_SEED_N
+#     robots — the end-to-end proof that a real engine regression would
+#     be caught and minimized, not merely suspected.
+#
+# Usage: scripts/fuzz_smoke.sh
+#   CLEAN_RUNS=<count>   configs in the clean campaign (default 200)
+#   FAULT_RUNS=<count>   configs in the planted-fault campaign (default 40)
+#   MAX_SEED_N=<count>   largest acceptable minimized swarm (default 12)
+set -euo pipefail
+
+CLEAN_RUNS=${CLEAN_RUNS:-200}
+FAULT_RUNS=${FAULT_RUNS:-40}
+MAX_SEED_N=${MAX_SEED_N:-12}
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+echo "== clean campaign: seed 0, $CLEAN_RUNS runs (must exit 0)"
+freezetag fuzz run --seed 0 --max-runs "$CLEAN_RUNS" --quiet \
+    --corpus "$WORK/corpus.json"
+
+echo "== committed regression seeds replay clean"
+freezetag fuzz replay tests/fuzz/seeds
+
+echo "== planted fault: campaign must find it and minimize to <= $MAX_SEED_N robots"
+set +e
+FREEZETAG_FAULT_FRONTIER_REACH=0.5 \
+    freezetag fuzz run --seed 0 --max-runs "$FAULT_RUNS" --quiet --json \
+    --save-seeds "$WORK/seeds" > "$WORK/fault.json"
+FAULT_EXIT=$?
+set -e
+if [ "$FAULT_EXIT" -ne 1 ]; then
+    echo "FAIL: planted-fault campaign exited $FAULT_EXIT (wanted 1)"
+    exit 1
+fi
+
+python - "$WORK/fault.json" "$MAX_SEED_N" <<'EOF'
+import json
+import sys
+
+report = json.load(open(sys.argv[1]))
+limit = int(sys.argv[2])
+assert report["failures"], "planted fault produced no failures"
+assert report["minimized"], "failures were not minimized"
+assert report["seed_files"], "no seed files written"
+for entry in report["minimized"]:
+    kwargs = entry["config"]["scenario_kwargs"]
+    n = kwargs.get("n", kwargs.get("side", 0) ** 2)
+    assert n <= limit, f"minimized seed has n={n} > {limit}: {kwargs}"
+print(
+    f"found {len(report['failures'])} failure(s) in {report['runs']} runs, "
+    f"minimized to {len(report['minimized'])} class(es), all n <= {limit}"
+)
+EOF
+
+echo "OK: clean campaign green, planted fault found and minimized"

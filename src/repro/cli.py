@@ -568,6 +568,96 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz_run(args: argparse.Namespace) -> int:
+    from .fuzz import run_campaign
+
+    progress = None if (args.quiet or args.json) else print
+    report = run_campaign(
+        seed=args.seed,
+        max_runs=args.max_runs,
+        time_budget=args.time_budget,
+        executor=args.executor,
+        workers=args.workers,
+        corpus_path=args.corpus,
+        max_n=args.max_n,
+        shrink_failures=not args.no_shrink,
+        seeds_dir=args.save_seeds,
+        progress=progress,
+    )
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        status = "clean" if report.ok else f"{len(report.failures)} violation(s)"
+        print(
+            f"fuzz: {report.runs} runs in {report.elapsed:.1f}s "
+            f"[{report.executor}], {report.signatures} behavior signatures "
+            f"({report.novel} novel) — {status}"
+        )
+        for record in report.failures:
+            names = ", ".join(
+                sorted({v["invariant"] for v in record["violations"]})
+            )
+            print(f"  FAIL {record['config_id']}: {names}")
+        for minimized in report.minimized:
+            print(
+                f"  minimized {minimized['original_id']} -> "
+                f"{minimized['config_id']} "
+                f"({minimized['config']['scenario_kwargs']})"
+                if "original_id" in minimized
+                else f"  minimized {minimized['config_id']}"
+            )
+        for path in report.seed_files:
+            print(f"  seed written: {path}")
+    return 0 if report.ok else 1
+
+
+def _cmd_fuzz_replay(args: argparse.Namespace) -> int:
+    from .fuzz import replay_seeds
+
+    report = replay_seeds(args.paths)
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        status = "clean" if report.ok else f"{len(report.failures)} failure(s)"
+        print(f"fuzz replay: {report.checked} seed(s) — {status}")
+        for record in report.failures:
+            names = ", ".join(
+                sorted({v["invariant"] for v in record["violations"]})
+            )
+            print(f"  FAIL {record['seed_file']}: {names}")
+    return 0 if report.ok else 1
+
+
+def _cmd_fuzz_minimize(args: argparse.Namespace) -> int:
+    from .fuzz import FuzzConfig, shrink, write_seed
+
+    payload = json.loads(Path(args.config).read_text(encoding="utf-8"))
+    config = FuzzConfig.from_dict(payload.get("config", payload))
+    try:
+        result = shrink(config)
+    except ValueError:
+        print(f"config {config.config_id()} violates nothing; cannot minimize")
+        return 1
+    if args.json:
+        print(json.dumps(result.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(
+            f"minimized {result.original.config_id()} -> "
+            f"{result.config.config_id()} in {result.attempts} attempts "
+            f"({result.accepted} accepted)"
+        )
+        print(f"  {result.config.label()}")
+    if args.save_seeds:
+        path = write_seed(
+            args.save_seeds,
+            result.config,
+            [v.as_dict() for v in result.outcome.violations],
+            note=f"minimized from {result.original.config_id()}",
+        )
+        print(f"  seed written: {path}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="freezetag",
@@ -725,6 +815,83 @@ def build_parser() -> argparse.ArgumentParser:
         default="all",
     )
     p_fig.set_defaults(handler=_cmd_figures)
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="coverage-guided invariant fuzzing (differential oracle farm)",
+    )
+    fuzz_sub = p_fuzz.add_subparsers(dest="fuzz_command", required=True)
+
+    pf_run = fuzz_sub.add_parser(
+        "run", help="run a fuzz campaign (failures settle as data, exit 1)"
+    )
+    pf_run.add_argument(
+        "--seed", type=int, default=0, help="campaign rng seed (default 0)"
+    )
+    pf_run.add_argument(
+        "--max-runs", type=int, default=None,
+        help="stop after this many configs (and/or --time-budget)",
+    )
+    pf_run.add_argument(
+        "--time-budget", type=float, default=None, metavar="SECONDS",
+        help="stop drawing new batches after this much wall time",
+    )
+    pf_run.add_argument(
+        "--executor", choices=executor_names(), default=None,
+        help="sweep executor backend; campaigns are deterministic across "
+             "backends (default: pool when --workers > 1, else serial)",
+    )
+    pf_run.add_argument("--workers", type=int, default=1)
+    pf_run.add_argument(
+        "--max-n", type=int, default=48,
+        help="largest swarm the generator draws (default 48)",
+    )
+    pf_run.add_argument(
+        "--corpus", default=None, metavar="FILE",
+        help="persist the coverage corpus here (loaded when present)",
+    )
+    pf_run.add_argument(
+        "--save-seeds", default=None, metavar="DIR",
+        help="write minimized failing configs as seed files under DIR",
+    )
+    pf_run.add_argument(
+        "--no-shrink", action="store_true",
+        help="report failures raw, skip minimization",
+    )
+    pf_run.add_argument(
+        "--quiet", action="store_true", help="suppress progress lines"
+    )
+    pf_run.add_argument(
+        "--json", action="store_true", help="print the campaign report as JSON"
+    )
+    pf_run.set_defaults(handler=_cmd_fuzz_run)
+
+    pf_replay = fuzz_sub.add_parser(
+        "replay", help="re-check committed regression seeds (exit 1 on any fail)"
+    )
+    pf_replay.add_argument(
+        "paths", nargs="+",
+        help="seed files or directories of seed files",
+    )
+    pf_replay.add_argument(
+        "--json", action="store_true", help="print the replay report as JSON"
+    )
+    pf_replay.set_defaults(handler=_cmd_fuzz_replay)
+
+    pf_min = fuzz_sub.add_parser(
+        "minimize", help="shrink one failing config (seed file or config JSON)"
+    )
+    pf_min.add_argument(
+        "config", help="path to a seed file or a bare FuzzConfig JSON dict"
+    )
+    pf_min.add_argument(
+        "--save-seeds", default=None, metavar="DIR",
+        help="also write the minimized config as a seed file under DIR",
+    )
+    pf_min.add_argument(
+        "--json", action="store_true", help="print the shrink result as JSON"
+    )
+    pf_min.set_defaults(handler=_cmd_fuzz_minimize)
 
     p_serve = sub.add_parser(
         "serve",

@@ -46,7 +46,6 @@ class SamplingOutcome:
     sampled: List[Point] = field(default_factory=list)
     recruited: Dict[int, Point] = field(default_factory=dict)
     hit_cap: bool = False
-    travelled: float = 0.0
 
     @property
     def covered(self) -> bool:

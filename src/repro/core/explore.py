@@ -47,7 +47,6 @@ class ExplorationReport:
 
     sleeping: Dict[int, Point] = field(default_factory=dict)
     awake: Dict[int, Point] = field(default_factory=dict)
-    travelled: float = 0.0
     snapshots: int = 0
 
     def merge(self, other: "ExplorationReport") -> None:
@@ -57,7 +56,6 @@ class ExplorationReport:
         self.awake.update(other.awake)
         for rid in other.awake:
             self.sleeping.pop(rid, None)
-        self.travelled += other.travelled
         self.snapshots += other.snapshots
 
 
@@ -165,11 +163,8 @@ def explore_rect(
     if frontier is not None and _sweep_admissible(proc, stops, arrive_at):
         yield from _explore_stops_batched(proc, stops, arrive_at, frontier, report)
         return report
-    start = proc.position
     for stop in stops:
         yield Move(stop)
-        report.travelled += distance(start, stop)
-        start = stop
         snap = (yield Look()).value
         report.snapshots += 1
         for view in snap.robots:
@@ -180,7 +175,6 @@ def explore_rect(
                 report.sleeping[view.robot_id] = view.position
     if arrive_at is not None:
         yield Move(arrive_at)
-        report.travelled += distance(start, arrive_at)
     return report
 
 
@@ -217,11 +211,9 @@ def _explore_stops_batched(
     """The frontier-batched walk: sweep cold runs, snapshot hot stops.
 
     ``report.snapshots`` counts planned lattice stops (the legacy payload
-    semantics), not materialized looks.  ``report.travelled`` is *not*
-    tracked on the batched path — nothing consumes it (the engine
-    odometer is the authoritative energy record), and recomputing every
-    per-segment length the Sweep handler charges anyway would double the
-    dominant arithmetic of a cohort walk.
+    semantics), not materialized looks.  Distance travelled is charged by
+    the engine odometer (the single authoritative energy record, on the
+    per-stop and batched paths alike) — reports carry no travel tally.
     """
     report.snapshots += len(stops)
     rect_hot = True

@@ -414,7 +414,18 @@ def execute_request(request: RunRequest) -> dict[str, Any]:
     The trace sink comes from the request's ``trace`` knob: summary runs
     default to the counters-only :class:`~repro.sim.NullTrace` (events
     would be dropped on the floor), phase runs to a full event trace.
+
+    Duck-typed escape hatch: a job exposing ``execute_record()`` settles
+    through that hook instead — it must return the job's full JSON-safe
+    record itself.  This is how non-``RunRequest`` workloads (the fuzz
+    campaign's invariant checks) ride the sweep :class:`Executor`
+    backends unchanged; the hook is expected to fold domain failures into
+    the record as data, so anything it *raises* still surfaces as a
+    :class:`~repro.experiments.executors.SweepJobError`.
     """
+    hook = getattr(request, "execute_record", None)
+    if hook is not None:
+        return hook()
     run = request.execute()
     trace = run.result.trace if request.collect == "phases" else None
     record: dict[str, Any] = summarize(run).as_dict()

@@ -1,0 +1,56 @@
+"""Coverage-guided adversarial fuzzer + differential oracle farm.
+
+ROADMAP item 4: random scenario x world x algorithm configurations
+(:mod:`.generator`), cross-checked against the repo's independent oracles
+(:mod:`.invariants` — ``legacy_awave`` differential, the ``exact``
+centralized bound, energy conservation, wake completeness, lower-bound
+consistency), coverage-biased by a behavior corpus (:mod:`.corpus`), with
+failures minimized into committed regression seeds (:mod:`.shrink`,
+:mod:`.seeds`) and campaigns parallelized over the PR-6 sweep executors
+(:mod:`.campaign`).  CLI surface: ``freezetag fuzz run/replay/minimize``.
+"""
+
+from .campaign import (
+    BATCH_SIZE,
+    CampaignReport,
+    ReplayReport,
+    replay_seeds,
+    run_campaign,
+)
+from .config import MODES, FuzzConfig
+from .corpus import CorpusDatabase, coverage_signature
+from .generator import DEFAULT_MAX_N, ConfigGenerator
+from .invariants import (
+    CheckOutcome,
+    Violation,
+    check_config,
+    json_safe,
+    outcome_from_dict,
+)
+from .seeds import iter_seed_files, load_seed, seed_payload, write_seed
+from .shrink import ShrinkResult, shrink
+
+__all__ = [
+    "BATCH_SIZE",
+    "CampaignReport",
+    "CheckOutcome",
+    "ConfigGenerator",
+    "CorpusDatabase",
+    "DEFAULT_MAX_N",
+    "FuzzConfig",
+    "MODES",
+    "ReplayReport",
+    "ShrinkResult",
+    "Violation",
+    "check_config",
+    "coverage_signature",
+    "iter_seed_files",
+    "json_safe",
+    "load_seed",
+    "outcome_from_dict",
+    "replay_seeds",
+    "run_campaign",
+    "seed_payload",
+    "shrink",
+    "write_seed",
+]

@@ -1,0 +1,274 @@
+"""Campaign orchestration: generate -> execute -> fold -> shrink.
+
+A campaign interleaves generation and execution in fixed-size batches:
+the generator draws a batch (possibly mutating corpus representatives),
+the batch settles on a sweep :class:`~repro.experiments.executors.Executor`
+backend, and every outcome folds into the corpus before the *next* batch
+is drawn.  The batch size is a constant independent of worker count and
+settles are folded in submission order, so the config stream — and hence
+the whole campaign — is byte-deterministic across ``serial``/``pool``/
+``async-local`` (the same barrier discipline the PR-6 executor tests pin
+for sweeps).
+
+Failures are campaign *data*: a violated invariant ends up in
+``CampaignReport.failures``, optionally shrunk to minimized seeds, and
+the campaign keeps going.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+from ..experiments.executors import Executor, SweepJobError, resolve_executor
+from .config import FuzzConfig
+from .corpus import CorpusDatabase
+from .generator import DEFAULT_MAX_N, ConfigGenerator
+from .invariants import check_config, json_safe
+from .seeds import iter_seed_files, load_seed, write_seed
+from .shrink import shrink
+
+__all__ = [
+    "BATCH_SIZE",
+    "CampaignReport",
+    "ReplayReport",
+    "replay_seeds",
+    "run_campaign",
+]
+
+#: Configs per generate/execute round.  A constant (never derived from
+#: the worker count) — part of the determinism contract above.
+BATCH_SIZE = 8
+
+
+@dataclass
+class CampaignReport:
+    """Everything a campaign learned, JSON-ready."""
+
+    seed: int
+    runs: int = 0
+    elapsed: float = 0.0
+    executor: str = "serial"
+    failures: list[dict[str, Any]] = field(default_factory=list)
+    minimized: list[dict[str, Any]] = field(default_factory=list)
+    seed_files: list[str] = field(default_factory=list)
+    signatures: int = 0
+    novel: int = 0
+    violations_by_invariant: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def as_dict(self) -> dict[str, Any]:
+        return json_safe(
+            {
+                "kind": "fuzz-campaign",
+                "seed": self.seed,
+                "runs": self.runs,
+                "elapsed": self.elapsed,
+                "executor": self.executor,
+                "ok": self.ok,
+                "failures": self.failures,
+                "minimized": self.minimized,
+                "seed_files": self.seed_files,
+                "signatures": self.signatures,
+                "novel": self.novel,
+                "violations_by_invariant": dict(
+                    sorted(self.violations_by_invariant.items())
+                ),
+            }
+        )
+
+
+def run_campaign(
+    seed: int = 0,
+    max_runs: int | None = None,
+    time_budget: float | None = None,
+    executor: Executor | str | None = None,
+    workers: int | None = None,
+    corpus_path: str | Path | None = None,
+    max_n: int = DEFAULT_MAX_N,
+    batch_size: int = BATCH_SIZE,
+    shrink_failures: bool = True,
+    seeds_dir: str | Path | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> CampaignReport:
+    """Run one fuzz campaign; every domain failure is settled data.
+
+    ``max_runs`` and ``time_budget`` (seconds) are alternative stop
+    conditions; at least one must be set.  ``corpus_path`` persists the
+    coverage corpus across campaigns (loaded when present, saved on
+    exit).  With ``shrink_failures`` each *distinct* failure — keyed by
+    (algorithm, scenario, violated invariants) — is minimized once, and
+    ``seeds_dir`` turns the minimized configs into committed seed files.
+    """
+    if max_runs is None and time_budget is None:
+        raise ValueError("set max_runs and/or time_budget")
+    corpus = CorpusDatabase()
+    if corpus_path is not None and Path(corpus_path).is_file():
+        corpus = CorpusDatabase.load(corpus_path)
+    generator = ConfigGenerator(seed=seed, corpus=corpus, max_n=max_n)
+    backend = resolve_executor(executor, workers=workers)
+    report = CampaignReport(
+        seed=seed, executor=getattr(backend, "name", type(backend).__name__)
+    )
+
+    started = time.monotonic()
+    deadline = None if time_budget is None else started + time_budget
+    while True:
+        remaining = None if max_runs is None else max_runs - report.runs
+        if remaining is not None and remaining <= 0:
+            break
+        if deadline is not None and time.monotonic() >= deadline:
+            break
+        count = batch_size if remaining is None else min(batch_size, remaining)
+        batch = generator.generate(count)
+        if not batch:
+            break
+        settled: dict[int, dict[str, Any]] = {}
+        try:
+            for index, record, _elapsed in backend.submit(list(enumerate(batch))):
+                settled[index] = record
+        except SweepJobError as error:
+            # ``execute_record`` folds domain failures into the record, so
+            # reaching here means harness-level breakage; surface it as a
+            # campaign failure rather than killing the loop.
+            settled.setdefault(
+                error.index,
+                {
+                    "kind": "fuzz-outcome",
+                    "config": batch[error.index].as_dict(),
+                    "config_id": batch[error.index].config_id(),
+                    "ok": False,
+                    "violations": [
+                        {
+                            "invariant": "harness-error",
+                            "message": f"{error.kind}: {error}",
+                            "details": {},
+                        }
+                    ],
+                    "stats": {"outcome": "error"},
+                    "signature": f"harness-error|{batch[error.index].label()}",
+                },
+            )
+        # Fold in submission order — the determinism barrier.
+        for index in range(len(batch)):
+            record = settled.get(index)
+            if record is None:
+                continue
+            report.runs += 1
+            if corpus.observe(record):
+                report.novel += 1
+            if not record["ok"]:
+                report.failures.append(record)
+                for violation in record["violations"]:
+                    name = violation["invariant"]
+                    report.violations_by_invariant[name] = (
+                        report.violations_by_invariant.get(name, 0) + 1
+                    )
+                if progress is not None:
+                    progress(f"violation: {record['config_id']}")
+        if progress is not None:
+            progress(
+                f"runs={report.runs} signatures={len(corpus)} "
+                f"failures={len(report.failures)}"
+            )
+    report.elapsed = time.monotonic() - started
+    report.signatures = len(corpus)
+    if corpus_path is not None:
+        corpus.save(corpus_path)
+
+    if shrink_failures and report.failures:
+        _minimize_failures(report, seeds_dir, progress)
+    return report
+
+
+def _minimize_failures(
+    report: CampaignReport,
+    seeds_dir: str | Path | None,
+    progress: Callable[[str], None] | None,
+) -> None:
+    """Shrink one representative per distinct failure class."""
+    seen: set[tuple] = set()
+    for record in report.failures:
+        config = FuzzConfig.from_dict(record["config"])
+        key = (
+            config.algorithm,
+            config.scenario,
+            tuple(sorted(v["invariant"] for v in record["violations"])),
+        )
+        if key in seen:
+            continue
+        seen.add(key)
+        if progress is not None:
+            progress(f"shrinking {config.config_id()}")
+        try:
+            result = shrink(config)
+        except ValueError:
+            # Flaky under re-execution (e.g. a harness-error record):
+            # keep the unshrunk config as the minimized form.
+            report.minimized.append(
+                {
+                    "config": config.as_dict(),
+                    "config_id": config.config_id(),
+                    "violations": record["violations"],
+                    "attempts": 0,
+                    "accepted": 0,
+                }
+            )
+            continue
+        report.minimized.append(result.as_dict())
+        if seeds_dir is not None:
+            path = write_seed(
+                seeds_dir,
+                result.config,
+                [v.as_dict() for v in result.outcome.violations],
+                note=f"minimized from {config.config_id()}",
+            )
+            report.seed_files.append(str(path))
+
+
+@dataclass
+class ReplayReport:
+    """Deterministic re-check of committed seed files."""
+
+    checked: int = 0
+    failures: list[dict[str, Any]] = field(default_factory=list)
+    files: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def as_dict(self) -> dict[str, Any]:
+        return json_safe(
+            {
+                "kind": "fuzz-replay",
+                "checked": self.checked,
+                "ok": self.ok,
+                "failures": self.failures,
+                "files": self.files,
+            }
+        )
+
+
+def replay_seeds(paths: list[str | Path]) -> ReplayReport:
+    """Re-run every seed config; the current engine must pass them all."""
+    report = ReplayReport()
+    expanded: list[Path] = []
+    for path in paths:
+        path = Path(path)
+        expanded += iter_seed_files(path) if path.is_dir() else [path]
+    for path in expanded:
+        config, _payload = load_seed(path)
+        outcome = check_config(config)
+        report.checked += 1
+        report.files.append(str(path))
+        if not outcome.ok:
+            record = outcome.as_dict()
+            record["seed_file"] = str(path)
+            report.failures.append(record)
+    return report

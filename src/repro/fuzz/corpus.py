@@ -1,0 +1,127 @@
+"""Coverage signals and the campaign corpus.
+
+A *coverage signature* is a coarse bucketing of what a run exercised —
+algorithm x scenario x size bucket x world knobs x outcome x event-kind
+mix (log2-bucketed counts from the trace).  Two configs with the same
+signature drove the engine through the same behavior class; a config with
+a *new* signature found something the campaign had not seen.  The
+:class:`CorpusDatabase` keeps one representative config per signature and
+the generator mutates those representatives, biasing the random walk
+toward behavioral novelty (the sparse-blobpool fuzzer's database role).
+
+Buckets are deliberately coarse and deterministic: the signature is a
+pure function of the settled JSON record, so campaigns replay
+byte-identically across executor backends and across resumes from a
+persisted corpus file.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .config import FuzzConfig
+
+__all__ = ["CorpusDatabase", "coverage_signature"]
+
+
+def _log2_bucket(count: int) -> int:
+    """0, 1, 2, 4, 8, ... — the classic fuzzer hit-count bucketing."""
+    bucket = 0
+    while bucket < count:
+        bucket = bucket * 2 if bucket else 1
+    return bucket
+
+
+def coverage_signature(config: "FuzzConfig", stats: Mapping[str, Any]) -> str:
+    """The behavior-class key of one settled run (see module docstring)."""
+    world_knobs = ",".join(sorted(config.world_params)) or "-"
+    param_knobs = ",".join(sorted(config.params)) or "-"
+    n = stats.get("n")
+    parts = [
+        f"alg={config.algorithm}",
+        f"scn={config.scenario}",
+        f"mode={config.mode}",
+        f"n={_log2_bucket(int(n)) if n is not None else '?'}",
+        f"world={world_knobs}",
+        f"knobs={param_knobs}",
+        f"out={stats.get('outcome', 'ok')}",
+        f"woke={int(bool(stats.get('woke_all', False)))}",
+    ]
+    events = stats.get("events_by_kind") or {}
+    mix = ",".join(
+        f"{kind}:{_log2_bucket(int(count))}"
+        for kind, count in sorted(events.items())
+    )
+    parts.append(f"ev={mix or '-'}")
+    parts.append(f"looks={_log2_bucket(int(stats.get('look_count', 0) or 0))}")
+    return "|".join(parts)
+
+
+class CorpusDatabase:
+    """Signature -> representative config, with JSON persistence.
+
+    ``observe`` folds one settled record in and reports novelty; the
+    *first* config to hit a signature stays its representative, so corpus
+    content is independent of executor backend (outcomes are folded in
+    batch order, and batch composition is deterministic).
+    """
+
+    SCHEMA = 1
+
+    def __init__(self) -> None:
+        self._entries: dict[str, dict[str, Any]] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, signature: str) -> bool:
+        return signature in self._entries
+
+    @property
+    def signatures(self) -> list[str]:
+        return sorted(self._entries)
+
+    def observe(self, record: Mapping[str, Any]) -> bool:
+        """Fold one settled outcome record in; ``True`` when novel."""
+        signature = record["signature"]
+        if signature in self._entries:
+            self._entries[signature]["hits"] += 1
+            return False
+        self._entries[signature] = {
+            "config": dict(record["config"]),
+            "ok": bool(record.get("ok", True)),
+            "hits": 1,
+        }
+        return True
+
+    def representatives(self) -> list[dict[str, Any]]:
+        """Config dicts in sorted-signature order (mutation parents)."""
+        return [self._entries[sig]["config"] for sig in sorted(self._entries)]
+
+    # -- persistence ---------------------------------------------------------
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "schema": self.SCHEMA,
+            "entries": {sig: self._entries[sig] for sig in sorted(self._entries)},
+        }
+
+    def save(self, path: str | Path) -> None:
+        text = json.dumps(self.as_dict(), indent=2, sort_keys=True) + "\n"
+        Path(path).write_text(text, encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "CorpusDatabase":
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        if payload.get("schema") != cls.SCHEMA:
+            raise ValueError(
+                f"unsupported corpus schema {payload.get('schema')!r}"
+            )
+        db = cls()
+        db._entries = {
+            sig: dict(entry) for sig, entry in payload["entries"].items()
+        }
+        return db

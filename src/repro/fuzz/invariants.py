@@ -1,0 +1,418 @@
+"""The invariant layer: run one config, assert cross-cutting properties.
+
+Every check here is a *per-run certificate* — a property that must hold
+for the specific instance executed, not an adversarial existence bound.
+(The Theorem 2 / Theorem 6 lower bounds in
+:mod:`repro.instances.lower_bounds` say a *bad placement exists*; they
+are not promises about a random placement, so asserting them per run
+would false-positive.  What they do promise per-construction — disk
+adjacency ``ell_star <= ell``, containment ``rho_star <= rho`` — *is*
+checked, on the ``grid_of_disks`` scenario.)
+
+The five invariant groups (ROADMAP item 4):
+
+* **wake completeness** — contract-mode runs wake everyone, or abort with
+  a *justified* :class:`~repro.sim.errors.EnergyBudgetExceeded` (some
+  finite budget is actually in play);
+* **energy conservation** — the trace's move/sweep events, each charged
+  ``length x robots``, reproduce the engine odometer total exactly;
+* **differential** — ``awave`` must match ``legacy_awave`` (the PR-5
+  reference) on makespan, the full wake map and both energy totals,
+  *exactly*; a budget abort must fire in both or neither;
+* **centralized bound** — on the default world a distributed makespan is
+  at least the ``exact`` solver's optimum (small ``n`` only);
+* **lower-bound consistency** — per-robot reachability
+  (``wake_time >= dist(source, home) / max_speed``), the ``rho_star``
+  makespan floor, the enforced theorem energy budget, and the
+  construction promises above.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..core.registry import get_algorithm
+from ..geometry import distance
+from ..sim.errors import EnergyBudgetExceeded, SimulationError
+from .config import FuzzConfig
+from .corpus import coverage_signature
+
+__all__ = [
+    "CheckOutcome",
+    "Violation",
+    "check_config",
+    "json_safe",
+    "outcome_from_dict",
+]
+
+#: Absolute slack for float comparisons on times/energies whose exact
+#: value is a sum of many segment lengths.
+_ABS_TOL = 1e-6
+#: Relative slack for the energy-conservation re-summation (same floats,
+#: different summation order).
+_REL_TOL = 1e-9
+
+#: ``exact`` is capped at ``max_n = 9``; the centralized-bound oracle is
+#: skipped above this many sleepers.
+EXACT_ORACLE_MAX_N = 9
+
+
+def json_safe(value: Any) -> Any:
+    """Recursively map non-finite floats to ``None`` (PR-7 convention)."""
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, dict):
+        return {k: json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [json_safe(v) for v in value]
+    return value
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One failed invariant, with enough detail to triage without rerun."""
+
+    invariant: str
+    message: str
+    details: dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "invariant": self.invariant,
+            "message": self.message,
+            "details": json_safe(dict(self.details)),
+        }
+
+
+@dataclass
+class CheckOutcome:
+    """The settled record of one fuzz job (always data, never an error)."""
+
+    config: FuzzConfig
+    violations: list[Violation]
+    stats: dict[str, Any]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    @property
+    def signature(self) -> str:
+        return coverage_signature(self.config, self.stats)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "kind": "fuzz-outcome",
+            "config": self.config.as_dict(),
+            "config_id": self.config.config_id(),
+            "ok": self.ok,
+            "violations": [v.as_dict() for v in self.violations],
+            "stats": json_safe(dict(self.stats)),
+            "signature": self.signature,
+        }
+
+
+def outcome_from_dict(payload: Mapping[str, Any]) -> CheckOutcome:
+    """Rehydrate a settled record (executor round-trips are JSON)."""
+    return CheckOutcome(
+        config=FuzzConfig.from_dict(payload["config"]),
+        violations=[
+            Violation(
+                invariant=v["invariant"],
+                message=v["message"],
+                details=dict(v.get("details", {})),
+            )
+            for v in payload.get("violations", [])
+        ],
+        stats=dict(payload.get("stats", {})),
+    )
+
+
+def _finite_budget_in_play(config: FuzzConfig, world) -> bool:
+    """Whether *any* energy budget could legitimately abort this run."""
+    spec = get_algorithm(config.algorithm)
+    if config.params.get("enforce_budget") and spec.supports_budget:
+        return True
+    if world is None:
+        return False
+    if math.isfinite(world.budget):
+        return True
+    if world.source_budget is not None and math.isfinite(world.source_budget):
+        return True
+    if world.low_battery_fraction > 0 and math.isfinite(world.low_battery_budget):
+        return True
+    return False
+
+
+def _max_robot_speed(world) -> float:
+    if world is None:
+        return 1.0
+    speed = world.speed
+    if world.slow_fraction > 0.0:
+        speed = max(speed, world.slow_speed)
+    return speed
+
+
+def _event_stats(trace) -> dict[str, Any]:
+    by_kind: dict[str, int] = {}
+    for event in trace.events:
+        by_kind[event.kind] = by_kind.get(event.kind, 0) + 1
+    return by_kind
+
+
+def check_config(config: FuzzConfig) -> CheckOutcome:  # noqa: C901
+    """Execute ``config`` and hold it to every applicable invariant."""
+    violations: list[Violation] = []
+    stats: dict[str, Any] = {
+        "algorithm": config.algorithm,
+        "scenario": config.scenario,
+        "mode": config.mode,
+        "outcome": "ok",
+    }
+    request = config.request(trace="events")
+    instance = request.instance()
+    world = request.world_config()
+    stats["n"] = instance.n
+    budget_ok = _finite_budget_in_play(config, world)
+
+    try:
+        run = request.execute()
+    except EnergyBudgetExceeded as exc:
+        stats["outcome"] = "budget"
+        stats["exception"] = type(exc).__name__
+        if not budget_ok:
+            violations.append(
+                Violation(
+                    "budget-exception",
+                    "EnergyBudgetExceeded with every budget infinite",
+                    {"error": str(exc)},
+                )
+            )
+        _check_differential_abort(config, violations, stats)
+        return CheckOutcome(config, violations, stats)
+    except (SimulationError, ValueError, ArithmeticError, RuntimeError) as exc:
+        stats["outcome"] = "error"
+        stats["exception"] = type(exc).__name__
+        violations.append(
+            Violation(
+                "unexpected-exception",
+                f"{type(exc).__name__}: {exc}",
+                {},
+            )
+        )
+        return CheckOutcome(config, violations, stats)
+
+    result = run.result
+    stats.update(
+        woke_all=result.woke_all,
+        awake_count=result.awake_count,
+        makespan=result.makespan,
+        total_energy=result.total_energy,
+        max_energy=result.max_energy,
+        events_processed=result.events_processed,
+        look_count=result.trace.look_count,
+        events_by_kind=_event_stats(result.trace),
+    )
+
+    # 1. Wake completeness (contract mode): everyone wakes, full stop —
+    #    a budget abort would have raised above.
+    if config.mode == "contract" and not result.woke_all:
+        violations.append(
+            Violation(
+                "wake-completeness",
+                f"only {result.awake_count}/{result.n + 1} robots awake",
+                {"wake_times": {str(k): v for k, v in result.wake_times.items()}},
+            )
+        )
+
+    # 2. Energy conservation: per-event length x team size must reproduce
+    #    the odometer total (same floats, different summation order).
+    traced = 0.0
+    for kind in ("move", "sweep"):
+        for event in result.trace.of_kind(kind):
+            traced += event.data["length"] * event.data["robots"]
+    if not math.isclose(
+        traced, result.total_energy, rel_tol=_REL_TOL, abs_tol=_ABS_TOL
+    ):
+        violations.append(
+            Violation(
+                "energy-conservation",
+                "trace move/sweep lengths disagree with the odometer",
+                {"traced": traced, "odometer": result.total_energy},
+            )
+        )
+
+    # 3. Summary consistency: the makespan is the last wake; every awake
+    #    robot has a wake time.
+    last_wake = max(result.wake_times.values(), default=0.0)
+    if not math.isclose(result.makespan, last_wake, rel_tol=0.0, abs_tol=_ABS_TOL):
+        violations.append(
+            Violation(
+                "summary-consistency",
+                "makespan disagrees with the latest wake time",
+                {"makespan": result.makespan, "last_wake": last_wake},
+            )
+        )
+
+    # 4. Lower-bound consistency: reachability per woken robot, the
+    #    rho_star floor on complete wakes, the enforced theorem budget.
+    max_speed = _max_robot_speed(world)
+    source = instance.source
+    for rid, wake_time in result.wake_times.items():
+        if rid <= 0 or rid > instance.n:
+            continue
+        floor = distance(source, instance.positions[rid - 1]) / max_speed
+        if wake_time < floor - _ABS_TOL - _REL_TOL * floor:
+            violations.append(
+                Violation(
+                    "lower-bound",
+                    f"robot {rid} woke before it was reachable",
+                    {"wake_time": wake_time, "floor": floor},
+                )
+            )
+    if result.woke_all:
+        floor = instance.rho_star / max_speed
+        if result.makespan < floor - _ABS_TOL - _REL_TOL * floor:
+            violations.append(
+                Violation(
+                    "lower-bound",
+                    "makespan beats the rho*/speed reachability floor",
+                    {"makespan": result.makespan, "floor": floor},
+                )
+            )
+    spec = get_algorithm(config.algorithm)
+    if (
+        config.params.get("enforce_budget")
+        and spec.supports_budget
+        and spec.energy_budget is not None
+    ):
+        cap = spec.energy_budget(run.ell)
+        if result.max_energy > cap + _ABS_TOL:
+            violations.append(
+                Violation(
+                    "energy-budget",
+                    "enforced theorem budget exceeded without an abort",
+                    {"max_energy": result.max_energy, "budget": cap},
+                )
+            )
+
+    # 5. Construction promises (grid_of_disks scenario): admissibility is
+    #    guaranteed by Lemma 13's disk adjacency, so a violation means the
+    #    lower-bound construction itself regressed.
+    if config.scenario == "grid_of_disks":
+        ell = float(config.scenario_kwargs["ell"])
+        rho = float(config.scenario_kwargs["rho"])
+        if instance.ell_star > ell + _ABS_TOL:
+            violations.append(
+                Violation(
+                    "construction-promise",
+                    "grid_of_disks instance is not ell-connected",
+                    {"ell": ell, "ell_star": instance.ell_star},
+                )
+            )
+        if instance.rho_star > rho + _ABS_TOL:
+            violations.append(
+                Violation(
+                    "construction-promise",
+                    "grid_of_disks instance escapes the rho ball",
+                    {"rho": rho, "rho_star": instance.rho_star},
+                )
+            )
+
+    # 6. Differential: awave must match the PR-5 reference exactly.
+    if config.algorithm == "awave":
+        _check_differential(config, result, violations, stats)
+
+    # 7. Centralized bound: no distributed run beats the exact optimum
+    #    (default world only — the solver's optimality certificate does
+    #    not cover speeds, crashes or budgets).
+    _check_exact_bound(config, instance, world, result, violations, stats)
+
+    return CheckOutcome(config, violations, stats)
+
+
+def _check_differential(config, result, violations, stats) -> None:
+    try:
+        reference = config.sibling("legacy_awave", trace="null").execute().result
+    except EnergyBudgetExceeded:
+        violations.append(
+            Violation(
+                "differential-legacy",
+                "legacy_awave aborted on a budget awave survived",
+                {},
+            )
+        )
+        return
+    stats["differential"] = True
+    mismatches = {}
+    if reference.makespan != result.makespan:
+        mismatches["makespan"] = [result.makespan, reference.makespan]
+    if reference.wake_times != result.wake_times:
+        woke = set(result.wake_times)
+        ref_woke = set(reference.wake_times)
+        mismatches["wake_map"] = {
+            "missing": sorted(ref_woke - woke),
+            "extra": sorted(woke - ref_woke),
+            "retimed": sorted(
+                rid
+                for rid in woke & ref_woke
+                if result.wake_times[rid] != reference.wake_times[rid]
+            ),
+        }
+    if reference.total_energy != result.total_energy:
+        mismatches["total_energy"] = [result.total_energy, reference.total_energy]
+    if reference.max_energy != result.max_energy:
+        mismatches["max_energy"] = [result.max_energy, reference.max_energy]
+    if mismatches:
+        violations.append(
+            Violation(
+                "differential-legacy",
+                "awave diverged from legacy_awave: "
+                + ", ".join(sorted(mismatches)),
+                mismatches,
+            )
+        )
+
+
+def _check_differential_abort(config, violations, stats) -> None:
+    """A budget abort in ``awave`` must reproduce in the reference."""
+    if config.algorithm != "awave":
+        return
+    try:
+        config.sibling("legacy_awave", trace="null").execute()
+    except EnergyBudgetExceeded:
+        stats["differential"] = True
+        return
+    except (SimulationError, ValueError, RuntimeError):
+        pass
+    violations.append(
+        Violation(
+            "differential-legacy",
+            "awave aborted on a budget legacy_awave survived",
+            {},
+        )
+    )
+
+
+def _check_exact_bound(config, instance, world, result, violations, stats) -> None:
+    if config.mode != "contract" or config.algorithm == "exact":
+        return
+    if not result.woke_all or instance.n > EXACT_ORACLE_MAX_N or instance.n == 0:
+        return
+    if config.world_params or world is None or not world.is_default():
+        return
+    try:
+        optimum = config.sibling("exact", trace="null").execute().result.makespan
+    except (SimulationError, ValueError, RuntimeError):
+        return  # the oracle itself declined; not this config's failure
+    stats["exact_oracle"] = True
+    if result.makespan < optimum - _ABS_TOL - _REL_TOL * optimum:
+        violations.append(
+            Violation(
+                "exact-optimality",
+                "distributed makespan beats the exact centralized optimum",
+                {"makespan": result.makespan, "optimum": optimum},
+            )
+        )

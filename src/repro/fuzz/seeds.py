@@ -1,0 +1,74 @@
+"""Committed regression seeds: minimized failing configs on disk.
+
+A seed file is the JSON of one minimized :class:`FuzzConfig` plus the
+violations it reproduced when it was minted.  The fast test tier replays
+every committed seed deterministically (``tests/fuzz/test_seed_replay.py``)
+and asserts the *current* engine passes it clean — a seed is a bug that
+was fixed, kept alive as a regression tripwire.
+
+Serialization is byte-stable by construction: ``json.dumps(payload,
+indent=2, sort_keys=True) + "\\n"``, same as every other committed JSON
+artifact in the repo, so a rewrite of an unchanged seed is a no-op diff.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from .config import FuzzConfig
+
+__all__ = [
+    "iter_seed_files",
+    "load_seed",
+    "seed_payload",
+    "write_seed",
+]
+
+SCHEMA = 1
+
+
+def seed_payload(
+    config: FuzzConfig,
+    violations: Iterable[Mapping[str, Any]],
+    note: str = "",
+) -> dict[str, Any]:
+    return {
+        "schema": SCHEMA,
+        "config": config.as_dict(),
+        "config_id": config.config_id(),
+        "violations_when_minted": [dict(v) for v in violations],
+        "note": note,
+    }
+
+
+def write_seed(
+    directory: str | Path,
+    config: FuzzConfig,
+    violations: Iterable[Mapping[str, Any]],
+    note: str = "",
+) -> Path:
+    """Write (or byte-identically rewrite) the seed file for ``config``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{config.config_id()}.json"
+    payload = seed_payload(config, violations, note)
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return path
+
+
+def load_seed(path: str | Path) -> tuple[FuzzConfig, dict[str, Any]]:
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if payload.get("schema") != SCHEMA:
+        raise ValueError(f"unsupported seed schema {payload.get('schema')!r}")
+    return FuzzConfig.from_dict(payload["config"]), payload
+
+
+def iter_seed_files(directory: str | Path) -> list[Path]:
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    return sorted(directory.glob("*.json"))

@@ -1,0 +1,167 @@
+"""Greedy config minimization: a failing config down to a regression seed.
+
+The shrinker repeatedly tries simplifying transformations — fewer robots
+first (the biggest win), then rounder floats, then dropping world and
+algorithm knobs, then zeroing the instance seed — accepting a candidate
+iff it still violates one of the *same invariants* as the original
+(same-name matching: a shrink that trades a differential divergence for
+an unrelated crash is a different bug and is rejected).  It runs to a
+fixpoint: one full pass with no accepted transformation ends the search.
+
+Everything is deterministic — candidate order is fixed, no randomness —
+so a given failing config always minimizes to the same seed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from .config import FuzzConfig
+from .invariants import CheckOutcome, check_config
+
+__all__ = ["ShrinkResult", "shrink"]
+
+#: Robot-count ladder tried smallest-first: the first still-failing rung
+#: wins, so a bug reproducible at ``n=1`` minimizes there in one step.
+_N_LADDER = (1, 2, 3, 4, 6, 8, 12, 16, 24, 32)
+
+#: Scenario-kwarg keys shrunk as floats (rounding passes).
+_FLOAT_KEYS = (
+    "rho", "half_width", "spacing", "gap", "step", "r_inner", "r_outer",
+    "spread", "pitch", "wiggle", "jitter", "ell", "turn",
+)
+
+
+class ShrinkResult:
+    """The minimized config, its outcome, and the search's bookkeeping."""
+
+    def __init__(
+        self,
+        config: FuzzConfig,
+        outcome: CheckOutcome,
+        original: FuzzConfig,
+        attempts: int,
+        accepted: int,
+    ) -> None:
+        self.config = config
+        self.outcome = outcome
+        self.original = original
+        self.attempts = attempts
+        self.accepted = accepted
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "config": self.config.as_dict(),
+            "config_id": self.config.config_id(),
+            "original": self.original.as_dict(),
+            "original_id": self.original.config_id(),
+            "violations": [v.as_dict() for v in self.outcome.violations],
+            "attempts": self.attempts,
+            "accepted": self.accepted,
+        }
+
+
+def shrink(
+    config: FuzzConfig,
+    check: Callable[[FuzzConfig], CheckOutcome] = check_config,
+    max_attempts: int = 200,
+) -> ShrinkResult:
+    """Minimize ``config`` (which must fail ``check``) to a fixpoint.
+
+    ``ValueError`` when the starting config does not violate anything —
+    a shrinker run on a passing config would "minimize" to noise.
+    """
+    baseline = check(config)
+    if baseline.ok:
+        raise ValueError("config does not violate any invariant; nothing to shrink")
+    targets = {v.invariant for v in baseline.violations}
+
+    current, current_outcome = config, baseline
+    attempts = 0
+    accepted = 0
+
+    def still_fails(candidate: FuzzConfig) -> CheckOutcome | None:
+        nonlocal attempts
+        if attempts >= max_attempts:
+            return None
+        attempts += 1
+        outcome = check(candidate)
+        if any(v.invariant in targets for v in outcome.violations):
+            return outcome
+        return None
+
+    def try_candidates(candidates) -> bool:
+        nonlocal current, current_outcome, accepted
+        for candidate in candidates:
+            if candidate is None:
+                continue
+            outcome = still_fails(candidate)
+            if outcome is not None:
+                current, current_outcome = candidate, outcome
+                accepted += 1
+                return True
+        return False
+
+    progress = True
+    while progress and attempts < max_attempts:
+        progress = False
+        progress |= try_candidates(_smaller_n(current))
+        progress |= try_candidates(_rounder_floats(current))
+        progress |= try_candidates(_dropped_keys(current))
+        progress |= try_candidates(_zero_seed(current))
+    return ShrinkResult(current, current_outcome, config, attempts, accepted)
+
+
+def _build(config: FuzzConfig, **changes: Any) -> FuzzConfig | None:
+    """A candidate, or ``None`` when the registries reject it."""
+    try:
+        return config.replace(**changes)
+    except (ValueError, KeyError):
+        return None
+
+
+def _smaller_n(config: FuzzConfig):
+    kwargs = dict(config.scenario_kwargs)
+    for size_key in ("n", "side"):
+        if size_key not in kwargs:
+            continue
+        ladder = (1, 2, 3) if size_key == "side" else _N_LADDER
+        for rung in ladder:
+            if rung >= int(kwargs[size_key]):
+                break
+            yield _build(
+                config, scenario_kwargs={**kwargs, size_key: rung}
+            )
+
+
+def _rounder_floats(config: FuzzConfig):
+    kwargs = dict(config.scenario_kwargs)
+    for key in _FLOAT_KEYS:
+        if key not in kwargs:
+            continue
+        value = float(kwargs[key])
+        for candidate in (1.0, float(int(value)), round(value, 1)):
+            if candidate != value and candidate > 0:
+                yield _build(
+                    config, scenario_kwargs={**kwargs, key: candidate}
+                )
+
+
+def _dropped_keys(config: FuzzConfig):
+    for key in sorted(config.world_params):
+        trimmed = {k: v for k, v in config.world_params.items() if k != key}
+        yield _build(config, world_params=trimmed)
+    for key in sorted(config.params):
+        trimmed = {k: v for k, v in config.params.items() if k != key}
+        yield _build(config, params=trimmed)
+
+
+def _zero_seed(config: FuzzConfig):
+    kwargs = dict(config.scenario_kwargs)
+    if kwargs.get("seed") not in (None, 0):
+        yield _build(config, scenario_kwargs={**kwargs, "seed": 0})
+    if config.world_params.get("failure_seed") not in (None, 0):
+        yield _build(
+            config,
+            world_params={**config.world_params, "failure_seed": 0},
+        )

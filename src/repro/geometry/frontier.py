@@ -60,7 +60,7 @@ except ImportError:  # pragma: no cover - exercised only on broken installs
 
 from .points import EPS, Point
 
-__all__ = ["FRONTIER_PAD", "FrontierIndex", "frontier_for"]
+__all__ = ["FAULT_REACH_ENV", "FRONTIER_PAD", "FrontierIndex", "frontier_for"]
 
 #: Safety margin added to the visibility radius when classifying stops.
 #: The engine's look predicate is ``hypot(d) <= radius + EPS``; the
@@ -71,6 +71,28 @@ FRONTIER_PAD = 1e-6
 
 #: Below this many candidates, a scalar loop beats numpy call overhead.
 _SCALAR_CUTOFF = 32
+
+#: Fault-injection hook for the fuzzer's self-test (tests/CI only): when
+#: this environment variable holds a positive float, :func:`frontier_for`
+#: *shrinks* the reach by that margin — deliberately breaking the "never
+#: call a visible position cold" contract so that sleepers near the edge
+#: of the visibility disk are misclassified and the batched ``awave`` walk
+#: sweeps past them.  ``legacy_awave`` takes no frontier and is unaffected,
+#: so the planted bug is exactly the class the differential oracle exists
+#: to catch.  Never set this outside a fuzzer self-test.
+FAULT_REACH_ENV = "FREEZETAG_FAULT_FRONTIER_REACH"
+
+
+def _fault_reach_deficit() -> float:
+    import os
+
+    raw = os.environ.get(FAULT_REACH_ENV, "")
+    if not raw:
+        return 0.0
+    try:
+        return max(0.0, float(raw))
+    except ValueError:  # pragma: no cover - malformed env, treat as unset
+        return 0.0
 
 
 class FrontierIndex:
@@ -319,7 +341,9 @@ def frontier_for(
     The pad strictly dominates the engine's look tolerance (``EPS``) plus
     squared-distance rounding, so a cold classification is a proof that
     the engine snapshot at that stop contains no sleeping robot.
+
+    :data:`FAULT_REACH_ENV` (test-only fault injection) undercuts the
+    reach on purpose; see its docstring.
     """
-    return FrontierIndex(
-        positions, reach=visibility_radius + FRONTIER_PAD + EPS, keys=keys
-    )
+    reach = visibility_radius + FRONTIER_PAD + EPS - _fault_reach_deficit()
+    return FrontierIndex(positions, reach=max(reach, 1e-9), keys=keys)

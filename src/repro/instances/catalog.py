@@ -126,6 +126,25 @@ def _register_families() -> None:
             families.two_clusters_bridge,
             "dense blobs joined by a sparse bead bridge (ell* = spacing)",
         ),
+        (
+            "grid_of_disks", "Grid-of-disks swarm",
+            (
+                ParamSpec("ell", float, doc="construction connectivity scale"),
+                _RHO,
+                _N,
+                _SEED,
+            ),
+            families.grid_of_disks_swarm,
+            "one robot hidden per disk of the Thm 2 lower-bound "
+            "construction; ell* <= ell and rho* <= rho by construction",
+        ),
+        (
+            "coincident_pairs", "Coincident pairs",
+            (_N, _RHO, _SEED),
+            families.coincident_pairs,
+            "duplicated anchor points: exactly coincident robots stress "
+            "zero-distance wakes and degenerate spatial indexing",
+        ),
     )
     for name, label, params, build, description in entries:
         register_scenario(

@@ -44,6 +44,8 @@ __all__ = [
     "l1_diamond",
     "connected_walk",
     "two_clusters_bridge",
+    "grid_of_disks_swarm",
+    "coincident_pairs",
 ]
 
 
@@ -235,6 +237,62 @@ def two_clusters_bridge(
     return _finish(xs, ys, f"two_clusters_bridge(n={n},gap={gap},seed={seed})")
 
 
+def grid_of_disks_swarm(
+    ell: float, rho: float, n: int, seed: int = 0
+) -> Instance:
+    """One robot hidden uniformly inside each disk of the Theorem 2
+    grid-of-disks lower-bound construction (:mod:`.lower_bounds`).
+
+    The construction promises admissibility by design: adjacent disk
+    centers sit ``ell/2`` apart with disk radius ``ell/4``, so
+    ``ell_star <= ell``, and every placement stays within ``rho`` of the
+    source, so ``rho_star <= rho``.  The fuzzer's lower-bound-consistency
+    invariant asserts exactly those promises against the realized
+    instance.  Note the robot count is ``min(n, capacity)`` — the grid
+    inside radius ``rho`` holds only so many disks.
+    """
+    from .lower_bounds import grid_of_disks
+
+    construction = grid_of_disks(ell, rho, n)
+    rng = np.random.default_rng(seed)
+    radii = construction.disk_radius * np.sqrt(
+        rng.uniform(0.0, 1.0, size=construction.m)
+    )
+    angles = rng.uniform(0.0, 2.0 * math.pi, size=construction.m)
+    placements = [
+        Point(c.x + float(r) * math.cos(float(a)), c.y + float(r) * math.sin(float(a)))
+        for c, r, a in zip(construction.centers, radii, angles)
+    ]
+    instance = construction.instance(placements)
+    return Instance(
+        positions=instance.positions,
+        name=f"grid_of_disks_swarm(ell={ell},rho={rho},n={n},seed={seed})",
+    )
+
+
+def coincident_pairs(n: int, rho: float, seed: int = 0) -> Instance:
+    """Exactly coincident robots: anchor points uniform in the radius-``rho``
+    disk, each duplicated (the last anchor unpaired when ``n`` is odd).
+
+    Zero-distance pairs stress co-location wakes, duplicate positions in
+    the spatial indexes, and cohort election among robots that share a
+    cell *and* a coordinate — degenerate geometry the classic families
+    never produce.
+    """
+    rng = np.random.default_rng(seed)
+    anchors = max(1, (n + 1) // 2)
+    radii = rho * np.sqrt(rng.uniform(0.0, 1.0, size=anchors))
+    angles = rng.uniform(0.0, 2.0 * math.pi, size=anchors)
+    xs: list[float] = []
+    ys: list[float] = []
+    for x, y in zip(radii * np.cos(angles), radii * np.sin(angles)):
+        xs += [float(x), float(x)]
+        ys += [float(y), float(y)]
+    return _finish(
+        xs[:n], ys[:n], f"coincident_pairs(n={n},rho={rho},seed={seed})"
+    )
+
+
 #: Name -> generator registry.  The single source of truth for every layer
 #: that builds instances from declarative data (the CLI's ``--family``
 #: flag, sweep-spec files, pickled harness jobs).
@@ -249,6 +307,11 @@ FAMILIES: dict[str, Callable[..., Instance]] = {
     "l1_diamond": l1_diamond,
     "connected_walk": connected_walk,
     "two_clusters_bridge": two_clusters_bridge,
+    # The registered-scenario names: the swarm generator rides under
+    # "grid_of_disks" (the construction it samples), like every other
+    # family/scenario name pair.
+    "grid_of_disks": grid_of_disks_swarm,
+    "coincident_pairs": coincident_pairs,
 }
 
 

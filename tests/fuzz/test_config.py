@@ -1,0 +1,92 @@
+"""FuzzConfig: identity, round-trips, sibling requests, eager validation."""
+
+import pytest
+
+from repro.fuzz import MODES, FuzzConfig
+
+
+def make(**overrides):
+    base = dict(
+        algorithm="awave",
+        scenario="uniform_disk",
+        scenario_kwargs={"n": 6, "rho": 2.0, "seed": 4},
+    )
+    base.update(overrides)
+    return FuzzConfig(**base)
+
+
+class TestIdentity:
+    def test_round_trip(self):
+        cfg = make(world_params={"budget": 3.0}, params={"enforce_budget": True})
+        again = FuzzConfig.from_dict(cfg.as_dict())
+        assert again == cfg
+        assert again.config_id() == cfg.config_id()
+
+    def test_config_id_ignores_kwarg_order(self):
+        a = FuzzConfig(
+            "greedy", "uniform_disk", {"n": 3, "rho": 1.0, "seed": 0}
+        )
+        b = FuzzConfig(
+            "greedy", "uniform_disk", {"seed": 0, "rho": 1.0, "n": 3}
+        )
+        assert a.config_id() == b.config_id()
+
+    def test_config_id_distinguishes_content(self):
+        assert make().config_id() != make(
+            scenario_kwargs={"n": 7, "rho": 2.0, "seed": 4}
+        ).config_id()
+
+    def test_label_names_everything(self):
+        cfg = make(world_params={"budget": 3.0}, params={"enforce_budget": True})
+        label = cfg.label()
+        assert "awave" in label and "uniform_disk" in label
+        assert "budget=3.0" in label and "enforce_budget=True" in label
+
+    def test_mappings_are_copied(self):
+        kwargs = {"n": 3, "rho": 1.0, "seed": 0}
+        cfg = FuzzConfig("greedy", "uniform_disk", kwargs)
+        kwargs["n"] = 99
+        assert cfg.scenario_kwargs["n"] == 3
+
+
+class TestValidation:
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValueError):
+            make(algorithm="magic")
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError):
+            make(scenario="nowhere")
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            make(mode="sideways")
+        assert set(MODES) == {"contract", "hostile"}
+
+    def test_bad_scenario_kwarg_rejected(self):
+        with pytest.raises((ValueError, TypeError)):
+            make(scenario_kwargs={"n": 6, "rho": 2.0, "seed": 4, "bogus": 1})
+
+
+class TestRequests:
+    def test_n_hint_from_n_and_side(self):
+        assert make().n_hint == 6
+        lattice = FuzzConfig(
+            "greedy", "grid_lattice", {"side": 3, "spacing": 1.0}
+        )
+        assert lattice.n_hint == 9
+
+    def test_sibling_drops_foreign_params(self):
+        cfg = make(params={"enforce_budget": True})
+        request = cfg.sibling("exact")
+        assert "enforce_budget" not in request.params
+        same = cfg.sibling("legacy_awave")
+        assert same.params.get("enforce_budget") is True
+
+    def test_execute_record_is_settled_json(self):
+        record = FuzzConfig(
+            "greedy", "uniform_disk", {"n": 2, "rho": 1.0, "seed": 0}
+        ).execute_record()
+        assert record["kind"] == "fuzz-outcome"
+        assert record["ok"] is True
+        assert record["signature"].startswith("alg=greedy|")

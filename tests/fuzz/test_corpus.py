@@ -1,0 +1,88 @@
+"""Coverage signatures and the corpus database."""
+
+from repro.fuzz import CorpusDatabase, FuzzConfig, coverage_signature
+
+
+def config():
+    return FuzzConfig("greedy", "uniform_disk", {"n": 5, "rho": 2.0, "seed": 1})
+
+
+def record(cfg, stats):
+    return {
+        "signature": coverage_signature(cfg, stats),
+        "config": cfg.as_dict(),
+        "ok": True,
+    }
+
+
+class TestCoverageSignature:
+    def test_pure_function_of_inputs(self):
+        stats = {"n": 5, "outcome": "ok", "woke_all": True, "look_count": 3}
+        assert coverage_signature(config(), stats) == coverage_signature(
+            config(), stats
+        )
+
+    def test_log2_bucketing_coarsens_n(self):
+        cfg = config()
+        sig = lambda n: coverage_signature(cfg, {"n": n})  # noqa: E731
+        assert sig(5) == sig(8)  # both land in the 8 bucket
+        assert sig(8) != sig(9)  # 9 spills into the 16 bucket
+
+    def test_event_mix_and_knobs_show_up(self):
+        cfg = FuzzConfig(
+            "awave",
+            "uniform_disk",
+            {"n": 5, "rho": 2.0, "seed": 1},
+            world_params={"budget": 4.0},
+            params={"enforce_budget": True},
+        )
+        sig = coverage_signature(
+            cfg, {"n": 5, "events_by_kind": {"move": 3, "sweep": 1}}
+        )
+        assert "world=budget" in sig
+        assert "knobs=enforce_budget" in sig
+        assert "ev=move:4,sweep:1" in sig
+
+
+class TestCorpusDatabase:
+    def test_observe_reports_novelty_once(self):
+        db = CorpusDatabase()
+        r = record(config(), {"n": 5})
+        assert db.observe(r) is True
+        assert db.observe(r) is False
+        assert len(db) == 1
+
+    def test_first_config_stays_representative(self):
+        db = CorpusDatabase()
+        first = config()
+        db.observe(record(first, {"n": 5}))
+        # A different config landing on the same signature does not evict.
+        other = FuzzConfig(
+            "greedy", "uniform_disk", {"n": 5, "rho": 2.0, "seed": 77}
+        )
+        db.observe(
+            {"signature": coverage_signature(first, {"n": 5}),
+             "config": other.as_dict(), "ok": True}
+        )
+        assert db.representatives() == [first.as_dict()]
+
+    def test_representatives_sorted_by_signature(self):
+        db = CorpusDatabase()
+        a = config()
+        b = FuzzConfig("awave", "uniform_disk", {"n": 5, "rho": 2.0, "seed": 1})
+        db.observe(record(a, {"n": 5}))
+        db.observe(record(b, {"n": 5}))
+        assert db.signatures == sorted(db.signatures)
+        assert [r["algorithm"] for r in db.representatives()] == ["awave", "greedy"]
+
+    def test_save_load_round_trip(self, tmp_path):
+        db = CorpusDatabase()
+        db.observe(record(config(), {"n": 5}))
+        path = tmp_path / "corpus.json"
+        db.save(path)
+        again = CorpusDatabase.load(path)
+        assert again.as_dict() == db.as_dict()
+        # Byte-stable rewrite: saving the reloaded corpus is a no-op diff.
+        before = path.read_bytes()
+        again.save(path)
+        assert path.read_bytes() == before

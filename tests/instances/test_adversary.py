@@ -101,3 +101,62 @@ class TestAdversarialGrid:
         pinned = adversarial_grid_instance(construction, factory, resolution=2)
         for center, pos in zip(construction.centers, pinned.positions):
             assert center.distance_to(pos) <= construction.disk_radius + 1e-9
+
+
+class TestDegenerateInputs:
+    """n=1, collinear and coincident geometry through the adversary API."""
+
+    def test_empty_coverage_map(self):
+        cm = CoverageMap(looks=[])
+        assert math.isinf(cm.first_cover_time(Point(0, 0)))
+        # With nothing covered, any candidate wins outright.
+        p = latest_covered_point(cm, Point(0, 0), radius=2.0, resolution=3)
+        assert p.distance_to(Point(0, 0)) <= 2.0 + 1e-9
+        assert coverage_fraction(cm, Point(0, 0), radius=2.0, resolution=4) == 0.0
+
+    def test_single_robot_instance_coverage(self):
+        inst = energy_ball(2.0)  # n = 1 by construction
+        assert inst.n == 1
+
+        def program(proc):
+            yield Look()
+
+        coverage, makespan = record_look_positions(inst, program)
+        assert len(coverage.looks) == 1
+        assert makespan >= 0.0
+
+    def test_collinear_looks_cover_a_segment(self):
+        """Looks along the x-axis (collinear observer track): coverage is
+        exactly the union of unit disks on the line."""
+        looks = [(float(i), Point(float(i), 0.0)) for i in range(4)]
+        cm = CoverageMap(looks=looks)
+        assert cm.first_cover_time(Point(2.5, 0.0)) <= 3.0
+        assert math.isinf(cm.first_cover_time(Point(2.5, 5.0)))
+
+    def test_coincident_looks_collapse(self):
+        """Identical look positions repeated over time (a stationary
+        observer): the chronologically first snapshot is the cover time —
+        looks are consumed in trace order."""
+        cm = CoverageMap(
+            looks=[(1.0, Point(1, 1)), (2.0, Point(1, 1)), (3.0, Point(1, 1))]
+        )
+        assert cm.first_cover_time(Point(1.2, 1.0)) == 1.0
+
+    def test_coincident_robots_record_looks(self):
+        """A program over an instance with exactly coincident robots still
+        yields a usable coverage map (no division by zero distances)."""
+        from repro.instances import make_instance
+
+        inst = make_instance("coincident_pairs", n=4, rho=2.0, seed=1)
+
+        def program(proc):
+            yield Look()
+
+        coverage, _ = record_look_positions(inst, program)
+        assert coverage.looks
+
+    def test_zero_radius_candidates(self):
+        """radius=0 degenerates every lattice candidate onto the center."""
+        pts = disk_candidates(Point(2, 2), radius=0.0, resolution=3)
+        assert pts
+        assert all(p == Point(2, 2) for p in pts)

@@ -119,3 +119,129 @@ class TestRectilinearPath:
             distance(a, b) <= 1.0 + 1e-9 for a, b in zip(beads, beads[1:])
             if distance(a, b) < 3.0  # consecutive along the same segment
         )
+
+
+class TestBoundMonotonicity:
+    """Direct monotonicity of the predicted bounds in their drivers."""
+
+    def test_grid_bound_grows_with_rho(self):
+        bounds = [
+            grid_of_disks(ell=2.0, rho=rho, n=10_000).makespan_lower_bound()
+            for rho in (4.0, 8.0, 16.0, 32.0)
+        ]
+        assert bounds == sorted(bounds)
+        assert bounds[0] < bounds[-1]
+
+    def test_grid_bound_grows_with_disk_count(self):
+        """At fixed geometry, capping n caps m and lowers the ln(m+1) term."""
+        capped = grid_of_disks(ell=2.0, rho=10.0, n=5)
+        full = grid_of_disks(ell=2.0, rho=10.0, n=10_000)
+        assert capped.m < full.m
+        assert capped.makespan_lower_bound() < full.makespan_lower_bound()
+
+    def test_rectilinear_bound_linear_in_xi(self):
+        lo = rectilinear_path(1.0, 20.0, 3.0, xi=25.0).makespan_lower_bound()
+        hi = rectilinear_path(1.0, 20.0, 3.0, xi=45.0).makespan_lower_bound()
+        assert lo == pytest.approx(25.0 / 4.0)
+        assert hi == pytest.approx(45.0 / 4.0)
+
+    def test_energy_threshold_grows_with_ell(self):
+        thresholds = [
+            energy_infeasibility_threshold(ell) for ell in (2.0, 3.0, 5.0, 9.0)
+        ]
+        assert thresholds == sorted(thresholds)
+
+
+class TestDegenerateInputs:
+    def test_grid_single_robot(self):
+        """n=1 with rho == ell: the mandatory column is a single disk."""
+        c = grid_of_disks(ell=1.0, rho=1.0, n=1)
+        assert c.m == 1
+        inst = c.instance()
+        assert inst.n == 1
+        assert c.makespan_lower_bound() > 0
+
+    def test_grid_mandatory_column_floors_m(self):
+        """The Thm 2 proof needs the full vertical column even when the
+        requested n is smaller — m never drops below floor(rho/ell)."""
+        c = grid_of_disks(ell=1.0, rho=2.0, n=1)
+        assert c.m == 2  # column j=1..2, not the requested single disk
+
+    def test_grid_ell_equals_rho(self):
+        """The tight admissibility boundary ell == rho still constructs."""
+        c = grid_of_disks(ell=2.0, rho=2.0, n=100)
+        assert c.m >= 1
+        assert all(p.norm() <= 2.0 + 1e-9 for p in c.centers)
+
+    def test_grid_mandatory_column_is_collinear(self):
+        """n small enough that only the mandatory column survives: the
+        construction degenerates to collinear centers and still connects."""
+        c = grid_of_disks(ell=2.0, rho=10.0, n=5)
+        assert c.m == 5
+        inst = c.instance()
+        assert connectivity_threshold(inst.source, inst.positions) <= 2.0 + 1e-9
+
+    def test_grid_coincident_placements_allowed(self):
+        """Adjacent disks touch (radius ell/4, spacing ell/2), so two robots
+        may legally coincide at the tangency point — placements constrain
+        containment, not distinctness."""
+        c = grid_of_disks(ell=2.0, rho=6.0, n=10_000)
+        i = c.centers.index(Point(0.0, 1.0))
+        j = c.centers.index(Point(0.0, 2.0))
+        touch = Point(0.0, 1.5)
+        placements = list(c.centers)
+        placements[i] = touch
+        placements[j] = touch
+        inst = c.instance(placements)
+        assert inst.positions[i] == inst.positions[j]
+
+    def test_grid_rejects_escaping_placement(self):
+        c = grid_of_disks(ell=2.0, rho=6.0, n=10_000)
+        placements = [c.centers[0]] * c.m
+        with pytest.raises(ValueError):
+            c.instance(placements)  # robots outside their own disks
+
+    def test_rectilinear_minimal_xi(self):
+        """xi == rho, the lower admissibility edge."""
+        path = rectilinear_path(1.0, 10.0, 3.0, xi=10.0)
+        assert path.makespan_lower_bound() == pytest.approx(2.5)
+        assert path.instance().n >= 1
+
+    def test_energy_ball_center_placement(self):
+        inst = energy_ball(2.0, position=Point(0.0, 0.0))
+        assert inst.positions[0].norm() == 0.0
+
+
+class TestGridOfDisksSwarmFamily:
+    """The fuzzer-facing scenario built on the Thm 2 construction."""
+
+    def test_seeded_placements_stay_in_disks(self):
+        from repro.instances import make_instance
+
+        c = grid_of_disks(ell=2.0, rho=6.0, n=20)
+        inst = make_instance(
+            "grid_of_disks", ell=2.0, rho=6.0, n=20, seed=9
+        )
+        assert inst.n == c.m
+        for center, pos in zip(c.centers, inst.positions):
+            assert distance(center, pos) <= c.disk_radius + 1e-9
+
+    def test_deterministic_per_seed(self):
+        from repro.instances import make_instance
+
+        a = make_instance("grid_of_disks", ell=1.0, rho=3.0, n=8, seed=4)
+        b = make_instance("grid_of_disks", ell=1.0, rho=3.0, n=8, seed=4)
+        c = make_instance("grid_of_disks", ell=1.0, rho=3.0, n=8, seed=5)
+        assert a.positions == b.positions
+        assert a.positions != c.positions
+
+    def test_construction_promises(self):
+        """ell* <= ell and rho* <= rho — the per-run invariants the fuzzer
+        asserts on every grid_of_disks config."""
+        from repro.instances import make_instance
+
+        inst = make_instance(
+            "grid_of_disks", ell=2.0, rho=5.0, n=30, seed=0
+        )
+        assert inst.ell_star <= 2.0 + 1e-9
+        assert inst.rho_star <= 5.0 + 1e-9
