@@ -1,0 +1,105 @@
+#!/usr/bin/env bash
+# Chaos smoke: the executable contract of the fault-injection +
+# supervision layer, in three acts.
+#
+#  1. REFERENCE: a clean, unsupervised sweep of the spec.
+#  2. CHAOS SWEEP: the same sweep with planted faults — a SIGKILLed
+#     worker (crash), a worker wedged past the per-job timeout (hang),
+#     and a transient failure (flaky) — under a supervised executor.
+#     It must exit 0 with a CSV byte-identical to the reference and
+#     report the retries/timeouts/worker deaths it paid.
+#  3. TORN CACHE + SERVICE: one cache entry is truncated mid-byte and a
+#     clean re-run must quarantine it and heal byte-identically.  Then
+#     `freezetag serve` runs with a flaky-everywhere plant and
+#     supervision armed: the served CSV must match the reference while
+#     /metrics proves retries were actually paid and /healthz reports a
+#     quarantine-free, unwedged service.
+#
+# Usage: scripts/chaos_smoke.sh [spec.json]
+#   WORKERS=<count>      worker count (default 2)
+#   JOB_TIMEOUT=<secs>   per-job timeout bounding the hang act (default 15)
+set -euo pipefail
+
+SPEC=${1:-examples/sweep_resume_smoke.json}
+WORKERS=${WORKERS:-2}
+JOB_TIMEOUT=${JOB_TIMEOUT:-15}
+WORK=$(mktemp -d)
+SERVE_PID=""
+cleanup() {
+    [ -n "$SERVE_PID" ] && kill -TERM "$SERVE_PID" 2>/dev/null || true
+    [ -n "$SERVE_PID" ] && wait "$SERVE_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "== act 1: clean reference sweep of $SPEC"
+freezetag sweep "$SPEC" --workers "$WORKERS" \
+    --cache-dir "$WORK/ref-cache" --csv "$WORK/ref.csv" --quiet > /dev/null
+
+echo "== act 2: supervised sweep with crash + hang + flaky plants"
+freezetag sweep "$SPEC" --workers "$WORKERS" --executor pool \
+    --faults "crash@1;hang@3:seconds=600;flaky@5:times=1" \
+    --job-timeout "$JOB_TIMEOUT" --retries 3 \
+    --cache-dir "$WORK/cache" --csv "$WORK/chaos.csv" --quiet \
+    | tee "$WORK/chaos.log"
+grep -q "supervisor:" "$WORK/chaos.log" || {
+    echo "FAIL: supervised sweep printed no supervisor counters"; exit 1; }
+cmp "$WORK/ref.csv" "$WORK/chaos.csv"
+echo "OK: chaos records are byte-identical to the clean reference"
+
+echo "== act 3a: tear one cache entry; a clean re-run must heal it"
+python - "$WORK/cache" <<'EOF'
+import pathlib, sys
+cache = pathlib.Path(sys.argv[1])
+entry = sorted(cache.glob("*.json"))[0]
+data = entry.read_bytes()
+entry.write_bytes(data[: len(data) // 2])
+print(f"tore {entry.name} to {len(data) // 2} bytes")
+EOF
+freezetag sweep "$SPEC" --workers "$WORKERS" \
+    --cache-dir "$WORK/cache" --csv "$WORK/healed.csv" --quiet \
+    | tee "$WORK/healed.log"
+grep -q "corrupt entries quarantined" "$WORK/healed.log" || {
+    echo "FAIL: torn entry was not quarantined"; exit 1; }
+cmp "$WORK/ref.csv" "$WORK/healed.csv"
+echo "OK: torn entry quarantined and healed byte-identically"
+
+echo "== act 3b: supervised service under a flaky-everywhere plant"
+FREEZETAG_FAULTS="flaky@*:times=1" freezetag serve --port 0 \
+    --cache-dir "$WORK/serve-cache" --workers "$WORKERS" \
+    --job-timeout "$JOB_TIMEOUT" --retries 2 --stall-after 60 \
+    > "$WORK/serve.log" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 50); do
+    SERVER=$(sed -n 's#.*\(http://[0-9.]*:[0-9]*\).*#\1#p' "$WORK/serve.log" | head -1)
+    [ -n "$SERVER" ] && break
+    sleep 0.2
+done
+[ -n "$SERVER" ] || { echo "service did not start"; cat "$WORK/serve.log"; exit 1; }
+echo "service up at $SERVER (pid $SERVE_PID)"
+
+freezetag submit "$SPEC" --server "$SERVER" --wait > /dev/null
+SWEEP_ID=$(freezetag submit "$SPEC" --server "$SERVER" --json \
+    | python -c "import json,sys; print(json.load(sys.stdin)['id'])")
+curl -sf "$SERVER/sweeps/$SWEEP_ID/records?format=csv" > "$WORK/served.csv"
+cmp "$WORK/ref.csv" "$WORK/served.csv"
+
+curl -sf "$SERVER/metrics" > "$WORK/metrics.json"
+curl -sf "$SERVER/healthz" > "$WORK/healthz.json"
+python - "$WORK/metrics.json" "$WORK/healthz.json" <<'EOF'
+import json, sys
+metrics = json.load(open(sys.argv[1]))
+health = json.load(open(sys.argv[2]))
+jobs = metrics["jobs"]
+assert jobs["retried"] >= jobs["executed"] > 0, (
+    f"flaky-everywhere must cost one retry per executed job: {jobs}")
+assert jobs["quarantined"] == 0 and jobs["failed"] == 0, f"unexpected losses: {jobs}"
+assert health["ok"] is True, f"unhealthy: {health}"
+assert health["quarantine"]["jobs"] == 0, f"unexpected quarantine: {health}"
+assert health["inflight"] == 0 and health["queue_depth"] == 0, f"wedged: {health}"
+print(
+    f"OK: {jobs['executed']} executed with {jobs['retried']} retries paid, "
+    f"0 quarantined, service healthy"
+)
+EOF
+echo "OK: chaos smoke passed"

@@ -6,9 +6,9 @@
 #     every run with zero violations (exit 0) — the invariant layer has
 #     no false positives — and the committed regression seeds in
 #     tests/fuzz/seeds/ must replay clean.
-#  2. PLANTED FAULT: with FREEZETAG_FAULT_FRONTIER_REACH shrinking
-#     AWave's frontier reach (an awave-only bug legacy_awave cannot
-#     share), the same campaign machinery must FIND the bug (exit 1),
+#  2. PLANTED FAULT: with a FREEZETAG_FAULTS frontier-reach plant
+#     shrinking AWave's frontier reach (an awave-only bug legacy_awave
+#     cannot share), the same campaign machinery must FIND the bug (exit 1),
 #     shrink it, and emit at least one minimized seed of <= MAX_SEED_N
 #     robots — the end-to-end proof that a real engine regression would
 #     be caught and minimized, not merely suspected.
@@ -34,7 +34,7 @@ freezetag fuzz replay tests/fuzz/seeds
 
 echo "== planted fault: campaign must find it and minimize to <= $MAX_SEED_N robots"
 set +e
-FREEZETAG_FAULT_FRONTIER_REACH=0.5 \
+FREEZETAG_FAULTS="frontier-reach:margin=0.5" \
     freezetag fuzz run --seed 0 --max-runs "$FAULT_RUNS" --quiet --json \
     --save-seeds "$WORK/seeds" > "$WORK/fault.json"
 FAULT_EXIT=$?

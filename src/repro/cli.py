@@ -53,6 +53,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import signal
 import sys
 from pathlib import Path
@@ -318,6 +319,26 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             )
         print(f"resuming sweep {spec.name!r}: {manifest.status(cache).line()}")
 
+    if args.faults:
+        # Validate eagerly: the env contract is deliberately inert on
+        # garbage, but an operator typo on the CLI should fail loudly.
+        from .experiments.faults import FAULTS_ENV, FaultSpecError, parse_faults
+
+        try:
+            parse_faults(args.faults)
+        except FaultSpecError as exc:
+            raise SystemExit(str(exc)) from None
+        os.environ[FAULTS_ENV] = args.faults
+
+    policy = None
+    if args.job_timeout is not None or args.retries is not None:
+        from .experiments.supervise import SupervisorPolicy
+
+        policy = SupervisorPolicy(
+            job_timeout=args.job_timeout,
+            retries=args.retries if args.retries is not None else 2,
+        )
+
     _install_sigterm_exit()
     progress = None if args.quiet else (lambda tick: print(tick.line()))
     result = run_sweep(
@@ -326,6 +347,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         cache=cache,
         progress=progress,
         executor=args.executor,
+        policy=policy,
     )
     rows = sweep_rows(result.records)
     print()
@@ -340,11 +362,23 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         f"({result.hit_rate:.0%} hit rate)"
         + (f" | {cache.stats()}" if cache is not None else "")
     )
+    if result.supervisor is not None:
+        stats = result.supervisor
+        print(
+            f"supervisor: {stats.get('retried', 0)} retried, "
+            f"{stats.get('quarantined', 0)} quarantined, "
+            f"{stats.get('timeouts', 0)} timeouts, "
+            f"{stats.get('worker_deaths', 0)} worker deaths"
+        )
+    if result.quarantined:
+        print(f"WARNING: {result.quarantined} job(s) quarantined (see manifest)")
     if result.manifest is not None:
         print(f"manifest: {result.manifest.path}")
     if args.csv:
         path = write_csv(args.csv, rows)
         print(f"records written to {path}")
+    if result.quarantined:
+        return 1
     return 0 if result.all_woke() else 1
 
 
@@ -355,9 +389,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from .service import SweepService
 
+    policy = None
+    if args.job_timeout is not None or args.retries is not None:
+        from .experiments.supervise import SupervisorPolicy
+
+        policy = SupervisorPolicy(
+            job_timeout=args.job_timeout,
+            retries=args.retries if args.retries is not None else 2,
+        )
     service = SweepService(
         cache_dir=args.cache_dir,
         workers=args.workers,
+        policy=policy,
+        stall_after=args.stall_after,
     )
 
     async def main() -> None:
@@ -583,6 +627,7 @@ def _cmd_fuzz_run(args: argparse.Namespace) -> int:
         shrink_failures=not args.no_shrink,
         seeds_dir=args.save_seeds,
         progress=progress,
+        mode="hostile" if args.hostile else "contract",
     )
     if args.json:
         print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
@@ -760,6 +805,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="print manifest progress (done/cached/pending counts) against "
              "the cache and exit without executing anything",
     )
+    p_sweep.add_argument(
+        "--job-timeout", type=float, default=None, metavar="SECONDS",
+        help="supervise the sweep: per-job wall clock from worker-side "
+             "start; a timed-out attempt is killed and retried",
+    )
+    p_sweep.add_argument(
+        "--retries", type=int, default=None,
+        help="supervise the sweep: re-attempts per job before it settles "
+             "as a quarantined error record (default 2 when supervising)",
+    )
+    p_sweep.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="arm fault plants for this run (chaos testing): "
+             "kind[@indexes][:param=value,...][;...] with kinds crash, "
+             "hang, flaky, slow, refuse-sigterm, corrupt, frontier-reach",
+    )
     p_sweep.add_argument("--csv", default=None, help="write run records to CSV")
     p_sweep.add_argument(
         "--quiet", action="store_true", help="suppress per-job progress lines"
@@ -859,6 +920,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="report failures raw, skip minimization",
     )
     pf_run.add_argument(
+        "--hostile", action="store_true",
+        help="mix out-of-contract draws (ell/rho below the instance's "
+             "true values) into the stream; wake completeness is waived "
+             "for those, every other invariant still applies",
+    )
+    pf_run.add_argument(
         "--quiet", action="store_true", help="suppress progress lines"
     )
     pf_run.add_argument(
@@ -912,6 +979,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--workers", type=int, default=None,
         help="process-pool width for job execution (default: os.cpu_count)",
+    )
+    p_serve.add_argument(
+        "--job-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-attempt wall clock; a timed-out job's pool is recycled "
+             "and the job retried",
+    )
+    p_serve.add_argument(
+        "--retries", type=int, default=None,
+        help="re-attempts per job before it settles as a quarantined "
+             "error (default 2 when --job-timeout or --retries is given)",
+    )
+    p_serve.add_argument(
+        "--stall-after", type=float, default=None, metavar="SECONDS",
+        help="liveness watchdog: recycle the worker pool when jobs are "
+             "in flight but nothing settled for this long",
     )
     p_serve.set_defaults(handler=_cmd_serve)
 

@@ -18,13 +18,23 @@ from .cache import ResultCache, request_key
 from .executors import (
     AsyncLocalExecutor,
     Executor,
+    JobFailure,
     PoolExecutor,
     SerialExecutor,
     SweepJobError,
+    WorkerDied,
     executor_names,
     get_executor,
     register_executor,
     resolve_executor,
+)
+from .faults import (
+    FAULT_KINDS,
+    FAULTS_ENV,
+    FaultPlant,
+    FaultSpecError,
+    TransientFault,
+    parse_faults,
 )
 from .figures import (
     exploration_scaling,
@@ -45,6 +55,7 @@ from .harness import (
 )
 from .io import format_csv, format_table, print_table, sweep_rows, write_csv
 from .manifest import ManifestStatus, SweepManifest, spec_fingerprint
+from .supervise import SupervisedExecutor, SupervisorPolicy, SupervisorStats
 from .table1 import (
     agrid_xi_sweep,
     aseparator_ell_sweep,
@@ -71,10 +82,21 @@ __all__ = [
     "PoolExecutor",
     "AsyncLocalExecutor",
     "SweepJobError",
+    "WorkerDied",
+    "JobFailure",
     "executor_names",
     "get_executor",
     "register_executor",
     "resolve_executor",
+    "FAULT_KINDS",
+    "FAULTS_ENV",
+    "FaultPlant",
+    "FaultSpecError",
+    "TransientFault",
+    "parse_faults",
+    "SupervisedExecutor",
+    "SupervisorPolicy",
+    "SupervisorStats",
     "ManifestStatus",
     "SweepManifest",
     "spec_fingerprint",

@@ -11,7 +11,13 @@ hash of the request, so
   record) and safe to delete at any time.
 
 Writes are atomic (temp file + ``os.replace``) so a crashed or killed
-worker never leaves a truncated entry behind.
+worker never leaves a truncated entry behind.  Reads are nevertheless
+**corruption-tolerant**: a cache directory can arrive from a box that
+died mid-write (rsync of a torn page, a full disk, bit rot), and one bad
+entry must never crash a sweep.  A file that fails to parse — or parses
+but lacks its record — loads as a miss, is moved aside to the
+``quarantine/`` subdirectory for inspection, and is counted in
+:attr:`ResultCache.quarantined`; the job simply re-executes.
 """
 
 from __future__ import annotations
@@ -24,8 +30,14 @@ from pathlib import Path
 from typing import Any
 
 from ..core.runner import RunRequest
+from .faults import corrupt_after_store
 
 __all__ = ["ResultCache", "request_key", "canonical_json"]
+
+#: Subdirectory of the cache where corrupt entries are moved.  Outside
+#: the flat ``*.json`` record namespace, so ``len(cache)`` and record
+#: globs never see quarantined files.
+_QUARANTINE_DIR = "quarantine"
 
 #: Bump when the record schema changes incompatibly; old entries are then
 #: simply never hit again.
@@ -55,6 +67,8 @@ class ResultCache:
     directory: Path
     hits: int = field(default=0, init=False)
     misses: int = field(default=0, init=False)
+    #: Corrupt entries discovered (and moved aside) by this instance.
+    quarantined: int = field(default=0, init=False)
 
     def __post_init__(self) -> None:
         self.directory = Path(self.directory)
@@ -62,6 +76,48 @@ class ResultCache:
 
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.json"
+
+    @property
+    def quarantine_dir(self) -> Path:
+        """Where corrupt entries land (not created until first use)."""
+        return self.directory / _QUARANTINE_DIR
+
+    def quarantined_on_disk(self) -> int:
+        """Corrupt entries quarantined under this directory — by *any*
+        process, not just this instance (``/healthz`` reports this)."""
+        return sum(1 for _ in self.quarantine_dir.glob("*.json*"))
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry aside (atomically, collision-safe)."""
+        self.quarantined += 1
+        target_dir = self.quarantine_dir
+        target_dir.mkdir(parents=True, exist_ok=True)
+        target = target_dir / path.name
+        ordinal = 0
+        while target.exists():
+            ordinal += 1
+            target = target_dir / f"{path.name}.{ordinal}"
+        try:
+            os.replace(path, target)
+        except FileNotFoundError:  # racing reader already moved it
+            pass
+
+    def _read(self, path: Path) -> dict[str, Any] | None:
+        """Parse one entry; corrupt files quarantine and read as absent."""
+        try:
+            payload = json.loads(path.read_text())
+        except FileNotFoundError:
+            return None
+        except (json.JSONDecodeError, UnicodeDecodeError, OSError):
+            self._quarantine(path)
+            return None
+        record = payload.get("record") if isinstance(payload, dict) else None
+        if not isinstance(record, dict):
+            # Parseable but not an entry (e.g. truncation landed on a
+            # valid JSON prefix): just as unusable as garbage bytes.
+            self._quarantine(path)
+            return None
+        return record
 
     def contains(self, request: RunRequest) -> bool:
         """Whether a record for ``request`` is on disk.
@@ -85,22 +141,21 @@ class ResultCache:
         a cache probe; counting it would skew the hit rate ``/metrics``
         reports for actual sweep traffic.
         """
-        try:
-            payload = json.loads(self._path(key).read_text())
-        except (FileNotFoundError, json.JSONDecodeError):
-            return None
-        return payload.get("record")
+        return self._read(self._path(key))
 
     def load(self, request: RunRequest) -> dict[str, Any] | None:
-        """The cached record for ``request``, or ``None`` on a miss."""
-        path = self._path(request_key(request))
-        try:
-            payload = json.loads(path.read_text())
-        except (FileNotFoundError, json.JSONDecodeError):
+        """The cached record for ``request``, or ``None`` on a miss.
+
+        A corrupt entry (torn write from a killed box, bit rot) is a
+        miss, never a crash: the bad file moves to ``quarantine/`` and
+        the job re-executes (see :meth:`_read`).
+        """
+        record = self._read(self._path(request_key(request)))
+        if record is None:
             self.misses += 1
             return None
         self.hits += 1
-        return payload["record"]
+        return record
 
     def store(self, request: RunRequest, record: dict[str, Any]) -> Path:
         """Atomically persist ``record`` for ``request``."""
@@ -112,10 +167,17 @@ class ResultCache:
         tmp = path.with_suffix(f".{os.getpid()}.tmp")
         tmp.write_text(payload)
         os.replace(tmp, path)
+        # Chaos hook: an armed ``corrupt`` plant (FREEZETAG_FAULTS)
+        # truncates the entry we just wrote — simulating the torn write
+        # the quarantine path exists to survive.  No-op outside tests.
+        corrupt_after_store(path)
         return path
 
     def __len__(self) -> int:
         return sum(1 for _ in self.directory.glob("*.json"))
 
     def stats(self) -> str:
-        return f"cache: {self.hits} hits, {self.misses} misses ({self.directory})"
+        line = f"cache: {self.hits} hits, {self.misses} misses"
+        if self.quarantined:
+            line += f", {self.quarantined} corrupt entries quarantined"
+        return f"{line} ({self.directory})"

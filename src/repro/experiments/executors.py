@@ -37,6 +37,22 @@ Failure contract: a job that raises inside any backend surfaces as
 request's label — never a bare pool traceback.  Process backends ship a
 picklable failure payload back instead of the exception object itself,
 so unpicklable exception types cannot wedge the pool.
+
+Two failure channels (the supervision seam, PR 9):
+
+* :meth:`Executor.submit` raises on the first failing job — the
+  historical contract every existing call site pins;
+* ``stream()`` (on every built-in backend) yields failures as *data*
+  (:class:`JobFailure` payloads) and keeps settling siblings — what
+  :class:`~repro.experiments.supervise.SupervisedExecutor` consumes to
+  retry and quarantine instead of aborting the sweep.
+
+A worker that dies without settling (SIGKILL, ``os._exit``) used to
+deadlock ``PoolExecutor.submit`` inside ``imap_unordered``; both process
+backends now detect the death and raise :class:`WorkerDied` naming every
+unsettled job, after force-killing the remaining workers (``abort()``
+does the same on demand, escalating straight to SIGKILL so a worker
+ignoring SIGTERM cannot wedge teardown).
 """
 
 from __future__ import annotations
@@ -47,14 +63,18 @@ import os
 import signal
 import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Protocol, Sequence, runtime_checkable
 
 from ..core.runner import RunRequest
+from .faults import fire_worker_faults
 
 __all__ = [
     "Executor",
     "SweepJobError",
+    "WorkerDied",
+    "JobFailure",
     "SerialExecutor",
     "PoolExecutor",
     "AsyncLocalExecutor",
@@ -88,12 +108,45 @@ class SweepJobError(RuntimeError):
         )
 
 
+class WorkerDied(RuntimeError):
+    """A worker process died without settling its jobs.
+
+    Raised by the process backends instead of the historical deadlock
+    (``imap_unordered`` waiting forever on a SIGKILLed worker).
+    ``indexes`` names every submitted-but-unsettled job at the moment of
+    death — the supervisor's resubmission list.  The dead pool's
+    remaining workers have already been force-killed when this is
+    raised.
+    """
+
+    def __init__(self, indexes: Sequence[int], detail: str = "") -> None:
+        self.indexes = tuple(indexes)
+        suffix = f" ({detail})" if detail else ""
+        super().__init__(
+            f"worker died without settling; {len(self.indexes)} job(s) "
+            f"unsettled: {list(self.indexes[:8])}"
+            + ("..." if len(self.indexes) > 8 else "")
+            + suffix
+        )
+
+
 @dataclass(frozen=True)
-class _JobFailure:
-    """Picklable failure payload shipped back from a worker process."""
+class JobFailure:
+    """Picklable failure payload shipped back from a worker process.
+
+    ``cause`` carries the original exception only on the in-process
+    serial path (so :meth:`SerialExecutor.submit` can chain the real
+    traceback); process backends leave it ``None`` — exception objects
+    are not reliably picklable.
+    """
 
     kind: str
     message: str
+    cause: BaseException | None = field(default=None, compare=False)
+
+
+#: Backwards-compat private alias (pre-PR-9 name).
+_JobFailure = JobFailure
 
 
 def _reset_worker_signals() -> None:
@@ -116,23 +169,33 @@ def _reset_worker_signals() -> None:
 def _execute_job(job: IndexedJob) -> tuple[int, Any, float]:
     """Worker body for the process backends (module-level: picklable).
 
-    Failures come back as data (:class:`_JobFailure`), not exceptions:
+    Failures come back as data (:class:`JobFailure`), not exceptions:
     the parent re-raises them as :class:`SweepJobError` with the job's
-    identity attached.
+    identity attached.  Armed fault plants (:mod:`.faults`) fire here —
+    a supervised attempt wrapper fires them itself (after writing its
+    start marker) and opts out via its ``supervised`` attribute.
     """
     from .harness import execute_request  # runtime import: avoids a cycle
 
     index, request = job
     start = time.perf_counter()
     try:
+        if not getattr(request, "supervised", False):
+            fire_worker_faults(index, attempt=0)
         record = execute_request(request)
     except Exception as exc:
-        return index, _JobFailure(type(exc).__name__, str(exc)), time.perf_counter() - start
+        return index, JobFailure(type(exc).__name__, str(exc)), time.perf_counter() - start
     return index, record, time.perf_counter() - start
 
 
 def _serial_iter(jobs: Sequence[IndexedJob]) -> Iterator[SettledJob]:
-    """Run jobs in-process, in submission order, chaining real tracebacks."""
+    """Run jobs in-process, in submission order, chaining real tracebacks.
+
+    Worker fault plants deliberately do **not** fire here: a planted
+    ``crash`` would take the coordinator (and its manifest) down with
+    it.  Supervised "serial" execution promotes the job to a one-worker
+    pool instead and is fully chaos-capable.
+    """
     from .harness import execute_request  # runtime import: avoids a cycle
 
     for index, request in jobs:
@@ -146,12 +209,45 @@ def _serial_iter(jobs: Sequence[IndexedJob]) -> Iterator[SettledJob]:
         yield index, record, time.perf_counter() - start
 
 
+def _serial_stream(jobs: Sequence[IndexedJob]) -> Iterator[tuple[int, Any, float]]:
+    """The failure-as-data flavor of :func:`_serial_iter`: a raising job
+    yields a :class:`JobFailure` (with the live exception chained for
+    callers that re-raise) and its siblings keep running."""
+    from .harness import execute_request  # runtime import: avoids a cycle
+
+    for index, request in jobs:
+        start = time.perf_counter()
+        try:
+            record = execute_request(request)
+        except Exception as exc:
+            yield (
+                index,
+                JobFailure(type(exc).__name__, str(exc), cause=exc),
+                time.perf_counter() - start,
+            )
+            continue
+        yield index, record, time.perf_counter() - start
+
+
 def _raise_failure(
-    index: int, failure: _JobFailure, requests: dict[int, RunRequest]
+    index: int, failure: JobFailure, requests: dict[int, RunRequest]
 ) -> None:
-    raise SweepJobError(
+    error = SweepJobError(
         index, requests[index].label(), failure.kind, failure.message
     )
+    if failure.cause is not None:
+        raise error from failure.cause
+    raise error
+
+
+def _raising(
+    stream: Iterator[tuple[int, Any, float]], requests: dict[int, RunRequest]
+) -> Iterator[SettledJob]:
+    """Adapt a failure-as-data stream to the raising ``submit`` contract."""
+    for index, payload, elapsed in stream:
+        if isinstance(payload, JobFailure):
+            _raise_failure(index, payload, requests)
+        yield index, payload, elapsed
 
 
 @runtime_checkable
@@ -161,6 +257,12 @@ class Executor(Protocol):
     ``submit`` consumes indexed jobs and yields them as they settle, in
     *any* order — the harness reassembles records by index.  A failing
     job must surface as :class:`SweepJobError`.
+
+    Backends may additionally offer the supervision surface the built-ins
+    provide — ``stream(jobs)`` yielding failures as :class:`JobFailure`
+    data instead of raising, and ``abort()`` force-killing live workers —
+    which is what :class:`~repro.experiments.supervise.SupervisedExecutor`
+    requires of its inner backend.
     """
 
     name: str
@@ -257,6 +359,85 @@ class SerialExecutor:
     def submit(self, jobs: Sequence[IndexedJob]) -> Iterator[SettledJob]:
         return _serial_iter(jobs)
 
+    def stream(self, jobs: Sequence[IndexedJob]) -> Iterator[tuple[int, Any, float]]:
+        return _serial_stream(jobs)
+
+    def abort(self) -> None:
+        """No workers to kill; in-process jobs cannot be interrupted."""
+
+
+#: Poll interval for worker-death detection: how often a blocking settle
+#: wait wakes up to check that the workers are still alive.
+_DEATH_POLL = 0.1
+
+
+def _kill_processes(processes: Sequence[Any]) -> None:
+    """SIGKILL every live process — the teardown path that cannot be
+    refused (a worker ignoring SIGTERM wedges graceful termination)."""
+    for proc in processes:
+        try:
+            if proc.is_alive():
+                proc.kill()
+        except (OSError, ValueError, AttributeError):  # pragma: no cover
+            pass
+
+
+def _abandon_pool(pool: Any) -> None:
+    """Walk away from a ``multiprocessing.Pool`` whose workers were
+    force-killed, instead of ``terminate()``-ing it.
+
+    An idle worker blocked in ``inqueue.get()`` holds the queue's reader
+    lock while it waits; SIGKILL orphans that lock, and ``terminate()``
+    then deadlocks forever in ``_help_stuff_finish`` trying to acquire
+    it (the stock path is only live because running workers eventually
+    consume the sentinels and release the lock).  So on the broken path:
+    flip every handler thread to TERMINATE (stopping the worker handler
+    *before* it respawns replacements), cancel the terminate finalizer
+    (it would re-run the deadlocking code at interpreter exit), and
+    re-kill any worker the respawn race slipped in.  The daemonic helper
+    threads are reaped with the process.
+    """
+    from multiprocessing.pool import TERMINATE  # state flag, not a function
+
+    pool._state = TERMINATE
+    for name in ("_worker_handler", "_task_handler", "_result_handler"):
+        handler = getattr(pool, name, None)
+        if handler is not None:
+            handler._state = TERMINATE
+    handler = getattr(pool, "_worker_handler", None)
+    if handler is not None:
+        handler.join(timeout=1.0)
+    _kill_processes(getattr(pool, "_pool", ()))
+    finalizer = getattr(pool, "_terminate", None)
+    cancel = getattr(finalizer, "cancel", None)
+    if callable(cancel):
+        cancel()
+
+
+def _retire_pool(pool: Any) -> None:
+    """Signal-free clean-path teardown of a ``multiprocessing.Pool``.
+
+    ``terminate()`` retires workers with SIGTERM — which a worker that
+    ran the ``refuse-sigterm`` fault plant ignores, leaking it (and then
+    wedging interpreter exit when atexit tries to join it).  ``close()``
+    retires workers with queue sentinels instead, immune to signal
+    dispositions; any worker still alive after a bounded wait gets
+    SIGKILL, which has no disposition at all.  Only then is ``join()``
+    safe unconditionally.
+    """
+    pool.close()
+    workers = list(getattr(pool, "_pool", ()))
+    deadline = time.monotonic() + 5.0
+    while (
+        any(p.exitcode is None for p in workers)
+        and time.monotonic() < deadline
+    ):
+        time.sleep(0.01)
+    stragglers = [p for p in workers if p.exitcode is None]
+    if stragglers:
+        _kill_processes(stragglers)
+    pool.join()
+
 
 @register_executor("pool")
 class PoolExecutor:
@@ -265,30 +446,79 @@ class PoolExecutor:
     Pinned behavior of the ``workers=`` compat shim: the pool size is
     capped at the job count, and a single job or single worker runs
     in-process (no pool spawn), exactly as ``run_requests(workers=N)``
-    always did.
+    always did.  ``force_pool=True`` disables that fast path — the
+    supervisor needs even one job in an out-of-process worker so it can
+    kill and retry it.
+
+    Worker death (SIGKILL, ``os._exit``) is *detected*, not dead-locked
+    on: settles are consumed with a timeout and the worker processes'
+    liveness is polled between waits.  Python's ``Pool`` silently drops
+    the dead worker's job (and respawns a replacement), so the only
+    honest surface is :class:`WorkerDied` naming the unsettled jobs.
     """
 
     name = "pool"
 
-    def __init__(self, workers: int | None = None) -> None:
+    def __init__(self, workers: int | None = None, force_pool: bool = False) -> None:
         self.workers = _default_workers(workers)
+        self.force_pool = force_pool
+        self._live_pool: Any = None
 
     def submit(self, jobs: Sequence[IndexedJob]) -> Iterator[SettledJob]:
         jobs = list(jobs)
-        if self.workers <= 1 or len(jobs) <= 1:
-            yield from _serial_iter(jobs)
+        return _raising(self.stream(jobs), dict(jobs))
+
+    def stream(self, jobs: Sequence[IndexedJob]) -> Iterator[tuple[int, Any, float]]:
+        jobs = list(jobs)
+        if not self.force_pool and (self.workers <= 1 or len(jobs) <= 1):
+            yield from _serial_stream(jobs)
             return
-        requests = dict(jobs)
-        with multiprocessing.Pool(
-            processes=min(self.workers, len(jobs)),
+        unsettled = {index for index, _ in jobs}
+        pool = multiprocessing.Pool(
+            processes=max(1, min(self.workers, len(jobs))),
             initializer=_reset_worker_signals,
-        ) as pool:
-            for index, payload, elapsed in pool.imap_unordered(
-                _execute_job, jobs, chunksize=1
-            ):
-                if isinstance(payload, _JobFailure):
-                    _raise_failure(index, payload, requests)
+        )
+        self._live_pool = pool
+        broken = False
+        try:
+            # The pool's supervisor thread replaces dead workers in
+            # pool._pool; snapshot the originals so a death is
+            # observable (a worker only ever exits abnormally —
+            # normal workers outlive the jobs).
+            original_workers = list(pool._pool)
+            settles = pool.imap_unordered(_execute_job, jobs, chunksize=1)
+            while unsettled:
+                try:
+                    index, payload, elapsed = settles.next(timeout=_DEATH_POLL)
+                except multiprocessing.TimeoutError:
+                    dead = [
+                        p for p in original_workers if p.exitcode is not None
+                    ]
+                    if dead:
+                        broken = True
+                        _kill_processes(pool._pool)
+                        raise WorkerDied(
+                            sorted(unsettled),
+                            detail=f"exit codes {[p.exitcode for p in dead]}",
+                        ) from None
+                    continue
+                except StopIteration:  # pragma: no cover - defensive
+                    break
+                unsettled.discard(index)
                 yield index, payload, elapsed
+        finally:
+            self._live_pool = None
+            if broken:
+                _abandon_pool(pool)
+            else:
+                _retire_pool(pool)
+
+    def abort(self) -> None:
+        """Force-kill the workers of a live :meth:`stream` (SIGKILL —
+        escalation-proof against workers that ignore SIGTERM)."""
+        pool = self._live_pool
+        if pool is not None:
+            _kill_processes(list(pool._pool))
 
 
 @register_executor("async-local")
@@ -315,9 +545,11 @@ class AsyncLocalExecutor:
 
     name = "async-local"
 
-    def __init__(self, workers: int | None = None) -> None:
+    def __init__(self, workers: int | None = None, force_pool: bool = False) -> None:
         self.workers = _default_workers(workers)
+        self.force_pool = force_pool
         self._pool: ProcessPoolExecutor | None = None
+        self._live_pool: ProcessPoolExecutor | None = None
 
     # -- persistent async mode (``freezetag serve``) ------------------------
 
@@ -353,31 +585,77 @@ class AsyncLocalExecutor:
             self._pool.shutdown(wait=True, cancel_futures=True)
             self._pool = None
 
+    def kill(self) -> None:
+        """Tear the persistent pool down *now*: SIGKILL the workers and
+        abandon in-flight jobs (their awaiters see ``BrokenProcessPool``).
+
+        The scheduler's stall watchdog uses this to recycle a wedged
+        executor — ``close()`` would block behind the very job that is
+        hung.  Idempotent, like :meth:`close`.
+        """
+        pool = self._pool
+        self._pool = None
+        if pool is not None:
+            _kill_processes(list(pool._processes.values()))
+            pool.shutdown(wait=False, cancel_futures=True)
+
     # -- batch Executor protocol --------------------------------------------
 
     def submit(self, jobs: Sequence[IndexedJob]) -> Iterator[SettledJob]:
         jobs = list(jobs)
-        if self.workers <= 1 or len(jobs) <= 1:
-            yield from _serial_iter(jobs)
+        return _raising(self.stream(jobs), dict(jobs))
+
+    def stream(self, jobs: Sequence[IndexedJob]) -> Iterator[tuple[int, Any, float]]:
+        jobs = list(jobs)
+        if not self.force_pool and (self.workers <= 1 or len(jobs) <= 1):
+            yield from _serial_stream(jobs)
             return
-        requests = dict(jobs)
+        unsettled = {index for index, _ in jobs}
         loop = asyncio.new_event_loop()
         try:
             with ProcessPoolExecutor(
-                max_workers=min(self.workers, len(jobs)),
+                max_workers=max(1, min(self.workers, len(jobs))),
                 initializer=_reset_worker_signals,
             ) as pool:
-                futures = {
-                    loop.run_in_executor(pool, _execute_job, job) for job in jobs
-                }
-                while futures:
-                    settled, futures = loop.run_until_complete(
-                        asyncio.wait(futures, return_when=asyncio.FIRST_COMPLETED)
-                    )
-                    for future in settled:
-                        index, payload, elapsed = future.result()
-                        if isinstance(payload, _JobFailure):
-                            _raise_failure(index, payload, requests)
-                        yield index, payload, elapsed
+                self._live_pool = pool
+                try:
+                    futures = {
+                        loop.run_in_executor(pool, _execute_job, job)
+                        for job in jobs
+                    }
+                    while futures:
+                        settled, futures = loop.run_until_complete(
+                            asyncio.wait(
+                                futures, return_when=asyncio.FIRST_COMPLETED
+                            )
+                        )
+                        for future in settled:
+                            try:
+                                index, payload, elapsed = future.result()
+                            except BrokenProcessPool:
+                                # A dead worker breaks *every* pending
+                                # future at once; the unsettled set is
+                                # the honest report.  Drain the sibling
+                                # futures' exceptions so asyncio does
+                                # not log "never retrieved" at GC.
+                                _kill_processes(list(pool._processes.values()))
+                                leftovers = (futures | settled) - {future}
+                                if leftovers:
+                                    loop.run_until_complete(
+                                        asyncio.gather(
+                                            *leftovers, return_exceptions=True
+                                        )
+                                    )
+                                raise WorkerDied(sorted(unsettled)) from None
+                            unsettled.discard(index)
+                            yield index, payload, elapsed
+                finally:
+                    self._live_pool = None
         finally:
             loop.close()
+
+    def abort(self) -> None:
+        """Force-kill the workers of a live :meth:`stream` (SIGKILL)."""
+        pool = self._live_pool
+        if pool is not None:
+            _kill_processes(list(pool._processes.values()))

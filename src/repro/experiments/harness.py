@@ -49,6 +49,7 @@ from ..sim import WorldConfig
 from .cache import ResultCache, canonical_json
 from .executors import Executor, resolve_executor
 from .manifest import SweepManifest
+from .supervise import SupervisedExecutor, SupervisorPolicy
 
 __all__ = [
     "FamilySweep",
@@ -360,6 +361,9 @@ class SweepProgress:
     elapsed: float
     hits: int = 0
     misses: int = 0
+    #: True when this settle is a quarantine (supervised run, retry
+    #: budget exhausted): the record is error data, not a result.
+    failed: bool = False
 
     @property
     def hit_rate(self) -> float:
@@ -368,7 +372,12 @@ class SweepProgress:
         return (self.hits / settled) if settled else 0.0
 
     def line(self) -> str:
-        origin = "cached" if self.cached else f"{self.elapsed:6.2f}s"
+        if self.failed:
+            origin = "QUARANTINED"
+        elif self.cached:
+            origin = "cached"
+        else:
+            origin = f"{self.elapsed:6.2f}s"
         return f"[{self.done}/{self.total}] {origin}  {self.label}"
 
 
@@ -389,6 +398,11 @@ class SweepResult:
     #: across sweeps doesn't leak foreign traffic into this result.
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Jobs that settled as quarantine error records (supervised runs
+    #: only; their error payloads live in the records and the manifest).
+    quarantined: int = 0
+    #: The supervisor's counters (``None`` for unsupervised runs).
+    supervisor: dict[str, int] | None = None
 
     @property
     def total(self) -> int:
@@ -464,6 +478,7 @@ def run_requests(
     progress: Callable[[SweepProgress], None] | None = None,
     executor: Executor | str | None = None,
     manifest: SweepManifest | None = None,
+    policy: SupervisorPolicy | None = None,
 ) -> list[dict[str, Any]]:
     """Execute jobs on an executor backend; records come back in job order.
 
@@ -486,20 +501,31 @@ def run_requests(
     ``manifest`` (see :mod:`repro.experiments.manifest`) is notified as
     each job settles and flushed on the way out, so interrupted sweeps
     keep their accounting.
+
+    ``policy`` (a :class:`~repro.experiments.supervise.SupervisorPolicy`)
+    wraps the resolved backend in a
+    :class:`~repro.experiments.supervise.SupervisedExecutor`: jobs get a
+    wall-clock timeout and bounded retries, and a job that exhausts its
+    budget settles as a *quarantine record* (``record["quarantined"]``
+    true, error payload attached) instead of raising — it is recorded in
+    the manifest as ``error`` and **never cached**, so a later run
+    retries it.
     """
     backend = resolve_executor(executor, workers=workers)
+    if policy is not None and not isinstance(backend, SupervisedExecutor):
+        backend = SupervisedExecutor(inner=backend, policy=policy)
     total = len(requests)
     records: list[dict[str, Any] | None] = [None] * total
     done = hits = misses = 0
 
-    def tick(index: int, cached: bool, elapsed: float) -> None:
+    def tick(index: int, cached: bool, elapsed: float, failed: bool = False) -> None:
         nonlocal done, hits, misses
         done += 1
         if cached:
             hits += 1
         else:
             misses += 1
-        if manifest is not None:
+        if manifest is not None and not failed:
             manifest.mark_done(index)
         if progress is not None:
             progress(
@@ -511,6 +537,7 @@ def run_requests(
                     elapsed=elapsed,
                     hits=hits,
                     misses=misses,
+                    failed=failed,
                 )
             )
 
@@ -525,10 +552,16 @@ def run_requests(
 
     try:
         for index, record, elapsed in backend.submit(pending):
-            if cache is not None:
+            failed = isinstance(record, dict) and bool(record.get("quarantined"))
+            if failed:
+                # Error data, not a result: checkpoint to the manifest,
+                # keep it out of the cache (a later run must retry).
+                if manifest is not None:
+                    manifest.mark_error(index, record.get("error", {}))
+            elif cache is not None:
                 cache.store(requests[index], record)
             records[index] = record
-            tick(index, cached=False, elapsed=elapsed)
+            tick(index, cached=False, elapsed=elapsed, failed=failed)
     finally:
         if manifest is not None:
             manifest.flush()
@@ -550,6 +583,7 @@ def run_sweep(
     progress: Callable[[SweepProgress], None] | None = None,
     executor: Executor | str | None = None,
     manifest: SweepManifest | bool = True,
+    policy: SupervisorPolicy | None = None,
 ) -> SweepResult:
     """Expand and execute a :class:`SweepSpec`.
 
@@ -559,8 +593,16 @@ def run_sweep(
     Killing the sweep at any point and re-running the same spec resumes
     losslessly: settled records load from the cache, records stay
     byte-identical to an uninterrupted run for every executor backend.
+
+    ``policy`` enables supervision (timeout/retry/quarantine — see
+    :func:`run_requests`); the supervisor's counters come back on
+    :attr:`SweepResult.supervisor` and quarantined jobs in
+    :attr:`SweepResult.quarantined`.
     """
     requests = spec.expand()
+    backend = resolve_executor(executor, workers=workers)
+    if policy is not None and not isinstance(backend, SupervisedExecutor):
+        backend = SupervisedExecutor(inner=backend, policy=policy)
     sweep_manifest: SweepManifest | None = None
     if cache is not None and manifest is not False:
         sweep_manifest = (
@@ -573,10 +615,9 @@ def run_sweep(
     misses_before = cache.misses if cache is not None else 0
     records = run_requests(
         requests,
-        workers=workers,
         cache=cache,
         progress=progress,
-        executor=executor,
+        executor=backend,
         manifest=sweep_manifest,
     )
     cached = (cache.hits - hits_before) if cache is not None else 0
@@ -587,6 +628,14 @@ def run_sweep(
         manifest=sweep_manifest,
         cache_hits=cached,
         cache_misses=(cache.misses - misses_before) if cache is not None else 0,
+        quarantined=sum(
+            1 for r in records if isinstance(r, dict) and r.get("quarantined")
+        ),
+        supervisor=(
+            backend.stats.as_dict()
+            if isinstance(backend, SupervisedExecutor)
+            else None
+        ),
     )
 
 

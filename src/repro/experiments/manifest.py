@@ -19,14 +19,17 @@ rename) forks the manifest exactly as it forks the cache entries.
 Statuses in the file are a snapshot — refreshed periodically as the
 harness settles jobs and once more on completion; the cache stays
 authoritative.  :meth:`SweepManifest.status` therefore recomputes
-against the cache and distinguishes three populations:
+against the cache and distinguishes four populations:
 
 * ``done``    — a recorded run of *this spec* settled the job and its
   record is on disk;
 * ``cached``  — the record is on disk but this spec's runs never marked
   it (a kill before the final flush, or a hit produced by a different
   spec sharing the content-addressed cache);
-* ``pending`` — no record on disk; the job still needs executing.
+* ``pending`` — no record on disk; the job still needs executing;
+* ``failed``  — a supervised run quarantined the job (its error payload
+  is checkpointed in the manifest, no record exists); a resume
+  re-executes it.
 
 ``freezetag sweep --status`` prints these counts without executing
 anything; ``--resume`` demands an existing manifest before continuing.
@@ -90,12 +93,19 @@ def spec_fingerprint(name: str, keys: Sequence[str]) -> str:
 
 @dataclass(frozen=True)
 class ManifestStatus:
-    """Live done/cached/pending counts of one manifest vs its cache."""
+    """Live done/cached/pending/failed counts of one manifest vs its cache.
+
+    ``failed`` counts jobs whose last recorded status is a quarantine
+    (error data checkpointed, no cache record) — they re-execute on
+    resume, but the status report distinguishes "never ran" from "ran
+    and exhausted its retry budget".
+    """
 
     total: int
     done: int
     cached: int
     pending: int
+    failed: int = 0
 
     @property
     def settled(self) -> int:
@@ -116,15 +126,17 @@ class ManifestStatus:
             "done": self.done,
             "cached": self.cached,
             "pending": self.pending,
+            "failed": self.failed,
             "settled": self.settled,
             "hit_rate": self.hit_rate,
         }
 
     def line(self) -> str:
         pct = (100.0 * self.settled / self.total) if self.total else 100.0
+        failed = f", {self.failed} quarantined" if self.failed else ""
         return (
             f"{self.done} done + {self.cached} cached / {self.total} jobs "
-            f"({self.pending} pending, {pct:.0f}% complete)"
+            f"({self.pending} pending{failed}, {pct:.0f}% complete)"
         )
 
 
@@ -136,9 +148,19 @@ class SweepManifest:
     spec_hash: str
     keys: list[str]
     labels: list[str]
-    statuses: list[str]  # per-job snapshot: "done" | "pending"
+    statuses: list[str]  # per-job snapshot: "done" | "pending" | "error"
     path: Path
+    #: Per-job quarantine payloads (``None`` = no recorded error); lazily
+    #: sized, so pre-PR-9 construction sites need no changes.
+    errors: list[dict | None] = field(default_factory=list)
     _since_flush: int = field(default=0, init=False, repr=False)
+
+    def _error_slots(self) -> list[dict | None]:
+        if len(self.errors) != len(self.keys):
+            self.errors = list(self.errors) + [None] * (
+                len(self.keys) - len(self.errors)
+            )
+        return self.errors
 
     # -- construction -------------------------------------------------------
 
@@ -163,9 +185,11 @@ class SweepManifest:
         spec_hash = spec_fingerprint(spec.name, keys)
         path = cls.path_for(cache, spec_hash)
         statuses = ["pending"] * len(keys)
+        errors: list[dict | None] = [None] * len(keys)
         existing = cls.load(path)
         if existing is not None and existing.keys == keys:
             statuses = list(existing.statuses)
+            errors = list(existing._error_slots())
         return cls(
             spec_name=spec.name,
             spec_hash=spec_hash,
@@ -173,6 +197,7 @@ class SweepManifest:
             labels=[request.label() for request in requests],
             statuses=statuses,
             path=path,
+            errors=errors,
         )
 
     @classmethod
@@ -218,6 +243,7 @@ class SweepManifest:
             labels=[job.get("label", "") for job in jobs],
             statuses=[job.get("status", "pending") for job in jobs],
             path=path,
+            errors=[job.get("error") for job in jobs],
         )
 
     # -- progress accounting ------------------------------------------------
@@ -236,13 +262,29 @@ class SweepManifest:
         """
         if self.statuses[index] != "done":
             self.statuses[index] = "done"
+            self._error_slots()[index] = None  # a settle clears any quarantine
             self._since_flush += 1
             if self._since_flush >= FLUSH_EVERY:
                 self.flush()
 
+    def mark_error(self, index: int, error: dict) -> None:
+        """Checkpoint job ``index`` as quarantined, with its error payload.
+
+        The supervisor settles an exhausted job as error *data*; the
+        manifest is where that outcome survives the process — ``status``
+        reports it as ``failed`` and a resumed run re-executes the job
+        (no cache record exists, so the cache-is-ground-truth rule
+        already does the right thing).  Flushed eagerly: quarantines are
+        rare and exactly what a post-mortem needs on disk.
+        """
+        self.statuses[index] = "error"
+        self._error_slots()[index] = dict(error)
+        self.flush()
+
     def flush(self) -> Path:
         """Atomically write the manifest (same discipline as the cache)."""
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        errors = self._error_slots()
         payload = canonical_json(
             {
                 "schema": _SCHEMA_VERSION,
@@ -250,6 +292,7 @@ class SweepManifest:
                 "spec_hash": self.spec_hash,
                 "jobs": [
                     {"index": i, "key": key, "label": label, "status": status}
+                    | ({"error": errors[i]} if errors[i] is not None else {})
                     for i, (key, label, status) in enumerate(
                         zip(self.keys, self.labels, self.statuses)
                     )
@@ -269,15 +312,18 @@ class SweepManifest:
         the cache counts as ``pending`` again — the mark is a claim, the
         cache is the proof.
         """
-        done = cached = pending = 0
+        done = cached = pending = failed = 0
         for key, status in zip(self.keys, self.statuses):
             if cache.contains_key(key):
                 if status == "done":
                     done += 1
                 else:
                     cached += 1
+            elif status == "error":
+                failed += 1
             else:
                 pending += 1
         return ManifestStatus(
-            total=self.total, done=done, cached=cached, pending=pending
+            total=self.total, done=done, cached=cached, pending=pending,
+            failed=failed,
         )

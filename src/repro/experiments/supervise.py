@@ -1,0 +1,437 @@
+"""Supervised execution: timeout, retry, backoff, quarantine.
+
+:class:`SupervisedExecutor` wraps any backend that offers the built-ins'
+``stream()``/``abort()`` surface and turns the raw failure channels —
+:class:`~repro.experiments.executors.JobFailure` payloads,
+:class:`~repro.experiments.executors.WorkerDied`, wall-clock hangs —
+into a policy:
+
+* **timeout** — a per-job wall clock measured from the moment the job's
+  worker actually *starts* it (a start-marker file written by the
+  attempt wrapper, so queued-but-unstarted jobs never time out);
+* **retry** — a failed or timed-out attempt is rescheduled with
+  deterministic exponential backoff plus seeded jitter (pure function
+  of ``(seed, job index, attempt)`` — reruns behave identically);
+* **pool replacement** — a worker death kills the round's surviving
+  workers (SIGKILL: escalation-proof), bumps only the attempts of jobs
+  that were *in flight* (the start-marker ledger knows), and resubmits
+  everything unsettled — innocent victims are not charged an attempt;
+* **quarantine** — a job that exhausts its retry budget settles as an
+  error *record* (data, never an exception): siblings keep running, the
+  harness checkpoints the error to the sweep manifest, and the record is
+  **not** cached — a later run retries the job from scratch.
+
+Because a quarantine-free supervised run yields exactly the records the
+inner backend would have produced, sweep output stays **byte-identical**
+to an unsupervised clean run — the chaos matrix
+(``tests/experiments/test_supervise.py``) byte-diffs exactly that under
+every planted fault in :mod:`repro.experiments.faults`.
+
+The in-process ``serial`` backend cannot survive a crashed or hung job
+(the job *is* the coordinator), so supervising "serial" promotes it to a
+single out-of-process worker — same records, one job at a time, fully
+chaos-capable.
+"""
+
+from __future__ import annotations
+
+import queue
+import random
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator, Sequence
+
+from .executors import (
+    AsyncLocalExecutor,
+    Executor,
+    IndexedJob,
+    JobFailure,
+    PoolExecutor,
+    SettledJob,
+    WorkerDied,
+    register_executor,
+    resolve_executor,
+)
+from .faults import fire_worker_faults
+
+__all__ = [
+    "SupervisorPolicy",
+    "SupervisorStats",
+    "SupervisedExecutor",
+    "quarantine_record",
+]
+
+
+@dataclass(frozen=True)
+class SupervisorPolicy:
+    """The supervision knobs (all deterministic; see :meth:`backoff`).
+
+    ``retries`` is the number of *re*-attempts: a job runs at most
+    ``retries + 1`` times before quarantine.  ``job_timeout`` is wall
+    clock from worker-side start; ``None`` disables the watchdog.
+    """
+
+    job_timeout: float | None = None
+    retries: int = 2
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 2.0
+    jitter: float = 0.25
+    seed: int = 0
+    #: Supervisor wake-up interval: settle-wait granularity and the
+    #: resolution of the timeout watchdog.
+    poll: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+        if self.job_timeout is not None and self.job_timeout <= 0:
+            raise ValueError("job_timeout must be positive (or None)")
+
+    def backoff(self, index: int, attempt: int) -> float:
+        """Delay before re-attempt ``attempt`` of job ``index``.
+
+        Exponential in the attempt number, capped, plus jitter drawn
+        from a generator seeded by ``(seed, index, attempt)`` — the
+        schedule is a pure function of the policy, so a re-run of the
+        same chaos scenario retries at the same offsets.
+        """
+        base = min(
+            self.backoff_max,
+            self.backoff_base * (self.backoff_factor ** max(0, attempt - 1)),
+        )
+        if self.jitter <= 0:
+            return base
+        rng = random.Random(f"{self.seed}:{index}:{attempt}")
+        return base * (1.0 + self.jitter * rng.random())
+
+
+@dataclass
+class SupervisorStats:
+    """Counters accumulated across one supervisor's lifetime."""
+
+    retried: int = 0
+    quarantined: int = 0
+    worker_deaths: int = 0
+    timeouts: int = 0
+    rounds: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "retried": self.retried,
+            "quarantined": self.quarantined,
+            "worker_deaths": self.worker_deaths,
+            "timeouts": self.timeouts,
+            "rounds": self.rounds,
+        }
+
+
+@dataclass(frozen=True)
+class _Attempt:
+    """Picklable per-attempt wrapper shipped to the worker.
+
+    Carries the attempt number (so transient fault plants heal on
+    retry) and writes the start marker the timeout watchdog reads.
+    ``supervised`` tells the worker body the wrapper fires fault plants
+    itself — *after* the marker, so a crashed job is provably in flight.
+    """
+
+    request: Any
+    index: int
+    attempt: int
+    ledger: str | None
+
+    supervised = True
+
+    def label(self) -> str:
+        inner = getattr(self.request, "label", None)
+        return inner() if callable(inner) else f"job #{self.index}"
+
+    def execute_record(self) -> dict[str, Any]:
+        if self.ledger is not None:
+            marker = Path(self.ledger) / f"{self.index}.{self.attempt}.started"
+            try:
+                marker.write_text(str(time.time()))
+            except OSError:  # ledger vanished mid-teardown: lose the marker
+                pass
+        fire_worker_faults(self.index, self.attempt)
+        from .harness import execute_request  # runtime import: avoids a cycle
+
+        return execute_request(self.request)
+
+
+def quarantine_record(
+    request: Any, index: int, kind: str, message: str, attempts: int
+) -> dict[str, Any]:
+    """The error-data record a quarantined job settles as.
+
+    Shaped like a failed run row (``woke_all`` False, identifying fields
+    present) so CSV output and aggregation degrade gracefully; the
+    ``quarantined`` flag is how the harness knows not to cache it.
+    """
+    label = getattr(request, "label", None)
+    record: dict[str, Any] = {
+        "quarantined": True,
+        "error": {"kind": kind, "message": message, "attempts": attempts},
+        "label": label() if callable(label) else f"job #{index}",
+        "woke_all": False,
+    }
+    for attr, column in (("algorithm", "algorithm"), ("workload", "family")):
+        value = getattr(request, attr, None)
+        if isinstance(value, str):
+            record[column] = value
+    return record
+
+
+@dataclass
+class _JobState:
+    request: Any
+    attempts: int = 0
+    eligible_at: float = 0.0
+
+
+@register_executor("supervised")
+class SupervisedExecutor:
+    """Retry/timeout/quarantine supervision over an inner backend.
+
+    ``inner`` is a backend name, ``None`` (the ``workers=`` compat
+    resolution) or an instance offering ``stream()``; "serial" (and the
+    single-worker resolution of ``None``) is promoted to a one-worker
+    out-of-process pool so crash and hang faults cannot take the
+    coordinator down.  Registered as ``"supervised"`` with the default
+    policy, so ``freezetag sweep --executor supervised`` works; the CLI's
+    ``--job-timeout``/``--retries`` knobs build an explicit policy.
+    """
+
+    name = "supervised"
+
+    def __init__(
+        self,
+        inner: Executor | str | None = "pool",
+        workers: int | None = None,
+        policy: SupervisorPolicy | None = None,
+    ) -> None:
+        self.policy = policy if policy is not None else SupervisorPolicy()
+        base = (
+            inner
+            if not (inner is None or isinstance(inner, str))
+            else resolve_executor(inner, workers=workers)
+        )
+        if base.name == "serial":
+            base = PoolExecutor(workers=1, force_pool=True)
+        elif isinstance(base, (PoolExecutor, AsyncLocalExecutor)):
+            # One job must still run out of process to be killable.
+            base.force_pool = True
+        if not callable(getattr(base, "stream", None)):
+            raise ValueError(
+                f"executor {base.name!r} offers no stream(); supervision "
+                "needs the failure-as-data surface of the built-in backends"
+            )
+        self.inner: Executor = base
+        self.workers = getattr(base, "workers", 1)
+        self.stats = SupervisorStats()
+
+    # -- Executor protocol ---------------------------------------------------
+
+    def submit(self, jobs: Sequence[IndexedJob]) -> Iterator[SettledJob]:
+        """Settle every job: successes verbatim, quarantines as error data.
+
+        Never raises for job failures, worker deaths or timeouts — the
+        caller sees those only as ``quarantined`` records (and the
+        running counters in :attr:`stats`).
+        """
+        jobs = list(jobs)
+        pending: dict[int, _JobState] = {
+            index: _JobState(request=request) for index, request in jobs
+        }
+        with tempfile.TemporaryDirectory(prefix="freezetag-supervise-") as ledger:
+            while pending:
+                now = time.monotonic()
+                ready = sorted(
+                    index
+                    for index, state in pending.items()
+                    if state.eligible_at <= now
+                )
+                if not ready:
+                    next_at = min(s.eligible_at for s in pending.values())
+                    time.sleep(min(max(0.0, next_at - now), self.policy.poll))
+                    continue
+                batch = [
+                    (
+                        index,
+                        _Attempt(
+                            request=pending[index].request,
+                            index=index,
+                            attempt=pending[index].attempts,
+                            ledger=ledger,
+                        ),
+                    )
+                    for index in ready
+                ]
+                yield from self._round(batch, pending, ledger)
+
+    # -- one round -----------------------------------------------------------
+
+    def _round(
+        self,
+        batch: list[tuple[int, _Attempt]],
+        pending: dict[int, _JobState],
+        ledger: str,
+    ) -> Iterator[SettledJob]:
+        self.stats.rounds += 1
+        attempts_in_round = {index: wrapper.attempt for index, wrapper in batch}
+        outstanding = set(attempts_in_round)
+        inbox: queue.Queue = queue.Queue()
+
+        def feed() -> None:
+            try:
+                for item in self.inner.stream(batch):
+                    inbox.put(("settle", item))
+            except BaseException as exc:  # noqa: BLE001 - relayed, not hidden
+                inbox.put(("error", exc))
+            finally:
+                inbox.put(("end", None))
+
+        feeder = threading.Thread(
+            target=feed, name="freezetag-supervise-feeder", daemon=True
+        )
+        feeder.start()
+
+        settled_any = False
+        bumped_any = False
+        aborted = False
+        round_over = False
+        while outstanding and not round_over:
+            try:
+                kind, item = inbox.get(timeout=self.policy.poll)
+            except queue.Empty:
+                if aborted:
+                    continue  # waiting for the feeder to notice the kill
+                overdue = self._overdue(outstanding, attempts_in_round, ledger)
+                if overdue:
+                    aborted = True
+                    self.stats.timeouts += len(overdue)
+                    abort = getattr(self.inner, "abort", None)
+                    if callable(abort):
+                        abort()
+                    timeout = self.policy.job_timeout
+                    for index in overdue:
+                        bumped_any = True
+                        result = self._charge_attempt(
+                            index,
+                            pending,
+                            kind="JobTimeout",
+                            message=f"exceeded job timeout of {timeout}s",
+                        )
+                        if result is not None:
+                            yield result
+                    # Innocent in-flight siblings died with the pool but
+                    # are not charged; they rerun next round.
+                    outstanding -= set(overdue)
+                continue
+            if kind == "settle":
+                index, payload, elapsed = item
+                outstanding.discard(index)
+                if aborted and isinstance(payload, JobFailure):
+                    # Post-abort wreckage (the kill itself): not a real
+                    # attempt outcome, the job reruns uncharged.
+                    continue
+                if isinstance(payload, JobFailure):
+                    bumped_any = True
+                    result = self._charge_attempt(
+                        index, pending, kind=payload.kind, message=payload.message
+                    )
+                    if result is not None:
+                        yield result
+                    continue
+                if pending.pop(index, None) is None:
+                    # Late success racing a timeout charge that already
+                    # quarantined the job: one settle per index, always.
+                    continue
+                settled_any = True
+                yield index, payload, elapsed
+            elif kind == "error":
+                round_over = True
+                if isinstance(item, WorkerDied):
+                    self.stats.worker_deaths += 1
+                if not aborted:
+                    started = self._started(outstanding, attempts_in_round, ledger)
+                    charge = started if started else set(outstanding)
+                    for index in sorted(charge):
+                        bumped_any = True
+                        result = self._charge_attempt(
+                            index,
+                            pending,
+                            kind=type(item).__name__,
+                            message=str(item),
+                        )
+                        if result is not None:
+                            yield result
+            else:  # "end"
+                round_over = True
+        feeder.join(timeout=10.0)
+        if outstanding and not settled_any and not bumped_any:
+            # A round that produced nothing at all (e.g. the pool failed
+            # to spawn): charge everyone so the loop provably terminates.
+            for index in sorted(outstanding):
+                result = self._charge_attempt(
+                    index, pending, kind="RoundFailed", message="round settled nothing"
+                )
+                if result is not None:
+                    yield result
+
+    def _charge_attempt(
+        self, index: int, pending: dict[int, _JobState], kind: str, message: str
+    ) -> SettledJob | None:
+        """Record a failed attempt; returns the quarantine settle if the
+        retry budget is exhausted, else ``None`` (a retry is scheduled)."""
+        state = pending.get(index)
+        if state is None:  # already settled or quarantined
+            return None
+        state.attempts += 1
+        if state.attempts > self.policy.retries:
+            self.stats.quarantined += 1
+            record = quarantine_record(
+                state.request, index, kind, message, attempts=state.attempts
+            )
+            del pending[index]
+            return index, record, 0.0
+        self.stats.retried += 1
+        state.eligible_at = time.monotonic() + self.policy.backoff(
+            index, state.attempts
+        )
+        return None
+
+    def _overdue(
+        self, outstanding: set[int], attempts: dict[int, int], ledger: str
+    ) -> list[int]:
+        """Outstanding jobs whose current attempt started more than
+        ``job_timeout`` seconds ago (per their start markers)."""
+        timeout = self.policy.job_timeout
+        if timeout is None:
+            return []
+        now = time.time()
+        overdue = []
+        for index in outstanding:
+            marker = Path(ledger) / f"{index}.{attempts[index]}.started"
+            try:
+                started = marker.stat().st_mtime
+            except OSError:
+                continue
+            if now - started > timeout:
+                overdue.append(index)
+        return sorted(overdue)
+
+    def _started(
+        self, outstanding: set[int], attempts: dict[int, int], ledger: str
+    ) -> set[int]:
+        """Outstanding jobs whose current attempt wrote its start marker —
+        the in-flight set a worker death is charged to."""
+        started = set()
+        for index in outstanding:
+            if (Path(ledger) / f"{index}.{attempts[index]}.started").exists():
+                started.add(index)
+        return started

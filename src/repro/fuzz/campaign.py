@@ -95,6 +95,7 @@ def run_campaign(
     shrink_failures: bool = True,
     seeds_dir: str | Path | None = None,
     progress: Callable[[str], None] | None = None,
+    mode: str = "contract",
 ) -> CampaignReport:
     """Run one fuzz campaign; every domain failure is settled data.
 
@@ -104,13 +105,15 @@ def run_campaign(
     exit).  With ``shrink_failures`` each *distinct* failure — keyed by
     (algorithm, scenario, violated invariants) — is minimized once, and
     ``seeds_dir`` turns the minimized configs into committed seed files.
+    ``mode="hostile"`` mixes out-of-contract draws into the stream (see
+    :class:`~repro.fuzz.generator.ConfigGenerator`).
     """
     if max_runs is None and time_budget is None:
         raise ValueError("set max_runs and/or time_budget")
     corpus = CorpusDatabase()
     if corpus_path is not None and Path(corpus_path).is_file():
         corpus = CorpusDatabase.load(corpus_path)
-    generator = ConfigGenerator(seed=seed, corpus=corpus, max_n=max_n)
+    generator = ConfigGenerator(seed=seed, corpus=corpus, max_n=max_n, mode=mode)
     backend = resolve_executor(executor, workers=workers)
     report = CampaignReport(
         seed=seed, executor=getattr(backend, "name", type(backend).__name__)

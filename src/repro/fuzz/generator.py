@@ -13,6 +13,12 @@ just above/below the swarm radius, ``enforce_budget`` toggles), speed
 floors (slow cohorts down to 5% speed) and the ``awave`` differential
 target (it gets the largest algorithm share, since every awave run drags
 the ``legacy_awave`` oracle along).
+
+A ``mode="hostile"`` generator additionally draws *out-of-contract*
+configs — ``ell``/``rho`` inputs below the instance's true ``ell*`` /
+``rho*`` — stamped ``mode="hostile"`` so the invariant checker waives
+wake completeness but still demands energy conservation, reachability
+and clean termination.
 """
 
 from __future__ import annotations
@@ -20,7 +26,7 @@ from __future__ import annotations
 import random
 from typing import Any, Callable
 
-from .config import FuzzConfig
+from .config import MODES, FuzzConfig
 from .corpus import CorpusDatabase
 
 __all__ = ["ConfigGenerator", "DEFAULT_MAX_N"]
@@ -78,18 +84,29 @@ class ConfigGenerator:
         corpus: CorpusDatabase | None = None,
         max_n: int = DEFAULT_MAX_N,
         mutation_rate: float = 0.4,
+        mode: str = "contract",
     ) -> None:
+        if mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
         self._rng = random.Random(seed)
         self._corpus = corpus
         self._max_n = max(1, int(max_n))
         self._mutation_rate = mutation_rate
+        self.mode = mode
         self._seen: set[str] = set()
-        self._samplers: tuple[Callable[[], FuzzConfig], ...] = (
+        samplers: list[Callable[[], FuzzConfig]] = [
             self._sample_classic,
             self._sample_degenerate,
             self._sample_world_stress,
             self._sample_budget_cliff,
-        )
+        ]
+        if mode == "hostile":
+            # Over-weight the whole point of a hostile campaign while
+            # keeping the contract samplers in the pool — mixed streams
+            # catch regressions where an out-of-contract run poisons the
+            # engine state a later in-contract run depends on.
+            samplers += [self._sample_hostile, self._sample_hostile]
+        self._samplers = tuple(samplers)
 
     # -- public surface ------------------------------------------------------
 
@@ -327,6 +344,42 @@ class ConfigGenerator:
             scenario_kwargs={"n": n, "rho": rho, "seed": seed},
             world_params=world,
             params=params,
+        )
+
+    def _sample_hostile(self) -> FuzzConfig:
+        """Out-of-contract inputs: ``ell`` below ``ell*``, ``rho`` below
+        ``rho*``.
+
+        The admissibility contract (``ell >= ell_star``, ``rho >=
+        rho_star``) is what lets the distributed algorithms promise a
+        complete wake; a hostile draw hands them a lie — a spread-out
+        swarm with ``ell`` pinned to 1 or 2, or an ``aseparator`` radius
+        a fraction of the true one.  Incomplete wakes are legitimate then
+        (mode ``hostile`` waives that invariant), but energy
+        conservation, reachability and clean termination still hold: the
+        engine must not care how bad its inputs were.
+        """
+        rng = self._rng
+        algorithm = rng.choice(("awave", "agrid", "aseparator"))
+        seed = rng.randint(0, 10_000)
+        # A spread-out instance, so the true ell*/rho* sit well above the
+        # lie we are about to tell.
+        rho = rng.choice((4.0, 8.0, 20.0))
+        n = max(4, self._size())
+        params: dict[str, Any] = {"ell": rng.choice((1, 2))}
+        if algorithm == "aseparator":
+            if rng.random() < 0.7:
+                params["rho"] = rho * rng.choice((0.01, 0.1, 0.5))
+            if rng.random() < 0.5:
+                params["solver"] = rng.choice(("quadtree", "greedy", "chain"))
+        elif rng.random() < 0.25:
+            params["enforce_budget"] = True
+        return FuzzConfig(
+            algorithm=algorithm,
+            scenario="uniform_disk",
+            scenario_kwargs={"n": n, "rho": rho, "seed": seed},
+            params=params,
+            mode="hostile",
         )
 
     # -- mutation ------------------------------------------------------------

@@ -73,26 +73,25 @@ FRONTIER_PAD = 1e-6
 _SCALAR_CUTOFF = 32
 
 #: Fault-injection hook for the fuzzer's self-test (tests/CI only): when
-#: this environment variable holds a positive float, :func:`frontier_for`
-#: *shrinks* the reach by that margin — deliberately breaking the "never
-#: call a visible position cold" contract so that sleepers near the edge
-#: of the visibility disk are misclassified and the batched ``awave`` walk
-#: sweeps past them.  ``legacy_awave`` takes no frontier and is unaffected,
-#: so the planted bug is exactly the class the differential oracle exists
-#: to catch.  Never set this outside a fuzzer self-test.
+#: a ``frontier-reach`` plant is armed (``FREEZETAG_FAULTS=
+#: frontier-reach:margin=0.5`` through the structured registry in
+#: :mod:`repro.experiments.faults`, or this legacy variable holding a
+#: bare float), :func:`frontier_for` *shrinks* the reach by that margin —
+#: deliberately breaking the "never call a visible position cold"
+#: contract so that sleepers near the edge of the visibility disk are
+#: misclassified and the batched ``awave`` walk sweeps past them.
+#: ``legacy_awave`` takes no frontier and is unaffected, so the planted
+#: bug is exactly the class the differential oracle exists to catch.
+#: Never plant this outside a fuzzer self-test.
 FAULT_REACH_ENV = "FREEZETAG_FAULT_FRONTIER_REACH"
 
 
 def _fault_reach_deficit() -> float:
-    import os
+    # Late import: geometry must not import the experiments package (and
+    # its transitive engine imports) at module load.
+    from ..experiments.faults import frontier_reach_deficit
 
-    raw = os.environ.get(FAULT_REACH_ENV, "")
-    if not raw:
-        return 0.0
-    try:
-        return max(0.0, float(raw))
-    except ValueError:  # pragma: no cover - malformed env, treat as unset
-        return 0.0
+    return frontier_reach_deficit()
 
 
 class FrontierIndex:

@@ -72,6 +72,8 @@ class SweepService:
         cache_dir: str | Path,
         workers: int | None = None,
         executor: Any | None = None,
+        policy: Any | None = None,
+        stall_after: float | None = None,
     ) -> None:
         self.cache = ResultCache(Path(cache_dir))
         self.telemetry = Telemetry()
@@ -80,6 +82,8 @@ class SweepService:
             executor=executor,
             workers=workers,
             telemetry=self.telemetry,
+            policy=policy,
+            stall_after=stall_after,
         )
         self.sweeps: dict[str, SweepRun] = {}
         self.router = self._build_router()
@@ -185,7 +189,23 @@ class SweepService:
         )
 
     async def _get_healthz(self, request: Request) -> Response:
-        return json_response({"ok": True})
+        """Liveness plus the wedge-or-rot signals a probe should alarm on:
+        heartbeat age with jobs in flight, pool recycles, and quarantine
+        counts (retry-exhausted jobs, corrupt cache entries)."""
+        return json_response(
+            {
+                "ok": True,
+                "queue_depth": self.scheduler.queue_depth,
+                "inflight": self.scheduler.inflight,
+                "last_settle_age_s": self.telemetry.last_settle_age_s(),
+                "pools_recycled": self.telemetry.pools_recycled,
+                "quarantine": {
+                    "jobs": self.telemetry.jobs_quarantined,
+                    "cache_entries": self.cache.quarantined,
+                    "cache_entries_on_disk": self.cache.quarantined_on_disk(),
+                },
+            }
+        )
 
     async def _post_sweeps(self, request: Request) -> Response:
         payload = request.json()
@@ -328,6 +348,8 @@ class SweepService:
                     "misses": misses,
                     "hit_rate": (hits / probes) if probes else 0.0,
                     "entries": len(self.cache),
+                    "quarantined": self.cache.quarantined,
+                    "quarantined_on_disk": self.cache.quarantined_on_disk(),
                     "directory": str(self.cache.directory),
                 },
                 "sweeps_resident": {

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import http.client
 import json
+import time
 from typing import Any, Iterator, Mapping
 from urllib.parse import urlsplit
 
@@ -126,11 +127,12 @@ class ServiceClient:
 
     # -- streaming ----------------------------------------------------------
 
-    def watch(
+    def _watch_once(
         self, sweep_id: str, timeout: float | None = None
     ) -> Iterator[dict[str, Any]]:
-        """Yield settle events from the SSE stream, history first, until
-        the sweep's ``end`` event closes the stream."""
+        """One SSE connection: yield events until ``end`` or the stream
+        drops (the server always closes *after* sending ``end``, so an
+        EOF without one is a drop, not completion)."""
         connection = self._connect(timeout)
         try:
             connection.request("GET", f"/sweeps/{sweep_id}/events")
@@ -146,7 +148,7 @@ class ServiceClient:
             while True:
                 raw = response.readline()
                 if not raw:
-                    return  # server closed the stream
+                    return  # stream dropped mid-flight (no end event)
                 line = raw.decode("utf-8").rstrip("\n").rstrip("\r")
                 if line.startswith("data:"):
                     data_lines.append(line[len("data:"):].strip())
@@ -158,6 +160,54 @@ class ServiceClient:
                         return
         finally:
             connection.close()
+
+    def watch(
+        self,
+        sweep_id: str,
+        timeout: float | None = None,
+        reconnect: int = 5,
+        backoff: float = 0.5,
+    ) -> Iterator[dict[str, Any]]:
+        """Yield settle events from the SSE stream, history first, until
+        the sweep's ``end`` event — surviving dropped connections.
+
+        The event stream replays from the beginning on every connection,
+        so resuming is exact: after a drop the client reconnects (with
+        exponential backoff, up to ``reconnect`` consecutive attempts)
+        and skips the prefix it already yielded.  Any successfully
+        delivered event resets the attempt budget; a stream that dies
+        ``reconnect + 1`` times in a row without progress raises
+        :class:`ServiceError`.
+        """
+        seen = 0
+        failures = 0
+        while True:
+            delivered = 0
+            ended = False
+            try:
+                for position, event in enumerate(
+                    self._watch_once(sweep_id, timeout)
+                ):
+                    if position < seen:
+                        continue  # replayed history from before the drop
+                    seen += 1
+                    delivered += 1
+                    failures = 0
+                    ended = event.get("event") == "end"
+                    yield event
+                if ended:
+                    return
+                raise OSError("event stream closed before the end event")
+            except (OSError, http.client.HTTPException) as exc:
+                if delivered == 0:
+                    failures += 1
+                if failures > reconnect:
+                    raise ServiceError(
+                        0,
+                        f"event stream for {sweep_id!r} dropped "
+                        f"{failures} times without progress: {exc}",
+                    ) from exc
+                time.sleep(min(30.0, backoff * (2 ** max(0, failures - 1))))
 
     def wait(self, sweep_id: str) -> dict[str, Any]:
         """Block until the sweep finishes; returns its final status."""

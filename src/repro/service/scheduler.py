@@ -26,11 +26,23 @@ future with :class:`JobError` (kind + message, picklable data shipped
 back by the executor), which every waiter — the submitting sweep and any
 deduped siblings — receives as a per-job error state.  The scheduler
 itself never dies with a job.
+
+Supervision (PR 9): constructed with a
+:class:`~repro.experiments.supervise.SupervisorPolicy`, the scheduler
+retries failed attempts with the policy's deterministic backoff, bounds
+each attempt by ``job_timeout``, and replaces a dead or wedged worker
+pool (SIGKILL + fresh pool — ``pools_recycled`` in telemetry) before
+resubmitting.  A job that exhausts its budget settles as a quarantined
+:class:`JobError`.  Independent of the policy, a ``stall_after`` watchdog
+recycles the pool when jobs are in flight but nothing has settled for
+that long — the liveness backstop for wedges no per-job timeout covers.
 """
 
 from __future__ import annotations
 
 import asyncio
+import time
+from concurrent.futures.process import BrokenProcessPool
 from typing import Any
 
 from ..core.runner import RunRequest
@@ -38,8 +50,10 @@ from ..experiments.cache import ResultCache, request_key
 from ..experiments.executors import (
     AsyncLocalExecutor,
     SweepJobError,
+    WorkerDied,
     get_executor,
 )
+from ..experiments.supervise import SupervisorPolicy, _Attempt
 from .telemetry import Telemetry
 
 __all__ = ["JobError", "JobScheduler"]
@@ -69,6 +83,8 @@ class JobScheduler:
         executor: AsyncLocalExecutor | None = None,
         workers: int | None = None,
         telemetry: Telemetry | None = None,
+        policy: SupervisorPolicy | None = None,
+        stall_after: float | None = None,
     ) -> None:
         self.cache = cache
         self.executor = (
@@ -77,28 +93,47 @@ class JobScheduler:
             else get_executor("async-local", workers=workers)
         )
         self.telemetry = telemetry if telemetry is not None else Telemetry()
+        #: ``None`` keeps the historical single-attempt behavior; a policy
+        #: arms per-attempt timeout, retries and quarantine.
+        self.policy = policy
+        #: Liveness watchdog: with jobs in flight and no settle for this
+        #: long, the pool is presumed wedged and recycled.  ``None``
+        #: disables it.
+        self.stall_after = stall_after
         self._queue: asyncio.Queue[tuple[str, RunRequest, asyncio.Future]] = (
             asyncio.Queue()
         )
         self._inflight: dict[str, asyncio.Future] = {}
         self._running: set[asyncio.Task] = set()
         self._drain_task: asyncio.Task | None = None
+        self._watchdog_task: asyncio.Task | None = None
         self._sequence = 0  # job numbers for executor-level error labels
+        #: Bumped on every pool recycle; an attempt that saw the pool
+        #: break only recycles if nobody did since it dispatched, so N
+        #: simultaneous victims replace the pool once, not N times.
+        self._pool_generation = 0
+        self._last_beat = time.monotonic()
 
     # -- lifecycle ----------------------------------------------------------
 
     async def start(self) -> None:
         """Open the worker pool and start the coordinator task."""
         self.executor.open()
+        self._last_beat = time.monotonic()
         if self._drain_task is None:
             self._drain_task = asyncio.create_task(
                 self._drain(), name="freezetag-scheduler"
             )
+        if self._watchdog_task is None and self.stall_after is not None:
+            self._watchdog_task = asyncio.create_task(
+                self._watchdog(), name="freezetag-watchdog"
+            )
 
     async def stop(self) -> None:
         """Cancel coordination and shut the worker pool down."""
-        tasks = [self._drain_task, *self._running]
+        tasks = [self._drain_task, self._watchdog_task, *self._running]
         self._drain_task = None
+        self._watchdog_task = None
         for task in tasks:
             if task is not None:
                 task.cancel()
@@ -187,26 +222,119 @@ class JobScheduler:
     ) -> None:
         key, request, future = item
         self._sequence += 1
+        seq = self._sequence
+        retries = self.policy.retries if self.policy is not None else 0
         try:
-            _, record, elapsed = await self.executor.run_one(
-                (self._sequence, request)
-            )
+            attempt = 0
+            while True:
+                failure = await self._attempt(seq, request, attempt, future)
+                self._beat()
+                if failure is None:
+                    return  # settled successfully inside _attempt
+                attempt += 1
+                if attempt > retries:
+                    if self.policy is not None:
+                        self.telemetry.jobs_quarantined += 1
+                    if not future.done():
+                        future.set_exception(JobError(*failure))
+                    return
+                self.telemetry.jobs_retried += 1
+                if self.policy is not None:
+                    await asyncio.sleep(self.policy.backoff(seq, attempt))
         except asyncio.CancelledError:
             if not future.done():
                 future.set_exception(
                     JobError("ServiceStopped", "scheduler shut down")
                 )
             raise
-        except SweepJobError as exc:
-            if not future.done():
-                future.set_exception(JobError(exc.kind, exc.message))
-        except Exception as exc:  # pool breakage, pickling, OS errors
+        except Exception as exc:  # pragma: no cover - scheduler bug guard
             if not future.done():
                 future.set_exception(JobError(type(exc).__name__, str(exc)))
-        else:
-            self.cache.store(request, record)
-            if not future.done():
-                future.set_result((record, elapsed))
         finally:
             self._inflight.pop(key, None)
             limit.release()
+
+    async def _attempt(
+        self,
+        seq: int,
+        request: RunRequest,
+        attempt: int,
+        future: asyncio.Future,
+    ) -> tuple[str, str] | None:
+        """Run one attempt: resolve ``future`` and return ``None`` on
+        success, else the ``(kind, message)`` the retry loop charges.
+
+        A supervised attempt ships the attempt number to the worker via
+        the :class:`_Attempt` wrapper (transient fault plants heal on
+        retry); the historical unsupervised path sends the raw request.
+        A broken or wedged pool is replaced *here* — once per breakage,
+        however many in-flight jobs it took down (see
+        ``_pool_generation``).
+        """
+        job: Any = request
+        if self.policy is not None:
+            job = _Attempt(request=request, index=seq, attempt=attempt, ledger=None)
+        timeout = self.policy.job_timeout if self.policy is not None else None
+        generation = self._pool_generation
+        try:
+            settle = self.executor.run_one((seq, job))
+            if timeout is not None:
+                _, record, elapsed = await asyncio.wait_for(settle, timeout)
+            else:
+                _, record, elapsed = await settle
+        except (asyncio.TimeoutError, TimeoutError):
+            # The worker is still grinding the job; only a pool
+            # replacement actually stops it.
+            self._recycle(generation, "job timeout")
+            return "JobTimeout", f"exceeded job timeout of {timeout}s"
+        except (BrokenProcessPool, WorkerDied) as exc:
+            self._recycle(generation, type(exc).__name__)
+            return type(exc).__name__, str(exc) or "worker pool broke"
+        except SweepJobError as exc:
+            return exc.kind, exc.message
+        except RuntimeError as exc:  # pool closed mid-flight, pickling, OS
+            return type(exc).__name__, str(exc)
+        self.cache.store(request, record)
+        if not future.done():
+            future.set_result((record, elapsed))
+        return None
+
+    # -- supervision ---------------------------------------------------------
+
+    def _beat(self) -> None:
+        self._last_beat = time.monotonic()
+
+    def _recycle(self, generation: int, reason: str) -> None:
+        """Replace the worker pool (SIGKILL, then a fresh open).
+
+        Guarded by the pool generation: every job in flight when a pool
+        breaks observes the breakage, but only the first one recycles —
+        the rest see a bumped generation and retry on the healthy
+        replacement instead of killing it.
+        """
+        if generation != self._pool_generation:
+            return
+        self._pool_generation += 1
+        self.telemetry.pools_recycled += 1
+        self._beat()  # a recycle is progress; re-arm the stall clock
+        kill = getattr(self.executor, "kill", None)
+        if callable(kill):
+            kill()
+        self.executor.open()
+
+    async def _watchdog(self) -> None:
+        """Recycle the pool when in-flight jobs stop settling.
+
+        The per-job timeout needs the awaiting task to be alive and the
+        policy armed; this is the independent backstop — pure heartbeat
+        age, so even a wedge that swallows the awaiters (or a policy-less
+        scheduler) gets its pool replaced and the waiters failed over.
+        """
+        assert self.stall_after is not None
+        interval = max(0.05, self.stall_after / 4.0)
+        while True:
+            await asyncio.sleep(interval)
+            if not self._inflight:
+                continue
+            if time.monotonic() - self._last_beat > self.stall_after:
+                self._recycle(self._pool_generation, "stall watchdog")

@@ -14,6 +14,13 @@ Jobs are counted by *origin*, matching the scheduler's settle outcomes:
   (the concurrent-submission dedup win: computed zero extra times);
 * ``failed``   — surfaced as a per-job error state.
 
+Supervision counters (PR 9) ride alongside: ``jobs_retried`` counts
+re-attempts the scheduler dispatched, ``jobs_quarantined`` jobs that
+exhausted their retry budget, ``pools_recycled`` worker-pool
+replacements after a death or stall.  ``last_settle_age_s`` is the
+service heartbeat ``/healthz`` reports — how long ago *any* job reached
+a terminal state.
+
 ``events_per_s`` is measured over a sliding window of recent settles so
 a long-idle server reports its current rate, not a lifetime average.
 """
@@ -41,8 +48,12 @@ class Telemetry:
     jobs_cached: int = 0
     jobs_deduped: int = 0
     jobs_failed: int = 0
+    jobs_retried: int = 0
+    jobs_quarantined: int = 0
+    pools_recycled: int = 0
     sweeps_submitted: int = 0
     sweeps_completed: int = 0
+    last_settle_mono: float | None = None
     _settle_times: deque[float] = field(default_factory=deque, repr=False)
 
     @property
@@ -61,8 +72,19 @@ class Telemetry:
         attribute = f"jobs_{origin}"
         setattr(self, attribute, getattr(self, attribute) + 1)
         now = time.monotonic()
+        self.last_settle_mono = now
         self._settle_times.append(now)
         self._prune(now)
+
+    def last_settle_age_s(self) -> float | None:
+        """Seconds since the last settle; ``None`` before the first one.
+
+        The stall watchdog and ``/healthz`` both read this: a server
+        with in-flight jobs whose last settle is old is wedged, not busy.
+        """
+        if self.last_settle_mono is None:
+            return None
+        return time.monotonic() - self.last_settle_mono
 
     def _prune(self, now: float) -> None:
         cutoff = now - RATE_WINDOW
@@ -93,7 +115,11 @@ class Telemetry:
                 "cached": self.jobs_cached,
                 "deduped": self.jobs_deduped,
                 "failed": self.jobs_failed,
+                "retried": self.jobs_retried,
+                "quarantined": self.jobs_quarantined,
             },
+            "pools_recycled": self.pools_recycled,
+            "last_settle_age_s": self.last_settle_age_s(),
             "events_per_s": self.events_per_s(),
             "sweeps": {
                 "submitted": self.sweeps_submitted,

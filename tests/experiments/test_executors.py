@@ -59,7 +59,7 @@ def poisoned_request():
 
 class TestRegistry:
     def test_builtins_registered(self):
-        assert executor_names() == ("async-local", "pool", "serial")
+        assert executor_names() == ("async-local", "pool", "serial", "supervised")
 
     def test_unknown_name_rejected(self):
         with pytest.raises(ValueError, match="unknown executor 'threads'"):

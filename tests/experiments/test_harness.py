@@ -306,6 +306,54 @@ class TestCache:
             path.write_text("{not json")
         assert cache.load(request) is None
 
+    def test_corrupt_entry_quarantines_and_reheals(self, tmp_path):
+        """The torn-write regression: a truncated entry must read as a
+        miss, move to ``quarantine/`` (counted, visible in stats), and a
+        re-execution must transparently heal the cache."""
+        cache = ResultCache(tmp_path / "cache")
+        request = RunRequest("agrid", "beaded_path", {"n": 6, "spacing": 1.0})
+        clean = run_requests([request], cache=cache)
+        (entry,) = (tmp_path / "cache").glob("*.json")
+        data = entry.read_bytes()
+        entry.write_bytes(data[: len(data) // 2])  # the torn write
+        assert cache.load(request) is None
+        assert cache.quarantined == 1
+        assert cache.quarantined_on_disk() == 1
+        assert list(cache.quarantine_dir.glob("*.json*"))
+        assert len(cache) == 0  # the bad entry left the record namespace
+        assert "1 corrupt entries quarantined" in cache.stats()
+        healed = run_requests([request], cache=cache)
+        assert json.dumps(healed) == json.dumps(clean)
+        assert cache.load(request) is not None
+
+    def test_truncation_onto_valid_json_prefix_still_quarantines(self, tmp_path):
+        """Truncation can land on parseable JSON with no record inside —
+        just as unusable, and historically the crashier path."""
+        cache = ResultCache(tmp_path / "cache")
+        request = RunRequest("agrid", "beaded_path", {"n": 6, "spacing": 1.0})
+        run_requests([request], cache=cache)
+        for path in (tmp_path / "cache").glob("*.json"):
+            path.write_text('{"schema": 1}')
+        assert cache.load(request) is None
+        assert cache.quarantined == 1
+
+    def test_corrupt_fault_plant_truncates_one_store(self, tmp_path, monkeypatch):
+        """``corrupt@*:times=1`` (FREEZETAG_FAULTS) tears exactly one
+        entry; the warm read discovers it, quarantines, and re-executes."""
+        from repro.experiments.faults import FAULTS_ENV
+
+        monkeypatch.setenv(FAULTS_ENV, "corrupt@*:times=1")
+        cache = ResultCache(tmp_path / "cache")
+        requests = [
+            RunRequest("agrid", "beaded_path", {"n": n, "spacing": 1.0})
+            for n in (5, 6)
+        ]
+        run_requests(requests, cache=cache)
+        monkeypatch.delenv(FAULTS_ENV)
+        loaded = [cache.load(r) for r in requests]
+        assert sum(1 for r in loaded if r is None) == 1  # exactly one torn
+        assert cache.quarantined == 1
+
     def test_cached_equals_fresh(self, tmp_path):
         request = RunRequest("aseparator", "uniform_disk", {"n": 12, "rho": 4.0, "seed": 0})
         fresh = run_requests([request])

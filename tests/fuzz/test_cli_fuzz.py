@@ -46,6 +46,21 @@ class TestRun:
         assert code == 0
         assert "[serial]" in out and "clean" in out
 
+    def test_hostile_campaign_is_clean(self, capsys):
+        """Out-of-contract draws strand robots without tripping any
+        invariant — the wake-completeness waiver in action end to end."""
+        code = main(
+            ["fuzz", "run", "--max-runs", "16", "--seed", "3",
+             "--hostile", "--quiet", "--json"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["ok"] is True and payload["runs"] == 16
+
+    def test_hostile_flag_defaults_off(self):
+        args = build_parser().parse_args(["fuzz", "run"])
+        assert args.hostile is False
+
     @pytest.mark.slow
     def test_planted_fault_exits_one(self, capsys, monkeypatch):
         monkeypatch.setenv(FAULT_REACH_ENV, "0.5")

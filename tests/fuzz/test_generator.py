@@ -61,6 +61,47 @@ class TestAdmissibility:
         assert any(c.n_hint == 1 for c in configs)  # n=1 torture
 
 
+class TestHostileMode:
+    def test_bad_mode_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="mode must be one of"):
+            ConfigGenerator(mode="chaotic")
+
+    def test_contract_generator_never_draws_hostile(self):
+        configs = ConfigGenerator(seed=5).generate(40)
+        assert all(c.mode == "contract" for c in configs)
+
+    def test_hostile_generator_mixes_out_of_contract_draws(self):
+        configs = ConfigGenerator(seed=5, mode="hostile").generate(40)
+        hostile = [c for c in configs if c.mode == "hostile"]
+        assert hostile  # the new sampler actually fires
+        assert any(c.mode == "contract" for c in configs)  # mixed stream
+        for config in hostile:
+            # The lie: a pinned ell far below what a spread-out disk needs.
+            assert config.params["ell"] in (1, 2)
+            assert config.scenario_kwargs["rho"] >= 4.0
+
+    def test_hostile_stream_is_deterministic(self):
+        a = ConfigGenerator(seed=21, mode="hostile").generate(30)
+        b = ConfigGenerator(seed=21, mode="hostile").generate(30)
+        assert ids(a) == ids(b)
+
+    def test_hostile_draws_check_clean(self):
+        """An out-of-contract run may strand robots asleep — and that is
+        legitimate in hostile mode; every other invariant still holds."""
+        from repro.fuzz import check_config
+
+        gen = ConfigGenerator(seed=7, max_n=12, mode="hostile")
+        hostile = [c for c in gen.generate(30) if c.mode == "hostile"][:6]
+        assert hostile
+        outcomes = [check_config(c) for c in hostile]
+        assert all(o.ok for o in outcomes)
+        # The waiver matters: for a fixed seed at least one draw strands
+        # robots, which contract mode would flag as wake-incompleteness.
+        assert any(o.stats.get("woke_all") is False for o in outcomes)
+
+
 class TestMutation:
     def _corpus_with(self, cfg):
         corpus = CorpusDatabase()

@@ -1,0 +1,85 @@
+"""``ServiceClient.watch``: reconnect with replay-resume, no sockets.
+
+``_watch_once`` is replaced with scripted partial streams, so the
+reconnect loop's dedup, backoff and failure-budget logic is pinned
+deterministically — the server's only contract is "every connection
+replays from the beginning and closes after ``end``".
+"""
+
+import pytest
+
+from repro.service.client import ServiceClient, ServiceError
+
+END = {"event": "end"}
+
+
+def settle(index: int) -> dict:
+    return {"event": "settle", "index": index}
+
+
+def scripted_client(monkeypatch, streams, sleeps):
+    """A client whose successive SSE connections yield ``streams`` in
+    order; a stream that ends without ``end`` is a drop.  Backoff sleeps
+    are captured instead of slept."""
+    client = ServiceClient("localhost:1")
+    feed = iter(streams)
+
+    def fake_watch_once(sweep_id, timeout=None):
+        try:
+            stream = next(feed)
+        except StopIteration:  # pragma: no cover - script exhausted
+            raise AssertionError("watch reconnected more often than scripted")
+        yield from stream
+
+    monkeypatch.setattr(client, "_watch_once", fake_watch_once)
+    monkeypatch.setattr("repro.service.client.time.sleep", sleeps.append)
+    return client
+
+
+class TestWatchReconnect:
+    def test_drop_resumes_replayed_prefix_without_duplicates(
+        self, monkeypatch
+    ):
+        sleeps: list[float] = []
+        client = scripted_client(
+            monkeypatch,
+            [
+                [settle(0), settle(1)],  # drop after two events
+                [settle(0), settle(1), settle(2)],  # replay, one new, drop
+                [settle(0), settle(1), settle(2), settle(3), END],
+            ],
+            sleeps,
+        )
+        events = list(client.watch("sweep-1", backoff=0.5))
+        assert events == [settle(0), settle(1), settle(2), settle(3), END]
+        assert len(sleeps) == 2  # one backoff per drop, none after end
+
+    def test_budget_exhausted_without_progress_raises(self, monkeypatch):
+        sleeps: list[float] = []
+        client = scripted_client(monkeypatch, [[], [], []], sleeps)
+        with pytest.raises(ServiceError, match="dropped 3 times"):
+            list(client.watch("sweep-1", reconnect=2, backoff=0.5))
+        assert sleeps == [0.5, 1.0]  # exponential between dead attempts
+
+    def test_any_delivered_event_resets_the_budget(self, monkeypatch):
+        """Five one-event streams survive ``reconnect=1`` because each
+        drop came after progress."""
+        sleeps: list[float] = []
+        streams = [
+            [settle(i) for i in range(upto + 1)] for upto in range(4)
+        ] + [[settle(0), settle(1), settle(2), settle(3), END]]
+        client = scripted_client(monkeypatch, streams, sleeps)
+        events = list(client.watch("sweep-1", reconnect=1))
+        assert events == [settle(0), settle(1), settle(2), settle(3), END]
+
+    def test_http_error_from_stream_propagates(self, monkeypatch):
+        """A 404 is not a drop: it raises immediately, no reconnect."""
+        client = ServiceClient("localhost:1")
+
+        def gone(sweep_id, timeout=None):
+            raise ServiceError(404, "no such sweep")
+            yield  # pragma: no cover - makes this a generator function
+
+        monkeypatch.setattr(client, "_watch_once", gone)
+        with pytest.raises(ServiceError, match="no such sweep"):
+            list(client.watch("missing"))

@@ -6,12 +6,14 @@ deterministically — no timing assumptions, no worker processes.
 """
 
 import asyncio
+from concurrent.futures.process import BrokenProcessPool
 
 import pytest
 
 from repro.core.runner import RunRequest
 from repro.experiments.cache import ResultCache, request_key
 from repro.experiments.executors import SweepJobError
+from repro.experiments.supervise import SupervisorPolicy
 from repro.service.scheduler import JobError, JobScheduler
 from repro.service.telemetry import Telemetry
 
@@ -45,12 +47,45 @@ class FakeExecutor:
         self.closed = True
 
     async def run_one(self, job):
-        index, request = job
+        index, payload = job
+        # Supervised schedulers ship ``_Attempt`` wrappers; unwrap either.
+        request = getattr(payload, "request", payload)
         self.calls.append(request)
         if self.gate is not None:
             await self.gate.wait()
         if self.fail_kind is not None:
             raise SweepJobError(index, request.label(), self.fail_kind, "boom")
+        return index, {"algorithm": request.algorithm, "n": 4}, 0.01
+
+
+class WedgingExecutor(FakeExecutor):
+    """First dispatch wedges until the scheduler kills the pool, then
+    surfaces the death as ``BrokenProcessPool``; every later dispatch
+    succeeds — the shape of a recycle-then-heal supervision cycle."""
+
+    def __init__(self, workers: int = 2):
+        super().__init__(workers)
+        self.kills = 0
+        self.opens = 0
+        self._dead: asyncio.Event | None = None
+
+    def open(self):
+        self.opens += 1
+        return super().open()
+
+    def kill(self):
+        self.kills += 1
+        if self._dead is not None:
+            self._dead.set()
+
+    async def run_one(self, job):
+        index, payload = job
+        request = getattr(payload, "request", payload)
+        self.calls.append(request)
+        if len(self.calls) == 1:
+            self._dead = asyncio.Event()
+            await self._dead.wait()
+            raise BrokenProcessPool("worker pool killed mid-job")
         return index, {"algorithm": request.algorithm, "n": 4}, 0.01
 
 
@@ -228,6 +263,100 @@ class TestLifecycle:
             await scheduler.stop()
             with pytest.raises(JobError, match="ServiceStopped"):
                 await waiter
+
+        run(go())
+
+
+class TestSupervision:
+    """PR 9 health layer: per-job timeout, pool recycle, stall watchdog."""
+
+    def test_job_timeout_recycles_pool_and_retry_heals(self, tmp_path):
+        async def go():
+            policy = SupervisorPolicy(
+                job_timeout=0.2, retries=2, backoff_base=0.01, jitter=0.0
+            )
+            executor = WedgingExecutor()
+            scheduler = JobScheduler(
+                ResultCache(tmp_path), executor=executor, policy=policy
+            )
+            await scheduler.start()
+            try:
+                record, origin, _ = await scheduler.settle(make_request())
+            finally:
+                await scheduler.stop()
+            assert origin == "executed" and record["algorithm"] == "greedy"
+            assert scheduler.telemetry.pools_recycled == 1
+            assert scheduler.telemetry.jobs_retried == 1
+            assert scheduler.telemetry.jobs_quarantined == 0
+            assert executor.kills == 1
+            assert executor.opens == 2  # start + one recycle
+
+        run(go())
+
+    def test_budget_exhaustion_quarantines(self, tmp_path):
+        async def go():
+            policy = SupervisorPolicy(
+                job_timeout=5.0, retries=1, backoff_base=0.01, jitter=0.0
+            )
+            executor = FakeExecutor(fail_kind="TransientFault")
+            scheduler = JobScheduler(
+                ResultCache(tmp_path), executor=executor, policy=policy
+            )
+            await scheduler.start()
+            try:
+                with pytest.raises(JobError, match="TransientFault"):
+                    await scheduler.settle(make_request())
+            finally:
+                await scheduler.stop()
+            assert len(executor.calls) == 2  # original attempt + one retry
+            assert scheduler.telemetry.jobs_retried == 1
+            assert scheduler.telemetry.jobs_quarantined == 1
+
+        run(go())
+
+    def test_stall_watchdog_recycles_wedged_pool(self, tmp_path):
+        """No policy armed: the heartbeat watchdog alone must notice a
+        wedge, replace the pool, and fail the waiter over — not hang."""
+
+        async def go():
+            executor = WedgingExecutor()
+            scheduler = JobScheduler(
+                ResultCache(tmp_path), executor=executor, stall_after=0.2
+            )
+            await scheduler.start()
+            try:
+                with pytest.raises(JobError, match="BrokenProcessPool"):
+                    await scheduler.settle(make_request())
+            finally:
+                await scheduler.stop()
+            assert scheduler.telemetry.pools_recycled == 1
+            assert executor.kills == 1 and executor.opens == 2
+
+        run(go())
+
+    def test_stall_recycle_with_policy_retries_and_heals(self, tmp_path):
+        """Watchdog + policy compose: the recycle surfaces as a retryable
+        failure and the job settles on the fresh pool."""
+
+        async def go():
+            policy = SupervisorPolicy(
+                job_timeout=30.0, retries=1, backoff_base=0.01, jitter=0.0
+            )
+            executor = WedgingExecutor()
+            scheduler = JobScheduler(
+                ResultCache(tmp_path),
+                executor=executor,
+                policy=policy,
+                stall_after=0.2,
+            )
+            await scheduler.start()
+            try:
+                record, origin, _ = await scheduler.settle(make_request())
+            finally:
+                await scheduler.stop()
+            assert origin == "executed" and record["algorithm"] == "greedy"
+            assert scheduler.telemetry.pools_recycled == 1
+            assert scheduler.telemetry.jobs_retried == 1
 
         run(go())
 
